@@ -1,0 +1,52 @@
+// E1 — Figure 5(a)(b): execution-time breakdown of the Sequential
+// Compaction Procedure into read / compute / write, on HDD and on SSD.
+//
+// Paper's observations to reproduce:
+//   HDD: step read > 40% of compaction time, read+write > 60%  → I/O-bound
+//   SSD: compute steps > 60%, write slower than read            → CPU-bound
+#include "bench_common.h"
+
+using namespace pipelsm;
+using namespace pipelsm::bench;
+
+namespace {
+
+void RunOne(const char* label, const DeviceProfile& device) {
+  CompactionBenchConfig cfg;
+  cfg.device = device;
+  cfg.mode = CompactionMode::kSCP;
+  cfg.upper_bytes = static_cast<uint64_t>((4 << 20) * Scale());
+  cfg.lower_bytes = static_cast<uint64_t>((8 << 20) * Scale());
+  CompactionRun run = RunCompaction(cfg);
+
+  const StepProfile& p = run.profile;
+  const double total_ms = p.TotalStepNanos() * 1e-6;
+  std::printf("\n--- %s ---\n", label);
+  std::printf("%-16s %10s %8s\n", "step", "ms", "share");
+  for (int i = 0; i < kNumSteps; i++) {
+    std::printf("%-16s %10.2f %7.1f%%\n",
+                CompactionStepName(static_cast<CompactionStep>(i)),
+                p.nanos[i] * 1e-6,
+                total_ms > 0 ? 100.0 * p.nanos[i] * 1e-6 / total_ms : 0.0);
+  }
+  const double read_share = 100.0 * p.nanos[kStepRead] / p.TotalStepNanos();
+  const double write_share = 100.0 * p.nanos[kStepWrite] / p.TotalStepNanos();
+  const double compute_share = 100.0 * p.ComputeNanos() / p.TotalStepNanos();
+  std::printf("aggregate: read %.1f%% | compute %.1f%% | write %.1f%%\n",
+              read_share, compute_share, write_share);
+
+  model::StepTimes t = model::StepTimes::FromProfile(p);
+  std::printf("model: %s\n", model::Describe(t).c_str());
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("bench_breakdown — SCP execution-time breakdown",
+              "Figure 5(a) on HDD, Figure 5(b) on SSD",
+              "expect: HDD read>40%, I/O>60% (I/O-bound); "
+              "SSD compute>60%, write>read (CPU-bound)");
+  RunOne("HDD (Fig 5a)", DeviceProfile::Hdd());
+  RunOne("SSD (Fig 5b)", DeviceProfile::Ssd());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E2 — Figure 8(a)(b): SCP step breakdown as the key-value size grows
+// from 64 B to 1024 B, on HDD and on SSD.
+//
+// Paper's observation to reproduce: "as the key-value size increases,
+// step sort takes less time due to the decreasing amount of key-value
+// entries"; crc/re-crc stay < 5%; decompress is cheapest; compress is the
+// costliest compute step.
+#include "bench_common.h"
+
+using namespace pipelsm;
+using namespace pipelsm::bench;
+
+namespace {
+
+void RunDevice(const char* label, const DeviceProfile& device) {
+  std::printf("\n--- %s ---\n", label);
+  std::printf("%-8s %8s %8s %8s %8s %8s %8s %8s\n", "kv(B)", "read%",
+              "crc%", "decomp%", "sort%", "comp%", "recrc%", "write%");
+  for (size_t kv : {64, 128, 256, 512, 1024}) {
+    CompactionBenchConfig cfg;
+    cfg.device = device;
+    cfg.mode = CompactionMode::kSCP;
+    cfg.key_size = 16;
+    cfg.value_size = kv - 16;
+    cfg.upper_bytes = static_cast<uint64_t>((2 << 20) * Scale());
+    cfg.lower_bytes = static_cast<uint64_t>((4 << 20) * Scale());
+    CompactionRun run = RunCompaction(cfg);
+    const StepProfile& p = run.profile;
+    const double total = p.TotalStepNanos();
+    auto pct = [&](CompactionStep s) {
+      return total > 0 ? 100.0 * p.nanos[s] / total : 0.0;
+    };
+    std::printf("%-8zu %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+                kv, pct(kStepRead), pct(kStepChecksum), pct(kStepDecompress),
+                pct(kStepSort), pct(kStepCompress), pct(kStepRechecksum),
+                pct(kStepWrite));
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("bench_breakdown_kvsize — SCP breakdown vs key-value size",
+              "Figure 8(a) on HDD, Figure 8(b) on SSD",
+              "expect: sort share falls as kv size grows; crc steps <5%; "
+              "compress is the costliest compute step");
+  RunDevice("HDD (Fig 8a)", DeviceProfile::Hdd());
+  RunDevice("SSD (Fig 8b)", DeviceProfile::Ssd());
+  return 0;
+}

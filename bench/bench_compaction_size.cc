@@ -1,0 +1,40 @@
+// E6 — Figure 11(b): compaction bandwidth vs compaction size (upper-
+// component input 1 MB..10 MB) at a fixed 1 MB sub-task size, on SSD.
+//
+// Paper's shape to reproduce: SCP flat (bandwidth independent of
+// compaction size); PCP rises with compaction size until the sub-task
+// count reaches ~6, then levels off — bigger compactions amortize the
+// pipeline's fill/drain overhead.
+#include "bench_common.h"
+
+using namespace pipelsm;
+using namespace pipelsm::bench;
+
+int main() {
+  PrintHeader("bench_compaction_size — bandwidth vs compaction size (SSD)",
+              "Figure 11(b)",
+              "expect: SCP flat; PCP rising until ~6 sub-tasks then flat; "
+              "PCP above SCP for all sizes");
+
+  std::printf("%-10s %14s %14s %9s %10s\n", "input", "SCP MiB/s",
+              "PCP MiB/s", "speedup", "subtasks");
+  for (int upper_mb : {1, 2, 3, 4, 5, 6, 8, 10}) {
+    CompactionRun runs[2];
+    for (int m = 0; m < 2; m++) {
+      CompactionBenchConfig cfg;
+      cfg.device = DeviceProfile::Ssd();
+      cfg.mode = m == 0 ? CompactionMode::kSCP : CompactionMode::kPCP;
+      cfg.subtask_bytes = 1 << 20;  // paper: fixed 1 MB sub-tasks
+      cfg.upper_bytes = static_cast<uint64_t>((upper_mb << 20) * Scale());
+      cfg.lower_bytes = 2 * cfg.upper_bytes;
+      runs[m] = RunCompactionMedian(cfg);
+    }
+    std::printf("%6dMB   %14.1f %14.1f %8.2fx %10llu\n", upper_mb,
+                runs[0].bandwidth_mib_s, runs[1].bandwidth_mib_s,
+                runs[0].bandwidth_mib_s > 0
+                    ? runs[1].bandwidth_mib_s / runs[0].bandwidth_mib_s
+                    : 0,
+                static_cast<unsigned long long>(runs[1].profile.subtasks));
+  }
+  return 0;
+}

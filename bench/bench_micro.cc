@@ -1,0 +1,163 @@
+// Microbenchmarks (google-benchmark) for the primitive operations behind
+// the seven compaction steps: CRC32C (S2/S6), the LZ codec (S3/S5), block
+// building + merge iteration (S4), memtable inserts and WAL appends.
+// These calibrate the host's compute-side costs and explain the step
+// shares the breakdown benches report.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "src/compress/lz_codec.h"
+#include "src/db/dbformat.h"
+#include "src/env/sim_env.h"
+#include "src/memtable/memtable.h"
+#include "src/table/block.h"
+#include "src/table/block_builder.h"
+#include "src/table/comparator.h"
+#include "src/table/merger.h"
+#include "src/util/crc32c.h"
+#include "src/util/random.h"
+#include "src/wal/log_writer.h"
+#include "src/workload/generator.h"
+
+namespace pipelsm {
+namespace {
+
+std::string MakePayload(size_t n, double compressibility) {
+  WorkloadGenerator gen(1, 16, n, KeyOrder::kSequential, 301,
+                        compressibility);
+  return gen.Value(0);
+}
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data = MakePayload(state.range(0), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Crc32c)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_LzCompress(benchmark::State& state) {
+  std::string data = MakePayload(state.range(0), 0.5);
+  std::string out;
+  for (auto _ : state) {
+    lz::Compress(data.data(), data.size(), &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_LzCompress)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_LzUncompress(benchmark::State& state) {
+  std::string data = MakePayload(state.range(0), 0.5);
+  std::string compressed, out;
+  lz::Compress(data.data(), data.size(), &compressed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lz::Uncompress(compressed.data(), compressed.size(), &out));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_LzUncompress)->Arg(4 << 10)->Arg(64 << 10)->Arg(1 << 20);
+
+void BM_BlockBuild(benchmark::State& state) {
+  WorkloadGenerator gen(1000, 16, 100, KeyOrder::kSequential);
+  std::vector<std::pair<std::string, std::string>> kv;
+  for (int i = 0; i < 1000; i++) {
+    kv.emplace_back(gen.Key(i), gen.Value(i));
+  }
+  size_t bytes = 0;
+  for (auto _ : state) {
+    BlockBuilder builder(16);
+    for (const auto& [k, v] : kv) {
+      builder.Add(k, v);
+    }
+    Slice raw = builder.Finish();
+    benchmark::DoNotOptimize(raw);
+    bytes += raw.size();
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_BlockBuild);
+
+void BM_MergeIterate(benchmark::State& state) {
+  // The S4 merge across `range(0)` sorted runs.
+  const int runs = static_cast<int>(state.range(0));
+  WorkloadGenerator gen(6000, 16, 100, KeyOrder::kSequential);
+  std::vector<std::shared_ptr<Block>> blocks;
+  for (int r = 0; r < runs; r++) {
+    BlockBuilder builder(16);
+    for (int i = r; i < 6000; i += runs) {
+      builder.Add(gen.Key(i), gen.Value(i));
+    }
+    Slice raw = builder.Finish();
+    char* buf = new char[raw.size()];
+    std::memcpy(buf, raw.data(), raw.size());
+    BlockContents contents;
+    contents.data = Slice(buf, raw.size());
+    contents.heap_allocated = true;
+    contents.cachable = false;
+    blocks.push_back(std::make_shared<Block>(contents));
+  }
+
+  uint64_t entries = 0;
+  for (auto _ : state) {
+    std::vector<Iterator*> children;
+    for (auto& b : blocks) {
+      children.push_back(b->NewIterator(BytewiseComparator()));
+    }
+    std::unique_ptr<Iterator> merged(NewMergingIterator(
+        BytewiseComparator(), children.data(), (int)children.size()));
+    for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+      benchmark::DoNotOptimize(merged->key());
+      entries++;
+    }
+  }
+  state.SetItemsProcessed(entries);
+}
+BENCHMARK(BM_MergeIterate)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MemTableInsert(benchmark::State& state) {
+  InternalKeyComparator icmp(BytewiseComparator());
+  WorkloadGenerator gen(1u << 20, 16, 100, KeyOrder::kRandom);
+  MemTable* mem = new MemTable(icmp);
+  mem->Ref();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    mem->Add(i + 1, kTypeValue, gen.Key(i), gen.Value(i));
+    i++;
+    if (mem->ApproximateMemoryUsage() > (64 << 20)) {
+      state.PauseTiming();
+      mem->Unref();
+      mem = new MemTable(icmp);
+      mem->Ref();
+      state.ResumeTiming();
+    }
+  }
+  mem->Unref();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTableInsert);
+
+void BM_WalAppend(benchmark::State& state) {
+  SimEnv env;  // null device: measures the CPU cost of the record format
+  std::unique_ptr<WritableFile> file;
+  if (!env.NewWritableFile("/wal", &file).ok()) {
+    state.SkipWithError("open failed");
+    return;
+  }
+  log::Writer writer(file.get());
+  std::string payload = MakePayload(static_cast<size_t>(state.range(0)), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(writer.AddRecord(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_WalAppend)->Arg(128)->Arg(4 << 10)->Arg(64 << 10);
+
+}  // namespace
+}  // namespace pipelsm
+
+BENCHMARK_MAIN();

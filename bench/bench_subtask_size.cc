@@ -1,0 +1,40 @@
+// E5 — Figure 11(a): compaction bandwidth vs sub-task size (64 KB..4 MB)
+// at a fixed compaction size (4 MB upper-component input), on SSD.
+//
+// Paper's shape to reproduce: SCP bandwidth rises monotonically with
+// sub-task (= I/O) size; PCP rises then falls — too-small sub-tasks
+// underuse the device, too-large ones leave too few sub-tasks to
+// pipeline. The paper's best PCP point is 512 KB.
+#include "bench_common.h"
+
+using namespace pipelsm;
+using namespace pipelsm::bench;
+
+int main() {
+  PrintHeader("bench_subtask_size — bandwidth vs sub-task size (SSD)",
+              "Figure 11(a)",
+              "expect: SCP monotonically rising; PCP peaking at a middle "
+              "sub-task size (paper: 512 KB), above SCP everywhere");
+
+  std::printf("%-10s %14s %14s %9s %10s\n", "subtask", "SCP MiB/s",
+              "PCP MiB/s", "speedup", "subtasks");
+  for (size_t subtask_kb : {64, 128, 256, 512, 1024, 2048, 4096}) {
+    CompactionRun runs[2];
+    for (int m = 0; m < 2; m++) {
+      CompactionBenchConfig cfg;
+      cfg.device = DeviceProfile::Ssd();
+      cfg.mode = m == 0 ? CompactionMode::kSCP : CompactionMode::kPCP;
+      cfg.subtask_bytes = subtask_kb << 10;
+      cfg.upper_bytes = static_cast<uint64_t>((4 << 20) * Scale());
+      cfg.lower_bytes = static_cast<uint64_t>((8 << 20) * Scale());
+      runs[m] = RunCompactionMedian(cfg);
+    }
+    std::printf("%6zuKB   %14.1f %14.1f %8.2fx %10llu\n", subtask_kb,
+                runs[0].bandwidth_mib_s, runs[1].bandwidth_mib_s,
+                runs[0].bandwidth_mib_s > 0
+                    ? runs[1].bandwidth_mib_s / runs[0].bandwidth_mib_s
+                    : 0,
+                static_cast<unsigned long long>(runs[1].profile.subtasks));
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// CompactionExecutor: runs one planned compaction end to end.
+//
+// Four implementations reproduce the paper's procedures:
+//   SCP    — the LevelDB baseline: sub-tasks strictly sequential, the
+//            seven steps of each executed back to back (§III-A).
+//   PCP    — 3-stage pipeline read/compute/write, one thread per stage,
+//            bounded queues between stages (§III-B).
+//   S-PPCP — PCP with k reader threads issuing S1 concurrently; pair with
+//            a RAID0 device profile so transfers parallelize (§III-C.1).
+//   C-PPCP — PCP with k compute workers; each sub-task's S2..S6 stays on
+//            one worker; an ordered write stage restores key order
+//            (§III-C.2).
+//
+// All four produce byte-identical output for the same input (tested), and
+// fill a StepProfile whose per-step times feed the analytic model.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/compaction/types.h"
+#include "src/db/options.h"
+
+namespace pipelsm {
+
+class Table;
+
+class CompactionExecutor {
+ public:
+  virtual ~CompactionExecutor() = default;
+
+  virtual const char* name() const = 0;
+
+  // Plans sub-tasks from `inputs` and runs them to completion, writing
+  // outputs through `sink` and accumulating step timings in *profile
+  // (wall_nanos covers the whole run including planning).
+  virtual Status Run(const CompactionJobOptions& options,
+                     const std::vector<std::shared_ptr<Table>>& inputs,
+                     CompactionSink* sink, StepProfile* profile) = 0;
+};
+
+// Factory. For kPCP/kSPPCP/kCPPCP the parallelism comes from
+// CompactionJobOptions (read_parallelism / compute_parallelism).
+std::unique_ptr<CompactionExecutor> NewCompactionExecutor(CompactionMode mode);
+
+}  // namespace pipelsm

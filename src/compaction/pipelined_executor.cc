@@ -1,0 +1,187 @@
+// The Pipelined Compaction Procedure and its parallel variants
+// (paper §III-B/§III-C, Figures 4, 6 and 7).
+//
+// Three stages — read (S1), compute (S2..S6), write (S7) — joined by
+// bounded queues ("between the adjacent stages we create a queue for data
+// communication"). The generalized executor takes R reader threads and C
+// compute threads:
+//   PCP    = (R=1, C=1)
+//   S-PPCP = (R=k, C=1)   + a striped device underneath
+//   C-PPCP = (R=1, C=k)
+// Out-of-order completion (any R>1 or C>1) is absorbed by the write
+// stage's reorder buffer, so all variants emit byte-identical SSTables.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "src/compaction/executor.h"
+#include "src/compaction/planner.h"
+#include "src/compaction/steps.h"
+#include "src/compaction/write_stage.h"
+#include "src/util/bounded_queue.h"
+
+namespace pipelsm {
+
+namespace {
+
+class PipelinedExecutor final : public CompactionExecutor {
+ public:
+  explicit PipelinedExecutor(const char* name) : name_(name) {}
+
+  const char* name() const override { return name_; }
+
+  Status Run(const CompactionJobOptions& options,
+             const std::vector<std::shared_ptr<Table>>& inputs,
+             CompactionSink* sink, StepProfile* profile) override {
+    Stopwatch wall;
+    std::vector<SubTaskPlan> plans;
+    Status s = PlanSubTasks(options, inputs, &plans);
+    if (!s.ok()) return s;
+
+    const int num_readers = std::max(1, options.read_parallelism);
+    const int num_computers = std::max(1, options.compute_parallelism);
+    const size_t depth = std::max<size_t>(1, options.queue_depth);
+
+    BoundedQueue<RawSubTask> read_q(depth);
+    BoundedQueue<ComputedSubTask> write_q(depth);
+
+    std::mutex error_mu;
+    Status first_error;
+    auto record_error = [&](const Status& err) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = err;
+      read_q.Close();
+      write_q.Close();
+    };
+    auto failed = [&]() {
+      std::lock_guard<std::mutex> lock(error_mu);
+      return !first_error.ok();
+    };
+
+    // Per-thread profiles, merged at the end.
+    std::vector<StepProfile> reader_profiles(num_readers);
+    std::vector<StepProfile> computer_profiles(num_computers);
+
+    // ---- stage read (S1): R reader threads pull plan indices. ----
+    std::atomic<size_t> next_plan{0};
+    std::atomic<int> readers_left{num_readers};
+    std::vector<std::thread> threads;
+    for (int r = 0; r < num_readers; r++) {
+      threads.emplace_back([&, r] {
+        for (;;) {
+          const size_t i = next_plan.fetch_add(1, std::memory_order_relaxed);
+          if (i >= plans.size() || failed()) break;
+          RawSubTask raw;
+          Status rs = ReadSubTask(options, inputs, plans[i], &raw,
+                                  &reader_profiles[r]);
+          if (!rs.ok()) {
+            record_error(rs);
+            break;
+          }
+          if (!read_q.Push(std::move(raw))) break;  // closed: error path
+        }
+        if (readers_left.fetch_sub(1) == 1) {
+          read_q.Close();
+        }
+      });
+    }
+
+    // ---- stage compute (S2..S6): C worker threads. ----
+    std::atomic<int> computers_left{num_computers};
+    for (int c = 0; c < num_computers; c++) {
+      threads.emplace_back([&, c] {
+        for (;;) {
+          auto item = read_q.Pop();
+          if (!item.has_value()) break;  // drained + closed
+          ComputedSubTask computed;
+          Status cs = ComputeSubTask(options, std::move(*item), &computed);
+          if (!cs.ok()) {
+            record_error(cs);
+            break;
+          }
+          computer_profiles[c].Merge(computed.profile);
+          computed.profile = StepProfile{};  // avoid double counting
+          if (!write_q.Push(std::move(computed))) break;
+        }
+        if (computers_left.fetch_sub(1) == 1) {
+          write_q.Close();
+        }
+      });
+    }
+
+    // ---- stage write (S7): this thread, in sub-task order. ----
+    WriteStage write_stage(options, sink);
+    uint64_t input_bytes = 0;
+    uint64_t output_bytes = 0;
+    for (;;) {
+      auto item = write_q.Pop();
+      if (!item.has_value()) break;
+      input_bytes += item->input_bytes;
+      output_bytes += item->output_raw_bytes;
+      Status ws = write_stage.PushReordered(std::move(*item));
+      if (!ws.ok()) {
+        record_error(ws);
+        break;
+      }
+    }
+
+    for (auto& t : threads) {
+      t.join();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error.ok()) return first_error;
+    }
+    s = write_stage.Close();
+    if (!s.ok()) return s;
+
+    for (const StepProfile& p : reader_profiles) profile->Merge(p);
+    for (const StepProfile& p : computer_profiles) profile->Merge(p);
+    const StepProfile& wp = write_stage.profile();
+    profile->nanos[kStepWrite] += wp.nanos[kStepWrite];
+    profile->bytes[kStepWrite] += wp.bytes[kStepWrite];
+    profile->input_bytes += input_bytes;
+    profile->output_bytes += output_bytes;
+    profile->wall_nanos += wall.ElapsedNanos();
+    return Status::OK();
+  }
+
+ private:
+  const char* const name_;
+};
+
+}  // namespace
+
+std::unique_ptr<CompactionExecutor> NewScpExecutor();  // scp_executor.cc
+
+std::unique_ptr<CompactionExecutor> NewCompactionExecutor(
+    CompactionMode mode) {
+  switch (mode) {
+    case CompactionMode::kSCP:
+      return NewScpExecutor();
+    case CompactionMode::kPCP:
+      return std::make_unique<PipelinedExecutor>("PCP");
+    case CompactionMode::kSPPCP:
+      return std::make_unique<PipelinedExecutor>("S-PPCP");
+    case CompactionMode::kCPPCP:
+      return std::make_unique<PipelinedExecutor>("C-PPCP");
+  }
+  return nullptr;
+}
+
+const char* CompactionModeName(CompactionMode mode) {
+  switch (mode) {
+    case CompactionMode::kSCP:
+      return "SCP";
+    case CompactionMode::kPCP:
+      return "PCP";
+    case CompactionMode::kSPPCP:
+      return "S-PPCP";
+    case CompactionMode::kCPPCP:
+      return "C-PPCP";
+  }
+  return "unknown";
+}
+
+}  // namespace pipelsm

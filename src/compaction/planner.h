@@ -1,0 +1,27 @@
+// Sub-task planner: partitions a compaction's key range into sub-key
+// ranges of roughly subtask_bytes of input each (paper §III-B: "PCP
+// partitions the compaction key range into multiple sub-key ranges; each
+// sub-key range consists of one or more data blocks").
+//
+// Boundaries are drawn at data-block separator keys, truncated to user
+// keys, so every version of a user key lands in exactly one sub-task and
+// the merge's shadowing/tombstone logic stays sub-task-local.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/compaction/types.h"
+
+namespace pipelsm {
+
+class Table;
+
+// Fills *plans from the index blocks of `inputs`. Tables must all be open
+// for the planner (and later the executor) to read. Sub-task sequence
+// numbers are assigned in key order starting at 0.
+Status PlanSubTasks(const CompactionJobOptions& options,
+                    const std::vector<std::shared_ptr<Table>>& inputs,
+                    std::vector<SubTaskPlan>* plans);
+
+}  // namespace pipelsm

@@ -1,0 +1,154 @@
+#include "src/compaction/raw_table_writer.h"
+
+#include "src/table/filter_policy.h"
+#include "src/table/format.h"
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+
+namespace pipelsm {
+
+RawTableWriter::RawTableWriter(const CompactionJobOptions& options,
+                               WritableFile* file)
+    : options_(options), file_(file), index_block_(1) {}
+
+Status RawTableWriter::AddBlock(const EncodedBlock& block) {
+  BlockHandle handle;
+  handle.set_offset(offset_);
+  handle.set_size(block.payload.size() - kBlockTrailerSize);
+
+  if (options_.filter_policy != nullptr && !block.filter.empty()) {
+    filters_.emplace_back(offset_, block.filter);
+  }
+
+  Status s = file_->Append(block.payload);
+  if (!s.ok()) return s;
+  offset_ += block.payload.size();
+  num_blocks_++;
+
+  // Index entry: exact last key of the block (no separator shortening —
+  // the next block's first key is not available to the write stage, and
+  // exact keys are always a correct, if slightly larger, index).
+  std::string handle_encoding;
+  handle.EncodeTo(&handle_encoding);
+  index_block_.Add(block.last_key, handle_encoding);
+  return Status::OK();
+}
+
+Status RawTableWriter::WriteOwnBlock(const Slice& raw, BlockHandle* handle) {
+  std::string compressed;
+  const CompressionType type =
+      CompressBlock(options_.compression, raw, &compressed);
+  handle->set_offset(offset_);
+  handle->set_size(compressed.size());
+  Status s = file_->Append(compressed);
+  if (!s.ok()) return s;
+
+  char trailer[kBlockTrailerSize];
+  trailer[0] = static_cast<char>(type);
+  uint32_t crc = crc32c::Value(compressed.data(), compressed.size());
+  crc = crc32c::Extend(crc, trailer, 1);
+  EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+  s = file_->Append(Slice(trailer, kBlockTrailerSize));
+  if (!s.ok()) return s;
+  offset_ += compressed.size() + kBlockTrailerSize;
+  return Status::OK();
+}
+
+std::string RawTableWriter::BuildFilterBlock() const {
+  // FilterBlockBuilder wire format: [filter data][offset array (fixed32
+  // per 2 KiB window)][array offset (fixed32)][base_lg (1 byte)].
+  // Each data block starts in exactly one window (blocks are >= 2 KiB in
+  // practice, and the reader only probes windows at real block offsets),
+  // so window w carries the filter of the block starting inside it.
+  static constexpr uint32_t kFilterBaseLg = 11;
+  std::string result;
+  std::vector<uint32_t> window_offsets;
+  const uint64_t last_block_offset = filters_.back().first;
+  const uint64_t windows = (last_block_offset >> kFilterBaseLg) + 1;
+
+  // A compressed block can be smaller than a window, so two blocks may
+  // start in the same window. Their per-block filters cannot be merged
+  // (bloom arrays of different sizes), and using either alone would give
+  // the other block false negatives — so such windows get a small
+  // match-all filter (every bit set): correctness preserved, the rare
+  // shared window just loses its I/O-skipping benefit.
+  static const char kMatchAll[] = {'\xff', '\xff', '\xff', '\xff', 1};
+
+  size_t next = 0;
+  for (uint64_t w = 0; w < windows; w++) {
+    window_offsets.push_back(static_cast<uint32_t>(result.size()));
+    size_t in_window = 0;
+    while (next + in_window < filters_.size() &&
+           (filters_[next + in_window].first >> kFilterBaseLg) == w) {
+      in_window++;
+    }
+    if (in_window == 1) {
+      result.append(filters_[next].second);
+    } else if (in_window > 1) {
+      result.append(kMatchAll, sizeof(kMatchAll));
+    }
+    next += in_window;
+  }
+
+  const uint32_t array_offset = static_cast<uint32_t>(result.size());
+  for (uint32_t off : window_offsets) {
+    PutFixed32(&result, off);
+  }
+  PutFixed32(&result, array_offset);
+  result.push_back(static_cast<char>(kFilterBaseLg));
+  return result;
+}
+
+Status RawTableWriter::Finish() {
+  Status s;
+
+  // Filter block (uncompressed, like TableBuilder's).
+  BlockHandle filter_handle;
+  const bool have_filter =
+      options_.filter_policy != nullptr && !filters_.empty();
+  if (have_filter) {
+    const std::string filter_block = BuildFilterBlock();
+    // Raw append with a kNoCompression trailer.
+    filter_handle.set_offset(offset_);
+    filter_handle.set_size(filter_block.size());
+    s = file_->Append(filter_block);
+    if (!s.ok()) return s;
+    char trailer[kBlockTrailerSize];
+    trailer[0] = static_cast<char>(CompressionType::kNoCompression);
+    uint32_t crc = crc32c::Value(filter_block.data(), filter_block.size());
+    crc = crc32c::Extend(crc, trailer, 1);
+    EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+    s = file_->Append(Slice(trailer, kBlockTrailerSize));
+    if (!s.ok()) return s;
+    offset_ += filter_block.size() + kBlockTrailerSize;
+  }
+
+  // Metaindex block (points at the filter when present).
+  BlockBuilder metaindex(options_.block_restart_interval);
+  if (have_filter) {
+    std::string key = "filter.";
+    key.append(options_.filter_policy->Name());
+    std::string handle_encoding;
+    filter_handle.EncodeTo(&handle_encoding);
+    metaindex.Add(key, handle_encoding);
+  }
+  BlockHandle metaindex_handle;
+  s = WriteOwnBlock(metaindex.Finish(), &metaindex_handle);
+  if (!s.ok()) return s;
+
+  BlockHandle index_handle;
+  s = WriteOwnBlock(index_block_.Finish(), &index_handle);
+  if (!s.ok()) return s;
+
+  Footer footer;
+  footer.set_metaindex_handle(metaindex_handle);
+  footer.set_index_handle(index_handle);
+  std::string footer_encoding;
+  footer.EncodeTo(&footer_encoding);
+  s = file_->Append(footer_encoding);
+  if (!s.ok()) return s;
+  offset_ += footer_encoding.size();
+  return file_->Flush();
+}
+
+}  // namespace pipelsm

@@ -1,0 +1,57 @@
+// RawTableWriter: builds an SSTable from blocks that are ALREADY
+// compressed and checksummed (the compute stage did S5/S6), so the write
+// stage only appends bytes (S7) and tracks index entries. Output files are
+// readable by the ordinary Table reader.
+//
+// If the job carries a filter policy, the compute stage ships one
+// pre-built bloom filter per block; this writer stitches them into a
+// standard filter block (same wire format FilterBlockBuilder emits), so
+// compaction outputs keep their read-path filters without the write stage
+// ever touching keys.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/compaction/types.h"
+#include "src/env/env.h"
+#include "src/table/block_builder.h"
+
+namespace pipelsm {
+
+class RawTableWriter {
+ public:
+  RawTableWriter(const CompactionJobOptions& options, WritableFile* file);
+
+  RawTableWriter(const RawTableWriter&) = delete;
+  RawTableWriter& operator=(const RawTableWriter&) = delete;
+
+  // Appends a pre-encoded data block. REQUIRES: keys ascend across calls.
+  Status AddBlock(const EncodedBlock& block);
+
+  // Writes filter (if any) + metaindex + index + footer.
+  Status Finish();
+
+  uint64_t FileSize() const { return offset_; }
+  uint64_t NumBlocks() const { return num_blocks_; }
+
+ private:
+  Status WriteOwnBlock(const Slice& raw, BlockHandle* handle);
+  // Assembles the filter block from the per-block filters collected by
+  // AddBlock (FilterBlockBuilder wire format: one window per 2 KiB of
+  // data-block offsets).
+  std::string BuildFilterBlock() const;
+
+  const CompactionJobOptions options_;
+  WritableFile* file_;
+  uint64_t offset_ = 0;
+  uint64_t num_blocks_ = 0;
+  BlockBuilder index_block_;
+  // (data-block offset, pre-built filter), in offset order.
+  std::vector<std::pair<uint64_t, std::string>> filters_;
+};
+
+}  // namespace pipelsm

@@ -1,0 +1,61 @@
+// SCP: the Sequential Compaction Procedure (paper §III-A, Figure 3).
+//
+// Data blocks are scheduled in order; each sub-task's seven steps run back
+// to back on the calling thread, so at any instant either the device or
+// the CPU is idle — the inefficiency PCP removes. Equation 1:
+//   B_scp = l / sum(t_S1..t_S7).
+#include "src/compaction/executor.h"
+#include "src/compaction/planner.h"
+#include "src/compaction/steps.h"
+#include "src/compaction/write_stage.h"
+
+namespace pipelsm {
+
+namespace {
+
+class ScpExecutor final : public CompactionExecutor {
+ public:
+  const char* name() const override { return "SCP"; }
+
+  Status Run(const CompactionJobOptions& options,
+             const std::vector<std::shared_ptr<Table>>& inputs,
+             CompactionSink* sink, StepProfile* profile) override {
+    Stopwatch wall;
+    std::vector<SubTaskPlan> plans;
+    Status s = PlanSubTasks(options, inputs, &plans);
+    if (!s.ok()) return s;
+
+    WriteStage write_stage(options, sink);
+    for (SubTaskPlan& plan : plans) {
+      RawSubTask raw;
+      s = ReadSubTask(options, inputs, std::move(plan), &raw, profile);  // S1
+      if (!s.ok()) return s;
+
+      ComputedSubTask computed;
+      s = ComputeSubTask(options, std::move(raw), &computed);  // S2..S6
+      if (!s.ok()) return s;
+      profile->Merge(computed.profile);
+      profile->input_bytes += computed.input_bytes;
+      profile->output_bytes += computed.output_raw_bytes;
+
+      s = write_stage.PushReordered(std::move(computed));  // S7
+      if (!s.ok()) return s;
+    }
+    s = write_stage.Close();
+    if (!s.ok()) return s;
+
+    const StepProfile& wp = write_stage.profile();
+    profile->nanos[kStepWrite] += wp.nanos[kStepWrite];
+    profile->bytes[kStepWrite] += wp.bytes[kStepWrite];
+    profile->wall_nanos += wall.ElapsedNanos();
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CompactionExecutor> NewScpExecutor() {
+  return std::make_unique<ScpExecutor>();
+}
+
+}  // namespace pipelsm

@@ -1,0 +1,348 @@
+#include "src/compaction/steps.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/table/block.h"
+#include "src/table/block_builder.h"
+#include "src/table/filter_policy.h"
+#include "src/table/table.h"
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+
+namespace pipelsm {
+
+Status ReadSubTask(const CompactionJobOptions& options,
+                   const std::vector<std::shared_ptr<Table>>& inputs,
+                   SubTaskPlan plan, RawSubTask* out, StepProfile* profile) {
+  out->plan = std::move(plan);
+  out->blocks.clear();
+  out->blocks.resize(out->plan.blocks.size());
+
+  Stopwatch sw;
+  uint64_t bytes = 0;
+
+  // Coalesce contiguous blocks of the same table into one large read —
+  // the paper's S1 issues sub-task-sized I/Os, not per-block ones
+  // ("the I/O size is equal to the sub-task size", §IV-C). Blocks within
+  // a table are laid out back to back, so runs coalesce naturally.
+  size_t i = 0;
+  const auto& brs = out->plan.blocks;
+  while (i < brs.size()) {
+    const int table = brs[i].table_index;
+    if (table < 0 || table >= static_cast<int>(inputs.size())) {
+      return Status::InvalidArgument("sub-task references unknown table");
+    }
+    size_t j = i + 1;
+    uint64_t end =
+        brs[i].handle.offset() + brs[i].handle.size() + kBlockTrailerSize;
+    while (options.coalesce_reads && j < brs.size() &&
+           brs[j].table_index == table && brs[j].handle.offset() == end) {
+      end += brs[j].handle.size() + kBlockTrailerSize;
+      j++;
+    }
+
+    const uint64_t start = brs[i].handle.offset();
+    std::string extent;
+    Status s = inputs[table]->ReadExtent(start, end - start, &extent);
+    if (!s.ok()) return s;
+    bytes += extent.size();
+
+    // Slice the extent back into per-block payloads (trailer included).
+    for (size_t k = i; k < j; k++) {
+      const uint64_t off = brs[k].handle.offset() - start;
+      const uint64_t len = brs[k].handle.size() + kBlockTrailerSize;
+      out->blocks[k].handle = brs[k].handle;
+      out->blocks[k].payload.assign(extent.data() + off, len);
+    }
+    i = j;
+  }
+  profile->AddStep(kStepRead, sw.ElapsedNanos(), bytes);
+  return Status::OK();
+}
+
+namespace {
+
+// Forward-only cursor over one input table's run of decoded blocks within
+// a sub-task. Blocks of one table are disjoint and sorted, so chaining
+// their iterators yields that table's sorted entries.
+class ChainCursor {
+ public:
+  ChainCursor(const Comparator* icmp, std::vector<std::unique_ptr<Block>> blocks)
+      : icmp_(icmp), blocks_(std::move(blocks)) {
+    Advance();
+  }
+
+  bool Valid() const { return iter_ != nullptr && iter_->Valid(); }
+  Slice key() const { return iter_->key(); }
+  Slice value() const { return iter_->value(); }
+
+  void Next() {
+    iter_->Next();
+    if (!iter_->Valid() && iter_->status().ok()) Advance();
+  }
+
+  Status status() const {
+    return iter_ != nullptr ? iter_->status() : Status::OK();
+  }
+
+ private:
+  // Position on the first non-empty remaining block (or stop on error).
+  void Advance() {
+    iter_.reset();
+    while (next_block_ < blocks_.size()) {
+      iter_.reset(blocks_[next_block_++]->NewIterator(icmp_));
+      iter_->SeekToFirst();
+      if (iter_->Valid() || !iter_->status().ok()) return;
+      iter_.reset();
+    }
+  }
+
+  const Comparator* icmp_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  size_t next_block_ = 0;
+  std::unique_ptr<Iterator> iter_;
+};
+
+// Finalizes one raw output block: S5 compress + S6 checksum trailer.
+void EncodeOutputBlock(const CompactionJobOptions& options, const Slice& raw,
+                       EncodedBlock* out, StepProfile* profile) {
+  std::string compressed;
+  Stopwatch sw;
+  const CompressionType type =
+      CompressBlock(options.compression, raw, &compressed);
+  profile->AddStep(kStepCompress, sw.ElapsedNanos(), raw.size());
+
+  sw.Restart();
+  out->payload = std::move(compressed);
+  char trailer[kBlockTrailerSize];
+  trailer[0] = static_cast<char>(type);
+  uint32_t crc = crc32c::Value(out->payload.data(), out->payload.size());
+  crc = crc32c::Extend(crc, trailer, 1);
+  EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+  out->payload.append(trailer, kBlockTrailerSize);
+  profile->AddStep(kStepRechecksum, sw.ElapsedNanos(), out->payload.size());
+  out->raw_size = raw.size();
+}
+
+}  // namespace
+
+Status ComputeSubTask(const CompactionJobOptions& options, RawSubTask raw,
+                      ComputedSubTask* out) {
+  const InternalKeyComparator* icmp = options.icmp;
+  const Comparator* ucmp = icmp->user_comparator();
+  const SubTaskPlan& plan = raw.plan;
+
+  out->seq = plan.seq;
+  out->blocks.clear();
+  out->entries = 0;
+  out->input_bytes = plan.input_bytes;
+  out->output_raw_bytes = 0;
+  StepProfile* profile = &out->profile;
+  profile->subtasks = 1;
+
+  // ---- S2: CHECKSUM — verify every raw block's trailer. ----
+  {
+    Stopwatch sw;
+    uint64_t bytes = 0;
+    for (const RawBlock& rb : raw.blocks) {
+      Status s = VerifyRawBlock(rb);
+      if (!s.ok()) return s;
+      bytes += rb.payload.size();
+    }
+    profile->AddStep(kStepChecksum, sw.ElapsedNanos(), bytes);
+  }
+
+  // ---- S3: DECOMPRESS — restore the original key-value blocks. ----
+  // Decoded contents are grouped per input table, preserving block order,
+  // so each table contributes one sorted run to the merge.
+  std::vector<std::vector<std::unique_ptr<Block>>> runs;
+  {
+    Stopwatch sw;
+    uint64_t bytes = 0;
+    int max_table = -1;
+    for (const BlockRead& br : plan.blocks) {
+      max_table = std::max(max_table, br.table_index);
+    }
+    runs.resize(max_table + 1);
+    for (size_t i = 0; i < raw.blocks.size(); i++) {
+      std::string contents;
+      Status s = DecodeRawBlock(raw.blocks[i], &contents);
+      if (!s.ok()) return s;
+      bytes += contents.size();
+      // Hand the decoded bytes to a Block that owns them.
+      char* buf = new char[contents.size()];
+      std::memcpy(buf, contents.data(), contents.size());
+      BlockContents bc;
+      bc.data = Slice(buf, contents.size());
+      bc.heap_allocated = true;
+      bc.cachable = false;
+      runs[plan.blocks[i].table_index].emplace_back(new Block(bc));
+    }
+    profile->AddStep(kStepDecompress, sw.ElapsedNanos(), bytes);
+  }
+
+  // ---- S4: SORT — k-way merge with shadowing/tombstone dropping. ----
+  // ---- S5/S6 run per output block inside EncodeOutputBlock. ----
+  {
+    Stopwatch sort_sw;
+    uint64_t sort_ns = 0;
+    uint64_t merged_bytes = 0;
+
+    std::vector<std::unique_ptr<ChainCursor>> cursors;
+    for (auto& run : runs) {
+      if (!run.empty()) {
+        cursors.emplace_back(new ChainCursor(icmp, std::move(run)));
+      }
+    }
+
+    BlockBuilder builder(options.block_restart_interval);
+    std::string first_block_key;
+    std::string last_block_key;
+    uint64_t block_entries = 0;
+    std::vector<std::string> block_key_storage;  // for the filter policy
+    std::string current_user_key;
+    bool has_current_user_key = false;
+    bool first_occurrence = true;  // no newer version of this key seen yet
+    SequenceNumber last_sequence_for_key = kMaxSequenceNumber;
+
+    auto flush_block = [&]() {
+      if (builder.empty()) return;
+      // S4 time has been accumulating; pause it across S5/S6.
+      sort_ns += sort_sw.ElapsedNanos();
+      EncodedBlock eb;
+      Slice raw_block = builder.Finish();
+      eb.first_key = first_block_key;
+      eb.last_key = last_block_key;
+      eb.entries = block_entries;
+      if (options.filter_policy != nullptr && !block_key_storage.empty()) {
+        std::vector<Slice> keys(block_key_storage.begin(),
+                                block_key_storage.end());
+        options.filter_policy->CreateFilter(
+            keys.data(), keys.size(), &eb.filter);
+      }
+      block_key_storage.clear();
+      EncodeOutputBlock(options, raw_block, &eb, profile);
+      out->output_raw_bytes += eb.raw_size;
+      out->blocks.push_back(std::move(eb));
+      builder.Reset();
+      block_entries = 0;
+      sort_sw.Restart();
+    };
+
+    while (true) {
+      // Pick the smallest current key among the table runs.
+      ChainCursor* best = nullptr;
+      for (auto& c : cursors) {
+        if (c->Valid()) {
+          if (best == nullptr ||
+              icmp->Compare(c->key(), best->key()) < 0) {
+            best = c.get();
+          }
+        }
+      }
+      if (best == nullptr) break;
+
+      Slice key = best->key();
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(key, &parsed)) {
+        return Status::Corruption("compaction: unparsable internal key");
+      }
+
+      // Range filter: only user keys in (lo, hi] belong to this sub-task.
+      bool in_range = true;
+      if (!plan.unbounded_lo &&
+          ucmp->Compare(parsed.user_key, plan.lo_user_key) <= 0) {
+        in_range = false;
+      }
+      if (in_range && !plan.unbounded_hi &&
+          ucmp->Compare(parsed.user_key, plan.hi_user_key) > 0) {
+        in_range = false;
+      }
+
+      bool drop = !in_range;
+      if (in_range) {
+        if (!has_current_user_key ||
+            ucmp->Compare(parsed.user_key, current_user_key) != 0) {
+          // First occurrence of this user key.
+          current_user_key.assign(parsed.user_key.data(),
+                                  parsed.user_key.size());
+          has_current_user_key = true;
+          first_occurrence = true;
+          last_sequence_for_key = kMaxSequenceNumber;
+        }
+
+        if (!first_occurrence &&
+            last_sequence_for_key <= options.smallest_snapshot) {
+          // Hidden by a newer entry for the same user key.
+          drop = true;
+        } else if (parsed.type == kTypeDeletion &&
+                   parsed.sequence <= options.smallest_snapshot &&
+                   plan.drop_deletions) {
+          // A tombstone with no data below it and no snapshot that could
+          // still observe the deleted key: drop it.
+          drop = true;
+        }
+        last_sequence_for_key = parsed.sequence;
+        first_occurrence = false;
+      }
+
+      if (!drop) {
+        if (out->entries == 0) {
+          out->smallest_key.assign(key.data(), key.size());
+        }
+        if (builder.empty()) {
+          first_block_key.assign(key.data(), key.size());
+        }
+        builder.Add(key, best->value());
+        block_entries++;
+        if (options.filter_policy != nullptr) {
+          block_key_storage.emplace_back(key.data(), key.size());
+        }
+        last_block_key.assign(key.data(), key.size());
+        out->largest_key.assign(key.data(), key.size());
+        out->entries++;
+        merged_bytes += key.size() + best->value().size();
+        if (builder.CurrentSizeEstimate() >= options.block_size) {
+          flush_block();
+        }
+      }
+
+      best->Next();
+      if (!best->status().ok()) return best->status();
+    }
+    flush_block();
+    sort_ns += sort_sw.ElapsedNanos();
+    profile->AddStep(kStepSort, sort_ns, merged_bytes);
+  }
+
+  if (options.time_dilation > 1.0) {
+    // Slow-motion mode: stretch this sub-task's compute phase uniformly.
+    // The extra time is spent sleeping, so concurrent compute workers
+    // overlap even on a single physical core.
+    const uint64_t real_ns = profile->ComputeNanos();
+    const uint64_t extra =
+        static_cast<uint64_t>(real_ns * (options.time_dilation - 1.0));
+    std::this_thread::sleep_for(std::chrono::nanoseconds(extra));
+    for (CompactionStep s : {kStepChecksum, kStepDecompress, kStepSort,
+                             kStepCompress, kStepRechecksum}) {
+      profile->nanos[s] = static_cast<uint64_t>(profile->nanos[s] *
+                                                options.time_dilation);
+    }
+  }
+
+  return Status::OK();
+}
+
+DeviceProfile DilatedProfile(DeviceProfile profile, double dilation) {
+  if (dilation > 1.0) {
+    profile.read_position_us *= dilation;
+    profile.write_position_us *= dilation;
+    profile.read_bw_bps /= dilation;
+    profile.write_bw_bps /= dilation;
+    profile.name += "-x" + std::to_string(static_cast<int>(dilation));
+  }
+  return profile;
+}
+
+}  // namespace pipelsm

@@ -1,0 +1,33 @@
+// The paper's seven compaction steps as reusable primitives.
+//
+// ReadSubTask performs S1 for one sub-task; ComputeSubTask performs
+// S2 (CHECKSUM), S3 (DECOMPRESS), S4 (SORT/merge), S5 (COMPRESS) and
+// S6 (RE-CHECKSUM), timing each step individually so the breakdown
+// benches (Figs 5/8/9) and the analytic model (Eqs 1-7) share one set of
+// measurements. S7 lives in write_stage.h.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/compaction/types.h"
+
+namespace pipelsm {
+
+class Table;
+
+// S1: fetch the sub-task's raw blocks from the input tables, coalescing
+// contiguous runs into sub-task-sized extents unless
+// options.coalesce_reads is off. Records time/bytes under kStepRead in
+// *profile.
+Status ReadSubTask(const CompactionJobOptions& options,
+                   const std::vector<std::shared_ptr<Table>>& inputs,
+                   SubTaskPlan plan, RawSubTask* out, StepProfile* profile);
+
+// S2..S6: verify, decompress, merge (dropping shadowed entries and — when
+// the plan allows — tombstones), rebuild blocks, compress, re-checksum.
+// Per-step times go into out->profile.
+Status ComputeSubTask(const CompactionJobOptions& options, RawSubTask raw,
+                      ComputedSubTask* out);
+
+}  // namespace pipelsm

@@ -1,0 +1,165 @@
+// Shared data types of the compaction executors.
+//
+// One compaction merges the key range covered by a set of input tables.
+// The planner partitions that range into sub-key ranges; each sub-task
+// owns the user keys in (lo, hi] of its plan and flows through the
+// paper's seven steps:
+//
+//   S1 READ        -> RawSubTask      (compressed payloads off the device)
+//   S2..S6 compute -> ComputedSubTask (verified, decompressed, merged,
+//                                      re-compressed, re-checksummed blocks)
+//   S7 WRITE       -> output SSTables (via the ordered write stage)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/compress/codec.h"
+#include "src/db/dbformat.h"
+#include "src/env/env.h"
+#include "src/env/sim_device.h"
+#include "src/table/format.h"
+#include "src/table/table.h"
+#include "src/util/status.h"
+#include "src/util/stopwatch.h"
+
+namespace pipelsm {
+
+// One data-block extent to read for a sub-task.
+struct BlockRead {
+  int table_index = 0;  // which input table
+  BlockHandle handle;
+};
+
+// An independent unit of compaction work: the user keys in (lo, hi].
+// Empty lo = unbounded below; empty hi (with unbounded_hi) = unbounded
+// above. Boundary blocks may be listed in two adjacent sub-tasks; the
+// merge filters entries by the range, so output never duplicates.
+struct SubTaskPlan {
+  uint64_t seq = 0;           // position in key order (write order)
+  std::string lo_user_key;    // exclusive lower bound
+  bool unbounded_lo = true;
+  std::string hi_user_key;    // inclusive upper bound
+  bool unbounded_hi = true;
+  std::vector<BlockRead> blocks;
+  uint64_t input_bytes = 0;   // compressed payload bytes to read
+  // True if no live table below the output level overlaps this range, so
+  // deletion tombstones at or below the snapshot may be dropped.
+  bool drop_deletions = false;
+};
+
+// S1 output: the sub-task's raw (still compressed + trailered) blocks.
+struct RawSubTask {
+  SubTaskPlan plan;
+  std::vector<RawBlock> blocks;  // parallel to plan.blocks
+};
+
+// One output data block, fully encoded for S7: compressed payload,
+// 5-byte trailer (type + masked CRC), and the exact last internal key for
+// the index entry.
+struct EncodedBlock {
+  std::string payload;    // compressed bytes + trailer
+  std::string first_key;  // internal key of the block's first entry
+  std::string last_key;   // internal key of the block's final entry
+  std::string filter;     // per-block bloom filter (empty if no policy)
+  uint64_t raw_size = 0;
+  uint64_t entries = 0;
+};
+
+// S2..S6 output for one sub-task.
+struct ComputedSubTask {
+  uint64_t seq = 0;
+  std::vector<EncodedBlock> blocks;
+  std::string smallest_key;  // internal key of first entry (if any)
+  std::string largest_key;   // internal key of last entry (if any)
+  uint64_t entries = 0;
+  uint64_t input_bytes = 0;
+  uint64_t output_raw_bytes = 0;
+  StepProfile profile;  // S2..S6 timings for this sub-task
+};
+
+// Metadata of one finished output SSTable, reported through the sink.
+struct OutputMeta {
+  uint64_t file_number = 0;
+  uint64_t file_size = 0;
+  uint64_t entries = 0;
+  InternalKey smallest;
+  InternalKey largest;
+};
+
+// The executor's interface to whoever owns file naming and installation
+// (the DB's compaction driver, or a bench harness).
+class CompactionSink {
+ public:
+  virtual ~CompactionSink() = default;
+
+  // Create the next output file. Must be thread-compatible with a single
+  // write stage (calls are serialized by the executor).
+  virtual Status NewOutputFile(uint64_t* file_number,
+                               std::unique_ptr<WritableFile>* file) = 0;
+
+  // Called once per completed output table, in key order.
+  virtual void OutputFinished(const OutputMeta& meta) = 0;
+};
+
+// Per-job knobs, derived from Options by the DB (or set directly by
+// benches).
+struct CompactionJobOptions {
+  const InternalKeyComparator* icmp = nullptr;
+
+  // Sub-task granularity in (compressed) input bytes.
+  size_t subtask_bytes = 512 * 1024;
+
+  // Output block/table shape.
+  size_t block_size = 4 * 1024;
+  int block_restart_interval = 16;
+  CompressionType compression = CompressionType::kLzCompression;
+  uint64_t max_output_file_size = 2 * 1024 * 1024;
+
+  // Entries older than this sequence and shadowed by a newer entry are
+  // dropped; tombstones need drop_deletions as well.
+  SequenceNumber smallest_snapshot = kMaxSequenceNumber;
+
+  // Evaluated once per planned sub-task (single-threaded, at plan time):
+  // may tombstones whose user keys all fall in (lo, hi] be dropped?
+  // Default: yes (standalone/bench usage where there is nothing below).
+  std::function<bool(const SubTaskPlan&)> range_is_base_level;
+
+  // Optional: per-block bloom filters for the output tables, created in
+  // the compute stage (so S7 stays write-only). Pass the same (wrapped)
+  // policy the table readers use. nullptr = no filter blocks.
+  const class FilterPolicy* filter_policy = nullptr;
+
+  // Parallelism (paper §III-C): readers = S-PPCP k, computers = C-PPCP k.
+  int read_parallelism = 1;
+  int compute_parallelism = 1;
+
+  // Depth of each inter-stage queue.
+  size_t queue_depth = 4;
+
+  // Ablation toggle: when false, S1 issues one device read per data block
+  // instead of coalescing contiguous runs into sub-task-sized extents.
+  // The paper's procedure reads at sub-task granularity; this knob
+  // quantifies why (see bench_ablation).
+  bool coalesce_reads = true;
+
+  // Slow-motion factor for hosts with fewer cores than the paper's
+  // testbed (see DESIGN.md §"Substitutions"). When > 1, each sub-task's
+  // compute stage additionally sleeps (dilation - 1) x its real CPU time
+  // and reports dilated step times, stretching the experiment's time
+  // domain uniformly (pair it with a device profile slowed by the same
+  // factor). Because the added time is spent sleeping, k compute workers
+  // overlap genuinely even on one physical core, which is what the
+  // C-PPCP scaling sweep (Fig 12 d-f) requires. Ratios between stages —
+  // and therefore every speedup and crossover — are preserved.
+  double time_dilation = 1.0;
+};
+
+// Returns `profile` slowed down by `dilation` (bandwidths divided,
+// positioning costs multiplied) for use alongside time-dilated jobs.
+DeviceProfile DilatedProfile(DeviceProfile profile, double dilation);
+
+}  // namespace pipelsm

@@ -1,0 +1,52 @@
+// WriteStage: S7. Consumes ComputedSubTasks strictly in sub-task order
+// (callers with out-of-order completion use PushReordered, which buffers
+// until the next sequence number arrives), appends their encoded blocks to
+// the current output SSTable and rotates files at max_output_file_size.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "src/compaction/raw_table_writer.h"
+#include "src/compaction/types.h"
+
+namespace pipelsm {
+
+class WriteStage {
+ public:
+  WriteStage(const CompactionJobOptions& options, CompactionSink* sink);
+  ~WriteStage();
+
+  WriteStage(const WriteStage&) = delete;
+  WriteStage& operator=(const WriteStage&) = delete;
+
+  // Consume the sub-task with the next sequence number. Out-of-order
+  // sub-tasks are buffered internally (the C-PPCP case).
+  Status PushReordered(ComputedSubTask task);
+
+  // Flush the current output file and report it. Must be called once
+  // after the last sub-task (fails if reordering gaps remain).
+  Status Close();
+
+  const StepProfile& profile() const { return profile_; }
+
+ private:
+  Status WriteOrdered(ComputedSubTask& task);
+  Status RotateIfNeeded();
+  Status FinishCurrentFile();
+
+  const CompactionJobOptions options_;
+  CompactionSink* const sink_;
+
+  uint64_t next_seq_ = 0;
+  std::map<uint64_t, ComputedSubTask> pending_;
+
+  std::unique_ptr<WritableFile> file_;
+  std::unique_ptr<RawTableWriter> writer_;
+  OutputMeta current_;
+  bool have_current_ = false;
+  StepProfile profile_;
+  bool closed_ = false;
+};
+
+}  // namespace pipelsm

@@ -1,0 +1,49 @@
+#include "src/compress/codec.h"
+
+#include "src/compress/lz_codec.h"
+
+namespace pipelsm {
+
+CompressionType CompressBlock(CompressionType type, const Slice& raw,
+                              std::string* out) {
+  switch (type) {
+    case CompressionType::kLzCompression:
+      lz::Compress(raw.data(), raw.size(), out);
+      if (out->size() < raw.size() - raw.size() / 8) {
+        return CompressionType::kLzCompression;
+      }
+      // Not compressible enough: store raw.
+      out->assign(raw.data(), raw.size());
+      return CompressionType::kNoCompression;
+    case CompressionType::kNoCompression:
+    default:
+      out->assign(raw.data(), raw.size());
+      return CompressionType::kNoCompression;
+  }
+}
+
+Status UncompressBlock(CompressionType type, const Slice& stored,
+                       std::string* out) {
+  switch (type) {
+    case CompressionType::kNoCompression:
+      out->assign(stored.data(), stored.size());
+      return Status::OK();
+    case CompressionType::kLzCompression:
+      return lz::Uncompress(stored.data(), stored.size(), out);
+    default:
+      return Status::Corruption("unknown compression type");
+  }
+}
+
+const char* CompressionTypeName(CompressionType type) {
+  switch (type) {
+    case CompressionType::kNoCompression:
+      return "none";
+    case CompressionType::kLzCompression:
+      return "lz";
+    default:
+      return "unknown";
+  }
+}
+
+}  // namespace pipelsm

@@ -1,0 +1,37 @@
+// BuildTable: memtable -> level-0 SSTable (minor compaction / dump).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/db/options.h"
+#include "src/util/status.h"
+
+namespace pipelsm {
+
+class Env;
+class Iterator;
+struct FileMetaData;
+class TableCache;
+class TableOptions;
+
+// Builds a table file from *iter (which yields internal keys). On success
+// (non-empty input) fills *meta and leaves the file in the table cache;
+// on empty input or error the file is removed.
+Status BuildTable(const std::string& dbname, Env* env,
+                  const TableOptions& table_options, TableCache* table_cache,
+                  Iterator* iter, FileMetaData* meta);
+
+// Pipelined variant (extension beyond the paper, which notes that only
+// major compactions are pipelined "by now"): block building, compression
+// and checksumming run on the calling thread while a writer thread
+// streams finished blocks to the file — the same read/compute/write
+// overlap idea applied to the memtable dump. Produces a table with the
+// same contents (index separators are exact last keys, as in compaction
+// outputs). Enabled via Options::pipelined_flush.
+Status BuildTablePipelined(const std::string& dbname, Env* env,
+                           const TableOptions& table_options,
+                           TableCache* table_cache, Iterator* iter,
+                           FileMetaData* meta, size_t queue_depth = 4);
+
+}  // namespace pipelsm

@@ -1,0 +1,108 @@
+// DB: the public key-value store interface (the paper's LevelDB-class
+// substrate with pluggable compaction procedures).
+//
+// Usage:
+//   pipelsm::Options options;
+//   options.create_if_missing = true;
+//   options.compaction_mode = pipelsm::CompactionMode::kPCP;
+//   pipelsm::DB* db = nullptr;
+//   auto s = pipelsm::DB::Open(options, "/tmp/testdb", &db);
+//   ...
+//   db->Put(pipelsm::WriteOptions(), "key", "value");
+//   delete db;
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/db/options.h"
+#include "src/table/iterator.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+#include "src/util/stopwatch.h"
+
+namespace pipelsm {
+
+class WriteBatch;
+
+// Abstract handle to particular state of a DB. A Snapshot is an immutable
+// object and can therefore be safely accessed from multiple threads.
+class Snapshot {
+ protected:
+  virtual ~Snapshot();
+};
+
+// A range of keys.
+struct Range {
+  Range() {}
+  Range(const Slice& s, const Slice& l) : start(s), limit(l) {}
+
+  Slice start;  // Included in the range
+  Slice limit;  // Not included in the range
+};
+
+// Aggregate compaction metrics surfaced by DB::GetCompactionProfile.
+struct CompactionMetrics {
+  StepProfile profile;           // summed over all major compactions
+  uint64_t compactions = 0;      // number of major compactions run
+  uint64_t memtable_flushes = 0;
+  uint64_t bytes_read = 0;       // compaction input bytes (compressed)
+  uint64_t bytes_written = 0;    // compaction output bytes (compressed)
+  uint64_t stall_micros = 0;     // writer time lost to stalls/pauses
+};
+
+class DB {
+ public:
+  // Open the database with the specified "name". Stores a heap-allocated
+  // database in *dbptr on success.
+  static Status Open(const Options& options, const std::string& name,
+                     DB** dbptr);
+
+  DB() = default;
+  DB(const DB&) = delete;
+  DB& operator=(const DB&) = delete;
+  virtual ~DB();
+
+  virtual Status Put(const WriteOptions& options, const Slice& key,
+                     const Slice& value) = 0;
+  virtual Status Delete(const WriteOptions& options, const Slice& key) = 0;
+  virtual Status Write(const WriteOptions& options, WriteBatch* updates) = 0;
+
+  // If the database contains an entry for "key" store the corresponding
+  // value in *value and return OK. Returns NotFound if absent.
+  virtual Status Get(const ReadOptions& options, const Slice& key,
+                     std::string* value) = 0;
+
+  // Heap-allocated iterator over the DB contents. Caller deletes it
+  // before the DB.
+  virtual Iterator* NewIterator(const ReadOptions& options) = 0;
+
+  virtual const Snapshot* GetSnapshot() = 0;
+  virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
+
+  // DB implementations can export properties about their state via this
+  // method. Recognized: "pipelsm.num-files-at-level<N>", "pipelsm.stats",
+  // "pipelsm.sstables", "pipelsm.approximate-memory-usage".
+  virtual bool GetProperty(const Slice& property, std::string* value) = 0;
+
+  // For each i in [0,n-1], store in "sizes[i]" the approximate file
+  // system space used by keys in "[range[i].start .. range[i].limit)".
+  // The results may not include recently-written (unflushed) data.
+  virtual void GetApproximateSizes(const Range* range, int n,
+                                   uint64_t* sizes) = 0;
+
+  // Compact the underlying storage for the key range [*begin,*end]
+  // (nullptr = unbounded). Blocks until done.
+  virtual void CompactRange(const Slice* begin, const Slice* end) = 0;
+
+  // Block until every queued background compaction has finished.
+  virtual Status WaitForCompactions() = 0;
+
+  // Aggregate compaction step timings + counters since Open.
+  virtual CompactionMetrics GetCompactionMetrics() = 0;
+};
+
+// Destroy the contents of the specified database. Be very careful.
+Status DestroyDB(const std::string& name, const Options& options);
+
+}  // namespace pipelsm

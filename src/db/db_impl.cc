@@ -1,0 +1,1208 @@
+#include "src/db/db_impl.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/compaction/executor.h"
+#include "src/db/builder.h"
+#include "src/db/db_iter.h"
+#include "src/db/filename.h"
+#include "src/table/merger.h"
+#include "src/util/logging.h"
+#include "src/wal/log_reader.h"
+
+namespace pipelsm {
+
+Snapshot::~Snapshot() = default;
+DB::~DB() = default;
+
+namespace {
+
+Options SanitizeOptions(const Options& src) {
+  Options result = src;
+  if (result.env == nullptr) result.env = Env::Posix();
+  if (result.comparator == nullptr) result.comparator = BytewiseComparator();
+  auto clip = [](size_t v, size_t lo, size_t hi) {
+    return std::min(hi, std::max(lo, v));
+  };
+  result.write_buffer_size =
+      clip(result.write_buffer_size, 64 << 10, 1 << 30);
+  result.max_file_size = clip(result.max_file_size, 64 << 10, 1 << 30);
+  result.block_size = clip(result.block_size, 1 << 10, 4 << 20);
+  if (result.max_open_files < 16) result.max_open_files = 16;
+  if (result.compute_parallelism < 1) result.compute_parallelism = 1;
+  if (result.io_parallelism < 1) result.io_parallelism = 1;
+  if (result.pipeline_queue_depth < 1) result.pipeline_queue_depth = 1;
+  return result;
+}
+
+}  // namespace
+
+class DBImpl::CompactionSinkImpl final : public CompactionSink {
+ public:
+  CompactionSinkImpl(DBImpl* db) : db_(db) {}
+
+  Status NewOutputFile(uint64_t* file_number,
+                       std::unique_ptr<WritableFile>* file) override {
+    // Opportunistically flush a pending immutable memtable so the write
+    // path does not stall for the whole duration of a long compaction
+    // (LevelDB does the same check inside its compaction loop).
+    db_->MaybeFlushImmFromSink();
+
+    uint64_t number;
+    {
+      std::lock_guard<std::mutex> lock(db_->mutex_);
+      number = db_->versions_->NewFileNumber();
+      db_->pending_outputs_.insert(number);
+    }
+    Status s = db_->env_->NewWritableFile(TableFileName(db_->dbname_, number),
+                                          file);
+    if (s.ok()) {
+      *file_number = number;
+    } else {
+      std::lock_guard<std::mutex> lock(db_->mutex_);
+      db_->pending_outputs_.erase(number);
+    }
+    return s;
+  }
+
+  void OutputFinished(const OutputMeta& meta) override {
+    outputs_.push_back(meta);
+  }
+
+  const std::vector<OutputMeta>& outputs() const { return outputs_; }
+
+ private:
+  DBImpl* const db_;
+  std::vector<OutputMeta> outputs_;
+};
+
+DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
+    : env_(SanitizeOptions(raw_options).env),
+      internal_comparator_(raw_options.comparator != nullptr
+                               ? raw_options.comparator
+                               : BytewiseComparator()),
+      internal_filter_policy_(raw_options.filter_policy),
+      options_(SanitizeOptions(raw_options)),
+      dbname_(dbname) {
+  if (options_.block_cache == nullptr) {
+    owned_block_cache_.reset(new BlockCache(8 << 20));
+  }
+
+  table_options_.comparator = &internal_comparator_;
+  table_options_.filter_policy =
+      options_.filter_policy != nullptr ? &internal_filter_policy_ : nullptr;
+  table_options_.block_cache = options_.block_cache != nullptr
+                                   ? options_.block_cache
+                                   : owned_block_cache_.get();
+  table_options_.block_size = options_.block_size;
+  table_options_.block_restart_interval = options_.block_restart_interval;
+  table_options_.compression = options_.compression;
+  table_options_.verify_checksums = options_.verify_checksums;
+
+  table_cache_.reset(new TableCache(dbname_, table_options_, env_,
+                                    options_.max_open_files));
+  versions_.reset(new VersionSet(dbname_, &options_, table_cache_.get(),
+                                 &internal_comparator_));
+  executor_ = NewCompactionExecutor(options_.compaction_mode);
+
+  background_thread_ = std::thread([this] { BackgroundThreadMain(); });
+}
+
+DBImpl::~DBImpl() {
+  // Wait for background work to finish, then stop the thread.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_.store(true, std::memory_order_release);
+    background_work_signal_.notify_all();
+    while (background_work_active_) {
+      background_done_signal_.wait(lock);
+    }
+  }
+  background_work_signal_.notify_all();
+  if (background_thread_.joinable()) {
+    background_thread_.join();
+  }
+
+  if (mem_ != nullptr) mem_->Unref();
+  if (imm_ != nullptr) imm_->Unref();
+}
+
+Status DBImpl::NewDB() {
+  VersionEdit new_db;
+  new_db.SetComparatorName(internal_comparator_.user_comparator()->Name());
+  new_db.SetLogNumber(0);
+  new_db.SetNextFile(2);
+  new_db.SetLastSequence(0);
+
+  const std::string manifest = DescriptorFileName(dbname_, 1);
+  std::unique_ptr<WritableFile> file;
+  Status s = env_->NewWritableFile(manifest, &file);
+  if (!s.ok()) return s;
+  {
+    log::Writer log(file.get());
+    std::string record;
+    new_db.EncodeTo(&record);
+    s = log.AddRecord(record);
+    if (s.ok()) {
+      s = file->Sync();
+    }
+    if (s.ok()) {
+      s = file->Close();
+    }
+  }
+  if (s.ok()) {
+    // Make "CURRENT" file that points to the new manifest file.
+    s = SetCurrentFile(env_, dbname_, 1);
+  } else {
+    env_->RemoveFile(manifest);
+  }
+  return s;
+}
+
+Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
+  env_->CreateDir(dbname_);
+
+  if (!env_->FileExists(CurrentFileName(dbname_))) {
+    if (options_.create_if_missing) {
+      Status s = NewDB();
+      if (!s.ok()) return s;
+    } else {
+      return Status::InvalidArgument(
+          dbname_, "does not exist (create_if_missing is false)");
+    }
+  } else if (options_.error_if_exists) {
+    return Status::InvalidArgument(dbname_,
+                                   "exists (error_if_exists is true)");
+  }
+
+  Status s = versions_->Recover();
+  if (!s.ok()) return s;
+
+  // Recover from all newer log files than the ones named in the
+  // descriptor. Note that PrevLogNumber() is no longer used, we only keep
+  // one log.
+  const uint64_t min_log = versions_->LogNumber();
+  std::vector<std::string> filenames;
+  s = env_->GetChildren(dbname_, &filenames);
+  if (!s.ok()) return s;
+
+  std::set<uint64_t> expected;
+  versions_->AddLiveFiles(&expected);
+  uint64_t number;
+  FileType type;
+  std::vector<uint64_t> logs;
+  for (const std::string& filename : filenames) {
+    if (ParseFileName(filename, &number, &type)) {
+      expected.erase(number);
+      if (type == kLogFile && number >= min_log) {
+        logs.push_back(number);
+      }
+    }
+  }
+  if (!expected.empty()) {
+    char buf[50];
+    std::snprintf(buf, sizeof(buf), "%d missing table files",
+                  static_cast<int>(expected.size()));
+    return Status::Corruption(buf);
+  }
+
+  // Recover in the order in which the logs were generated.
+  std::sort(logs.begin(), logs.end());
+  SequenceNumber max_sequence = 0;
+  for (size_t i = 0; i < logs.size(); i++) {
+    s = RecoverLogFile(logs[i], (i == logs.size() - 1), save_manifest, edit,
+                       &max_sequence);
+    if (!s.ok()) return s;
+
+    // The previous incarnation may not have written any MANIFEST records
+    // after allocating this log number, so manually update the file
+    // number allocation counter in VersionSet.
+    if (versions_->LastSequence() < max_sequence) {
+      versions_->SetLastSequence(max_sequence);
+    }
+    while (versions_->NewFileNumber() < logs[i]) {
+      // Advance the counter past the log number.
+    }
+  }
+
+  return Status::OK();
+}
+
+Status DBImpl::RecoverLogFile(uint64_t log_number, bool last_log,
+                              bool* save_manifest, VersionEdit* edit,
+                              SequenceNumber* max_sequence) {
+  struct LogReporter : public log::Reader::Reporter {
+    const char* fname;
+    Status* status;  // null if options_.paranoid_checks==false
+    void Corruption(size_t bytes, const Status& s) override {
+      PIPELSM_LOG_WARN("%s: dropping %d bytes; %s", fname,
+                       static_cast<int>(bytes), s.ToString().c_str());
+      if (this->status != nullptr && this->status->ok()) *this->status = s;
+    }
+  };
+
+  // Open the log file.
+  std::string fname = LogFileName(dbname_, log_number);
+  std::unique_ptr<SequentialFile> file;
+  Status status = env_->NewSequentialFile(fname, &file);
+  if (!status.ok()) {
+    return status;
+  }
+
+  // Create the log reader.
+  LogReporter reporter;
+  reporter.fname = fname.c_str();
+  reporter.status = (options_.paranoid_checks ? &status : nullptr);
+  log::Reader reader(file.get(), &reporter, true /*checksum*/, 0);
+  PIPELSM_LOG_INFO("recovering log #%llu",
+                   static_cast<unsigned long long>(log_number));
+
+  // Read all the records and add to a memtable.
+  std::string scratch;
+  Slice record;
+  WriteBatch batch;
+  int compactions = 0;
+  MemTable* mem = nullptr;
+  while (reader.ReadRecord(&record, &scratch) && status.ok()) {
+    if (record.size() < 12) {
+      reporter.Corruption(record.size(),
+                          Status::Corruption("log record too small"));
+      continue;
+    }
+    WriteBatchInternal::SetContents(&batch, record);
+
+    if (mem == nullptr) {
+      mem = new MemTable(internal_comparator_);
+      mem->Ref();
+    }
+    status = WriteBatchInternal::InsertInto(&batch, mem);
+    if (!status.ok()) {
+      break;
+    }
+    const SequenceNumber last_seq = WriteBatchInternal::Sequence(&batch) +
+                                    WriteBatchInternal::Count(&batch) - 1;
+    if (last_seq > *max_sequence) {
+      *max_sequence = last_seq;
+    }
+
+    if (mem->ApproximateMemoryUsage() > options_.write_buffer_size) {
+      compactions++;
+      *save_manifest = true;
+      status = WriteLevel0Table(mem, edit, nullptr);
+      mem->Unref();
+      mem = nullptr;
+      if (!status.ok()) {
+        // Reflect errors immediately so that conditions like full
+        // file-systems cause the DB::Open() to fail.
+        break;
+      }
+    }
+  }
+
+  // (LevelDB can reuse the last log file; we always roll a fresh one.)
+  (void)last_log;
+
+  if (status.ok() && mem != nullptr && mem->ApproximateMemoryUsage() > 0) {
+    *save_manifest = true;
+    status = WriteLevel0Table(mem, edit, nullptr);
+  }
+  if (mem != nullptr) mem->Unref();
+  (void)compactions;
+  return status;
+}
+
+Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
+                                Version* base) {
+  Stopwatch sw;
+  FileMetaData meta;
+  meta.number = versions_->NewFileNumber();
+  pending_outputs_.insert(meta.number);
+  std::unique_ptr<Iterator> iter(mem->NewIterator());
+  PIPELSM_LOG_DEBUG("level-0 table #%llu: started",
+                    static_cast<unsigned long long>(meta.number));
+
+  Status s;
+  {
+    // Unlock while doing the actual dump.
+    mutex_.unlock();
+    if (options_.pipelined_flush) {
+      // Flush blocks are tiny (one data block each), so the inter-stage
+      // queue must be much deeper than a compaction's sub-task queue to
+      // amortize the per-item handoff.
+      s = BuildTablePipelined(dbname_, env_, table_options_,
+                              table_cache_.get(), iter.get(), &meta,
+                              std::max<size_t>(64,
+                                               options_.pipeline_queue_depth));
+    } else {
+      s = BuildTable(dbname_, env_, table_options_, table_cache_.get(),
+                     iter.get(), &meta);
+    }
+    mutex_.lock();
+  }
+  pending_outputs_.erase(meta.number);
+
+  // Note that if file_size is zero, the file has been deleted and should
+  // not be added to the manifest.
+  int level = 0;
+  if (s.ok() && meta.file_size > 0) {
+    const Slice min_user_key = meta.smallest.user_key();
+    const Slice max_user_key = meta.largest.user_key();
+    if (base != nullptr &&
+        !base->OverlapInLevel(0, &min_user_key, &max_user_key)) {
+      // Push the new sstable to a lower level if there is no overlap:
+      // avoids expensive L0 merges for sequential loads.
+      while (level < config::kNumLevels - 2 &&
+             !base->OverlapInLevel(level + 1, &min_user_key, &max_user_key)) {
+        level++;
+      }
+    }
+    edit->AddFile(level, meta.number, meta.file_size, meta.smallest,
+                  meta.largest);
+  }
+
+  metrics_.memtable_flushes++;
+  metrics_.bytes_written += meta.file_size;
+  (void)sw;
+  return s;
+}
+
+void DBImpl::CompactMemTable(std::unique_lock<std::mutex>&) {
+  assert(imm_ != nullptr);
+
+  // Save the contents of the memtable as a new Table.
+  VersionEdit edit;
+  Version* base = versions_->current();
+  base->Ref();
+  Status s = WriteLevel0Table(imm_, &edit, base);
+  base->Unref();
+
+  if (s.ok() && shutting_down_.load(std::memory_order_acquire)) {
+    s = Status::IOError("deleting DB during memtable compaction");
+  }
+
+  // Replace immutable memtable with the generated Table.
+  if (s.ok()) {
+    edit.SetLogNumber(logfile_number_);  // Earlier logs no longer needed
+    s = versions_->LogAndApply(&edit, &mutex_);
+  }
+
+  if (s.ok()) {
+    // Commit to the new state.
+    imm_->Unref();
+    imm_ = nullptr;
+    has_imm_.store(false, std::memory_order_release);
+    RemoveObsoleteFiles();
+  } else {
+    RecordBackgroundError(s);
+  }
+}
+
+void DBImpl::MaybeFlushImmFromSink() {
+  if (!has_imm_.load(std::memory_order_acquire)) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (imm_ != nullptr && bg_error_.ok()) {
+    CompactMemTable(lock);
+    background_done_signal_.notify_all();
+  }
+}
+
+void DBImpl::RemoveObsoleteFiles() {
+  if (!bg_error_.ok()) {
+    // After a background error, we don't know whether a new version may
+    // or may not have been committed, so we cannot safely garbage collect.
+    return;
+  }
+
+  // Make a set of all of the live files.
+  std::set<uint64_t> live = pending_outputs_;
+  versions_->AddLiveFiles(&live);
+
+  std::vector<std::string> filenames;
+  env_->GetChildren(dbname_, &filenames);  // Ignoring errors on purpose
+  uint64_t number;
+  FileType type;
+  std::vector<std::string> files_to_delete;
+  for (std::string& filename : filenames) {
+    if (ParseFileName(filename, &number, &type)) {
+      bool keep = true;
+      switch (type) {
+        case kLogFile:
+          keep = (number >= versions_->LogNumber());
+          break;
+        case kDescriptorFile:
+          keep = (number >= versions_->ManifestFileNumber());
+          break;
+        case kTableFile:
+          keep = (live.find(number) != live.end());
+          break;
+        case kTempFile:
+          keep = (live.find(number) != live.end());
+          break;
+        case kCurrentFile:
+        case kDBLockFile:
+          keep = true;
+          break;
+      }
+
+      if (!keep) {
+        files_to_delete.push_back(std::move(filename));
+        if (type == kTableFile) {
+          table_cache_->Evict(number);
+        }
+      }
+    }
+  }
+
+  // While deleting all files unblock other threads. All files being
+  // deleted have unique names which will not collide with newly created
+  // files and are therefore safe to delete while allowing other threads
+  // to proceed.
+  mutex_.unlock();
+  for (const std::string& filename : files_to_delete) {
+    env_->RemoveFile(dbname_ + "/" + filename);
+  }
+  mutex_.lock();
+}
+
+void DBImpl::RecordBackgroundError(const Status& s) {
+  if (bg_error_.ok()) {
+    bg_error_ = s;
+    background_done_signal_.notify_all();
+  }
+}
+
+void DBImpl::MaybeScheduleCompaction() {
+  if (background_work_pending_) {
+    // Already scheduled.
+  } else if (shutting_down_.load(std::memory_order_acquire)) {
+    // DB is being deleted; no more background compactions.
+  } else if (!bg_error_.ok()) {
+    // Already got an error; no more changes.
+  } else if (imm_ == nullptr && manual_compaction_ == nullptr &&
+             !versions_->NeedsCompaction()) {
+    // No work to be done.
+  } else {
+    background_work_pending_ = true;
+    background_work_signal_.notify_one();
+  }
+}
+
+void DBImpl::BackgroundThreadMain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    while (!background_work_pending_ &&
+           !shutting_down_.load(std::memory_order_acquire)) {
+      background_work_signal_.wait(lock);
+    }
+    if (shutting_down_.load(std::memory_order_acquire)) {
+      break;
+    }
+    background_work_active_ = true;
+    BackgroundCompaction(lock);
+    background_work_active_ = false;
+    background_work_pending_ = false;
+
+    // Previous compaction may have produced too many files in a level, so
+    // reschedule another compaction if needed.
+    MaybeScheduleCompaction();
+    background_done_signal_.notify_all();
+  }
+  background_work_active_ = false;
+  background_done_signal_.notify_all();
+}
+
+void DBImpl::BackgroundCompaction(std::unique_lock<std::mutex>& lock) {
+  if (imm_ != nullptr) {
+    CompactMemTable(lock);
+    return;
+  }
+
+  Compaction* c;
+  bool is_manual = (manual_compaction_ != nullptr);
+  InternalKey manual_end;
+  if (is_manual) {
+    ManualCompaction* m = manual_compaction_;
+    c = versions_->CompactRange(m->level, m->begin, m->end);
+    m->done = (c == nullptr);
+    if (c != nullptr) {
+      manual_end = c->input(0, c->num_input_files(0) - 1)->largest;
+    }
+  } else {
+    c = versions_->PickCompaction();
+  }
+
+  Status status;
+  if (c == nullptr) {
+    // Nothing to do.
+  } else if (!is_manual && c->IsTrivialMove()) {
+    // Move file to next level.
+    assert(c->num_input_files(0) == 1);
+    FileMetaData* f = c->input(0, 0);
+    c->edit()->RemoveFile(c->level(), f->number);
+    c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest,
+                       f->largest);
+    status = versions_->LogAndApply(c->edit(), &mutex_);
+    if (!status.ok()) {
+      RecordBackgroundError(status);
+    }
+    PIPELSM_LOG_DEBUG("moved #%llu to level-%d %lld bytes: %s",
+                      static_cast<unsigned long long>(f->number),
+                      c->level() + 1, static_cast<long long>(f->file_size),
+                      versions_->LevelSummary().c_str());
+  } else {
+    status = DoCompactionWork(lock, c);
+    if (!status.ok()) {
+      RecordBackgroundError(status);
+    }
+    RemoveObsoleteFiles();
+  }
+  delete c;
+
+  if (status.ok()) {
+    // Done.
+  } else if (shutting_down_.load(std::memory_order_acquire)) {
+    // Ignore compaction errors found during shutting down.
+  } else {
+    PIPELSM_LOG_WARN("compaction error: %s", status.ToString().c_str());
+  }
+
+  if (is_manual) {
+    ManualCompaction* m = manual_compaction_;
+    if (!status.ok()) {
+      m->done = true;
+    }
+    if (!m->done) {
+      // We only compacted part of the requested range. Update *m to the
+      // range that is left to be compacted.
+      m->tmp_storage = manual_end;
+      m->begin = &m->tmp_storage;
+    }
+    manual_compaction_ = nullptr;
+  }
+}
+
+Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
+                                Compaction* c) {
+  Stopwatch total_sw;
+  PIPELSM_LOG_INFO("compacting %d@%d + %d@%d files [%s]",
+                   c->num_input_files(0), c->level(), c->num_input_files(1),
+                   c->level() + 1, executor_->name());
+
+  CompactionJobOptions job;
+  job.icmp = &internal_comparator_;
+  job.subtask_bytes = options_.subtask_bytes;
+  job.block_size = options_.block_size;
+  job.block_restart_interval = options_.block_restart_interval;
+  job.compression = options_.compression;
+  job.max_output_file_size = c->MaxOutputFileSize();
+  job.read_parallelism = options_.io_parallelism;
+  job.compute_parallelism = options_.compute_parallelism;
+  job.queue_depth = options_.pipeline_queue_depth;
+  job.time_dilation = options_.compaction_time_dilation;
+  job.filter_policy = table_options_.filter_policy;
+
+  if (snapshots_.empty()) {
+    job.smallest_snapshot = versions_->LastSequence();
+  } else {
+    job.smallest_snapshot = snapshots_.front()->sequence_number();
+  }
+
+  // Tombstones in a sub-range may be dropped iff no level below the output
+  // holds any key of that range. Evaluated at plan time on the pinned
+  // input version, so it is safe against concurrent version installs.
+  job.range_is_base_level = [c](const SubTaskPlan& plan) {
+    Slice lo(plan.lo_user_key), hi(plan.hi_user_key);
+    return c->RangeIsBaseLevel(plan.unbounded_lo ? nullptr : &lo,
+                               plan.unbounded_hi ? nullptr : &hi);
+  };
+
+  // Open all input tables (level first, then level+1, preserving L0
+  // newest-to-oldest is unnecessary: internal keys carry sequence).
+  std::vector<std::shared_ptr<Table>> inputs;
+  Status status;
+  uint64_t input_bytes = 0;
+  for (int which = 0; which < 2 && status.ok(); which++) {
+    for (const FileMetaData* f : c->inputs(which)) {
+      std::shared_ptr<Table> t;
+      status = table_cache_->GetTable(f->number, f->file_size, &t);
+      if (!status.ok()) break;
+      inputs.push_back(std::move(t));
+      input_bytes += f->file_size;
+    }
+  }
+
+  CompactionSinkImpl sink(this);
+  StepProfile profile;
+  if (status.ok()) {
+    // Release the mutex while the executor runs (the expensive part).
+    lock.unlock();
+    status = executor_->Run(job, inputs, &sink, &profile);
+    lock.lock();
+  }
+
+  if (status.ok() && shutting_down_.load(std::memory_order_acquire)) {
+    status = Status::IOError("deleting DB during compaction");
+  }
+
+  if (status.ok()) {
+    // Install the results.
+    c->AddInputDeletions(c->edit());
+    uint64_t output_bytes = 0;
+    for (const OutputMeta& out : sink.outputs()) {
+      c->edit()->AddFile(c->level() + 1, out.file_number, out.file_size,
+                         out.smallest, out.largest);
+      output_bytes += out.file_size;
+    }
+    status = versions_->LogAndApply(c->edit(), &mutex_);
+    metrics_.compactions++;
+    metrics_.bytes_read += input_bytes;
+    metrics_.bytes_written += output_bytes;
+    metrics_.profile.Merge(profile);
+  }
+
+  // Whether or not the edit was installed, stop protecting the outputs;
+  // uninstalled ones become garbage that RemoveObsoleteFiles collects.
+  for (const OutputMeta& out : sink.outputs()) {
+    pending_outputs_.erase(out.file_number);
+  }
+
+  c->ReleaseInputs();
+  PIPELSM_LOG_INFO("compacted to: %s (%.1f MB in, wall %.0f ms)",
+                   versions_->LevelSummary().c_str(),
+                   input_bytes / 1048576.0, total_sw.ElapsedNanos() * 1e-6);
+  return status;
+}
+
+Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
+                                      SequenceNumber* latest_snapshot) {
+  TableReadOptions tro;
+  tro.verify_checksums = options.verify_checksums;
+  tro.fill_cache = options.fill_cache;
+  std::lock_guard<std::mutex> lock(mutex_);
+  *latest_snapshot = versions_->LastSequence();
+
+  // Collect together all needed child iterators.
+  std::vector<Iterator*> list;
+  list.push_back(mem_->NewIterator());
+  MemTable* mem = mem_;
+  mem->Ref();
+  MemTable* imm = nullptr;
+  if (imm_ != nullptr) {
+    list.push_back(imm_->NewIterator());
+    imm = imm_;
+    imm->Ref();
+  }
+  Version* current = versions_->current();
+  current->AddIterators(tro, &list);
+  Iterator* internal_iter =
+      NewMergingIterator(&internal_comparator_, list.data(),
+                         static_cast<int>(list.size()));
+  current->Ref();
+
+  internal_iter->RegisterCleanup([this, mem, imm, current] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mem->Unref();
+    if (imm != nullptr) imm->Unref();
+    current->Unref();
+  });
+  return internal_iter;
+}
+
+Status DBImpl::Get(const ReadOptions& options, const Slice& key,
+                   std::string* value) {
+  Status s;
+  std::unique_lock<std::mutex> lock(mutex_);
+  SequenceNumber snapshot;
+  if (options.snapshot != nullptr) {
+    snapshot =
+        static_cast<const SnapshotImpl*>(options.snapshot)->sequence_number();
+  } else {
+    snapshot = versions_->LastSequence();
+  }
+
+  MemTable* mem = mem_;
+  MemTable* imm = imm_;
+  Version* current = versions_->current();
+  mem->Ref();
+  if (imm != nullptr) imm->Ref();
+  current->Ref();
+
+  {
+    lock.unlock();
+    // First look in the memtable, then in the immutable memtable (if
+    // any), then in the sorted files.
+    LookupKey lkey(key, snapshot);
+    if (mem->Get(lkey, value, &s)) {
+      // Done
+    } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+      // Done
+    } else {
+      TableReadOptions tro;
+      tro.verify_checksums = options.verify_checksums;
+      tro.fill_cache = options.fill_cache;
+      s = current->Get(tro, lkey, value);
+    }
+    lock.lock();
+  }
+
+  mem->Unref();
+  if (imm != nullptr) imm->Unref();
+  current->Unref();
+  return s;
+}
+
+Iterator* DBImpl::NewIterator(const ReadOptions& options) {
+  SequenceNumber latest_snapshot;
+  Iterator* iter = NewInternalIterator(options, &latest_snapshot);
+  return NewDBIterator(
+      internal_comparator_.user_comparator(), iter,
+      (options.snapshot != nullptr
+           ? static_cast<const SnapshotImpl*>(options.snapshot)
+                 ->sequence_number()
+           : latest_snapshot));
+}
+
+const Snapshot* DBImpl::GetSnapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SnapshotImpl* snapshot = new SnapshotImpl(versions_->LastSequence());
+  snapshots_.push_back(snapshot);
+  snapshot->pos_ = std::prev(snapshots_.end());
+  return snapshot;
+}
+
+void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SnapshotImpl* impl = static_cast<const SnapshotImpl*>(snapshot);
+  snapshots_.erase(impl->pos_);
+  delete impl;
+}
+
+Status DBImpl::Put(const WriteOptions& o, const Slice& key,
+                   const Slice& val) {
+  WriteBatch batch;
+  batch.Put(key, val);
+  return Write(o, &batch);
+}
+
+Status DBImpl::Delete(const WriteOptions& o, const Slice& key) {
+  WriteBatch batch;
+  batch.Delete(key);
+  return Write(o, &batch);
+}
+
+Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  Writer w(&mutex_);
+  w.batch = updates;
+  w.sync = options.sync;
+  w.done = false;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) {
+    w.cv.wait(lock);
+  }
+  if (w.done) {
+    return w.status;
+  }
+
+  // We are the leader now.
+  Status status = MakeRoomForWrite(lock, updates == nullptr);
+  uint64_t last_sequence = versions_->LastSequence();
+  Writer* last_writer = &w;
+  if (status.ok() && updates != nullptr) {
+    // Fold the followers queued behind us into one group.
+    WriteBatch* write_batch = BuildBatchGroup(&last_writer);
+    WriteBatchInternal::SetSequence(write_batch, last_sequence + 1);
+    last_sequence += WriteBatchInternal::Count(write_batch);
+
+    // Write to the WAL and apply to the memtable. The mutex can be
+    // released here: &w is the only writer allowed to touch the log and
+    // the memtable while it heads the queue (same protocol as LevelDB).
+    {
+      lock.unlock();
+      status = log_->AddRecord(WriteBatchInternal::Contents(write_batch));
+      if (status.ok() && options.sync) {
+        status = logfile_->Sync();
+      }
+      if (status.ok()) {
+        status = WriteBatchInternal::InsertInto(write_batch, mem_);
+      }
+      lock.lock();
+    }
+    if (write_batch == &tmp_batch_) tmp_batch_.Clear();
+
+    versions_->SetLastSequence(last_sequence);
+  }
+
+  while (true) {
+    Writer* ready = writers_.front();
+    writers_.pop_front();
+    if (ready != &w) {
+      ready->status = status;
+      ready->done = true;
+      ready->cv.notify_one();
+    }
+    if (ready == last_writer) break;
+  }
+
+  // Notify new head of the write queue.
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();
+  }
+
+  return status;
+}
+
+// REQUIRES: mutex held; writers_ non-empty; first writer has a non-null
+// batch.
+WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
+  assert(!writers_.empty());
+  Writer* first = writers_.front();
+  WriteBatch* result = first->batch;
+  assert(result != nullptr);
+
+  size_t size = WriteBatchInternal::ByteSize(first->batch);
+
+  // Allow the group to grow up to a maximum size, but if the original
+  // write is small, limit the growth so we do not slow down the small
+  // write too much.
+  size_t max_size = 1 << 20;
+  if (size <= (128 << 10)) {
+    max_size = size + (128 << 10);
+  }
+
+  *last_writer = first;
+  auto iter = writers_.begin();
+  ++iter;  // Advance past "first"
+  for (; iter != writers_.end(); ++iter) {
+    Writer* w = *iter;
+    if (w->sync && !first->sync) {
+      // Do not include a sync write into a batch handled by a non-sync
+      // write.
+      break;
+    }
+
+    if (w->batch != nullptr) {
+      size += WriteBatchInternal::ByteSize(w->batch);
+      if (size > max_size) {
+        // Do not make batch too big.
+        break;
+      }
+
+      // Append to *result.
+      if (result == first->batch) {
+        // Switch to temporary batch instead of disturbing caller's batch.
+        result = &tmp_batch_;
+        assert(WriteBatchInternal::Count(result) == 0);
+        WriteBatchInternal::Append(result, first->batch);
+      }
+      WriteBatchInternal::Append(result, w->batch);
+    }
+    *last_writer = w;
+  }
+  return result;
+}
+
+// REQUIRES: mutex_ is held via `lock`.
+Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
+                                bool force) {
+  bool allow_delay = !force;
+  Status s;
+  while (true) {
+    if (!bg_error_.ok()) {
+      // Yield previous error.
+      s = bg_error_;
+      break;
+    } else if (allow_delay && versions_->NumLevelFiles(0) >=
+                                  config::kL0_SlowdownWritesTrigger) {
+      // We are getting close to hitting a hard limit on the number of L0
+      // files. Rather than delaying a single write by several seconds
+      // when we hit the hard limit, start delaying each individual write
+      // by 1ms to reduce latency variance. This delay hands over some CPU
+      // to the compaction thread in case it is sharing the same core as
+      // the writer.
+      Stopwatch sw;
+      lock.unlock();
+      env_->SleepForMicroseconds(1000);
+      lock.lock();
+      metrics_.stall_micros += sw.ElapsedNanos() / 1000;
+      allow_delay = false;  // Do not delay a single write more than once
+    } else if (!force &&
+               (mem_->ApproximateMemoryUsage() <=
+                options_.write_buffer_size)) {
+      // There is room in current memtable.
+      break;
+    } else if (imm_ != nullptr) {
+      // We have filled up the current memtable, but the previous one is
+      // still being compacted, so we wait (the paper's "write pause").
+      PIPELSM_LOG_DEBUG("current memtable full; waiting...");
+      Stopwatch sw;
+      MaybeScheduleCompaction();
+      background_done_signal_.wait(lock);
+      metrics_.stall_micros += sw.ElapsedNanos() / 1000;
+    } else if (versions_->NumLevelFiles(0) >= config::kL0_StopWritesTrigger) {
+      // There are too many level-0 files ("write pause").
+      PIPELSM_LOG_DEBUG("too many L0 files; waiting...");
+      Stopwatch sw;
+      MaybeScheduleCompaction();
+      background_done_signal_.wait(lock);
+      metrics_.stall_micros += sw.ElapsedNanos() / 1000;
+    } else {
+      // Attempt to switch to a new memtable and trigger compaction of
+      // the old one.
+      const uint64_t new_log_number = versions_->NewFileNumber();
+      std::unique_ptr<WritableFile> lfile;
+      s = env_->NewWritableFile(LogFileName(dbname_, new_log_number),
+                                &lfile);
+      if (!s.ok()) {
+        // Avoid chewing through file number space in a tight loop.
+        versions_->ReuseFileNumber(new_log_number);
+        break;
+      }
+      logfile_ = std::move(lfile);
+      logfile_number_ = new_log_number;
+      log_.reset(new log::Writer(logfile_.get()));
+      imm_ = mem_;
+      has_imm_.store(true, std::memory_order_release);
+      mem_ = new MemTable(internal_comparator_);
+      mem_->Ref();
+      force = false;  // Do not force another compaction if have room
+      MaybeScheduleCompaction();
+    }
+  }
+  return s;
+}
+
+bool DBImpl::GetProperty(const Slice& property, std::string* value) {
+  value->clear();
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slice in = property;
+  Slice prefix("pipelsm.");
+  if (!in.starts_with(prefix)) return false;
+  in.remove_prefix(prefix.size());
+
+  if (in.starts_with("num-files-at-level")) {
+    in.remove_prefix(std::strlen("num-files-at-level"));
+    uint64_t level;
+    bool ok = ConsumeDecimalNumber(&in, &level) && in.empty();
+    if (!ok || level >= config::kNumLevels) {
+      return false;
+    }
+    char buf[100];
+    std::snprintf(buf, sizeof(buf), "%d",
+                  versions_->NumLevelFiles(static_cast<int>(level)));
+    *value = buf;
+    return true;
+  } else if (in == Slice("stats")) {
+    char buf[300];
+    std::snprintf(buf, sizeof(buf),
+                  "compactions=%llu flushes=%llu read=%.1fMB written=%.1fMB "
+                  "stalls=%.1fs %s\n",
+                  static_cast<unsigned long long>(metrics_.compactions),
+                  static_cast<unsigned long long>(metrics_.memtable_flushes),
+                  metrics_.bytes_read / 1048576.0,
+                  metrics_.bytes_written / 1048576.0,
+                  metrics_.stall_micros / 1e6,
+                  versions_->LevelSummary().c_str());
+    value->append(buf);
+    value->append(metrics_.profile.ToString());
+    return true;
+  } else if (in == Slice("sstables")) {
+    *value = versions_->current()->DebugString();
+    return true;
+  } else if (in == Slice("approximate-memory-usage")) {
+    uint64_t total = mem_ != nullptr ? mem_->ApproximateMemoryUsage() : 0;
+    if (imm_ != nullptr) total += imm_->ApproximateMemoryUsage();
+    char buf[50];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(total));
+    *value = buf;
+    return true;
+  }
+  return false;
+}
+
+void DBImpl::GetApproximateSizes(const Range* range, int n,
+                                 uint64_t* sizes) {
+  Version* v;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    v = versions_->current();
+    v->Ref();
+  }
+
+  for (int i = 0; i < n; i++) {
+    // Convert user ranges into appropriate internal key ranges.
+    InternalKey k1(range[i].start, kMaxSequenceNumber, kValueTypeForSeek);
+    InternalKey k2(range[i].limit, kMaxSequenceNumber, kValueTypeForSeek);
+    const uint64_t start = versions_->ApproximateOffsetOf(v, k1);
+    const uint64_t limit = versions_->ApproximateOffsetOf(v, k2);
+    sizes[i] = (limit >= start ? limit - start : 0);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    v->Unref();
+  }
+}
+
+void DBImpl::CompactRange(const Slice* begin, const Slice* end) {
+  int max_level_with_files = 1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Version* base = versions_->current();
+    for (int level = 1; level < config::kNumLevels; level++) {
+      if (base->OverlapInLevel(level, begin, end)) {
+        max_level_with_files = level;
+      }
+    }
+  }
+  // Force a rotation + flush of the current memtable, then compact every
+  // level that holds data in the range.
+  Write(WriteOptions(), nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    MaybeScheduleCompaction();
+    while (imm_ != nullptr && bg_error_.ok()) {
+      background_done_signal_.wait(lock);
+    }
+  }
+  for (int level = 0; level < max_level_with_files; level++) {
+    CompactRangeAtLevel(level, begin, end);
+  }
+}
+
+void DBImpl::CompactRangeAtLevel(int level, const Slice* begin,
+                                 const Slice* end) {
+  assert(level >= 0);
+  assert(level + 1 < config::kNumLevels);
+
+  InternalKey begin_storage, end_storage;
+
+  ManualCompaction manual;
+  manual.level = level;
+  manual.done = false;
+  if (begin == nullptr) {
+    manual.begin = nullptr;
+  } else {
+    begin_storage = InternalKey(*begin, kMaxSequenceNumber, kValueTypeForSeek);
+    manual.begin = &begin_storage;
+  }
+  if (end == nullptr) {
+    manual.end = nullptr;
+  } else {
+    end_storage = InternalKey(*end, 0, static_cast<ValueType>(0));
+    manual.end = &end_storage;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!manual.done && !shutting_down_.load(std::memory_order_acquire) &&
+         bg_error_.ok()) {
+    if (manual_compaction_ == nullptr) {  // Idle
+      manual_compaction_ = &manual;
+      background_work_pending_ = true;
+      background_work_signal_.notify_one();
+    }
+    background_done_signal_.wait(lock);
+    if (manual_compaction_ == &manual && !background_work_pending_ &&
+        !background_work_active_ && manual.done) {
+      break;
+    }
+  }
+  if (manual_compaction_ == &manual) {
+    // Cancel my manual compaction since we aborted early for some reason.
+    manual_compaction_ = nullptr;
+  }
+}
+
+Status DBImpl::WaitForCompactions() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  MaybeScheduleCompaction();
+  while ((background_work_pending_ || background_work_active_ ||
+          imm_ != nullptr || versions_->NeedsCompaction()) &&
+         bg_error_.ok() && !shutting_down_.load(std::memory_order_acquire)) {
+    MaybeScheduleCompaction();
+    background_done_signal_.wait(lock);
+  }
+  return bg_error_;
+}
+
+CompactionMetrics DBImpl::GetCompactionMetrics() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_;
+}
+
+Status DB::Open(const Options& options, const std::string& dbname,
+                DB** dbptr) {
+  *dbptr = nullptr;
+
+  DBImpl* impl = new DBImpl(options, dbname);
+  std::unique_lock<std::mutex> lock(impl->mutex_);
+  VersionEdit edit;
+  // Recover handles create_if_missing, error_if_exists.
+  bool save_manifest = false;
+  Status s = impl->Recover(&edit, &save_manifest);
+  if (s.ok() && impl->mem_ == nullptr) {
+    // Create new log and a corresponding memtable.
+    uint64_t new_log_number = impl->versions_->NewFileNumber();
+    std::unique_ptr<WritableFile> lfile;
+    s = impl->env_->NewWritableFile(LogFileName(dbname, new_log_number),
+                                    &lfile);
+    if (s.ok()) {
+      edit.SetLogNumber(new_log_number);
+      impl->logfile_ = std::move(lfile);
+      impl->logfile_number_ = new_log_number;
+      impl->log_.reset(new log::Writer(impl->logfile_.get()));
+      impl->mem_ = new MemTable(impl->internal_comparator_);
+      impl->mem_->Ref();
+    }
+  }
+  if (s.ok() && save_manifest) {
+    edit.SetLogNumber(impl->logfile_number_);
+    s = impl->versions_->LogAndApply(&edit, &impl->mutex_);
+  } else if (s.ok()) {
+    // Even when nothing was recovered, persist the new log number so a
+    // reopen does not try to read a missing log.
+    edit.SetLogNumber(impl->logfile_number_);
+    s = impl->versions_->LogAndApply(&edit, &impl->mutex_);
+  }
+  if (s.ok()) {
+    impl->RemoveObsoleteFiles();
+    impl->MaybeScheduleCompaction();
+  }
+  lock.unlock();
+  if (s.ok()) {
+    assert(impl->mem_ != nullptr);
+    *dbptr = impl;
+  } else {
+    delete impl;
+  }
+  return s;
+}
+
+Status DestroyDB(const std::string& dbname, const Options& options) {
+  Env* env = options.env != nullptr ? options.env : Env::Posix();
+  std::vector<std::string> filenames;
+  Status result = env->GetChildren(dbname, &filenames);
+  if (!result.ok()) {
+    // Ignore error in case directory does not exist.
+    return Status::OK();
+  }
+
+  uint64_t number;
+  FileType type;
+  for (const std::string& filename : filenames) {
+    if (ParseFileName(filename, &number, &type)) {
+      Status del = env->RemoveFile(dbname + "/" + filename);
+      if (result.ok() && !del.ok()) {
+        result = del;
+      }
+    }
+  }
+  env->RemoveDir(dbname);  // Ignore error in case dir contains other files
+  return result;
+}
+
+}  // namespace pipelsm

@@ -1,0 +1,175 @@
+// DBImpl: the LSM engine. Writes land in the WAL + memtable; full
+// memtables rotate to an immutable memtable that a background thread
+// dumps to level 0; when a level exceeds its threshold the background
+// thread runs a major compaction through the configured
+// CompactionExecutor (SCP / PCP / S-PPCP / C-PPCP).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "src/db/db.h"
+#include "src/db/dbformat.h"
+#include "src/db/table_cache.h"
+#include "src/db/write_batch.h"
+#include "src/memtable/memtable.h"
+#include "src/table/block_cache.h"
+#include "src/version/version_set.h"
+#include "src/wal/log_writer.h"
+
+namespace pipelsm {
+
+class CompactionExecutor;
+
+class SnapshotImpl : public Snapshot {
+ public:
+  explicit SnapshotImpl(SequenceNumber sequence_number)
+      : sequence_number_(sequence_number) {}
+
+  SequenceNumber sequence_number() const { return sequence_number_; }
+
+ private:
+  friend class DBImpl;
+  const SequenceNumber sequence_number_;
+  std::list<SnapshotImpl*>::iterator pos_;
+};
+
+class DBImpl final : public DB {
+ public:
+  DBImpl(const Options& raw_options, const std::string& dbname);
+  ~DBImpl() override;
+
+  DBImpl(const DBImpl&) = delete;
+  DBImpl& operator=(const DBImpl&) = delete;
+
+  // DB interface.
+  Status Put(const WriteOptions&, const Slice& key,
+             const Slice& value) override;
+  Status Delete(const WriteOptions&, const Slice& key) override;
+  Status Write(const WriteOptions& options, WriteBatch* updates) override;
+  Status Get(const ReadOptions& options, const Slice& key,
+             std::string* value) override;
+  Iterator* NewIterator(const ReadOptions&) override;
+  const Snapshot* GetSnapshot() override;
+  void ReleaseSnapshot(const Snapshot* snapshot) override;
+  bool GetProperty(const Slice& property, std::string* value) override;
+  void GetApproximateSizes(const Range* range, int n,
+                           uint64_t* sizes) override;
+  void CompactRange(const Slice* begin, const Slice* end) override;
+  Status WaitForCompactions() override;
+  CompactionMetrics GetCompactionMetrics() override;
+
+ private:
+  friend class DB;
+  class CompactionSinkImpl;
+
+  Status NewDB();
+
+  // Recover the descriptor from persistent storage. May do a significant
+  // amount of work to recover recently logged updates.
+  Status Recover(VersionEdit* edit, bool* save_manifest);
+  Status RecoverLogFile(uint64_t log_number, bool last_log,
+                        bool* save_manifest, VersionEdit* edit,
+                        SequenceNumber* max_sequence);
+
+  Status WriteLevel0Table(MemTable* mem, VersionEdit* edit, Version* base)
+      /* REQUIRES: holding mutex_ */;
+
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>& lock, bool force);
+
+  void RemoveObsoleteFiles() /* REQUIRES: holding mutex_ */;
+
+  void MaybeScheduleCompaction() /* REQUIRES: holding mutex_ */;
+  void BackgroundThreadMain();
+  void BackgroundCompaction(std::unique_lock<std::mutex>& lock);
+  void CompactMemTable(std::unique_lock<std::mutex>& lock);
+  Status DoCompactionWork(std::unique_lock<std::mutex>& lock, Compaction* c);
+
+  // Flush a pending immutable memtable from the compaction write stage
+  // (keeps the write path unblocked during long major compactions).
+  void MaybeFlushImmFromSink();
+
+  // Group commit: one queued writer becomes the leader, folds the batches
+  // of followers behind it into one WAL record + memtable apply, and
+  // wakes them with the shared status.
+  struct Writer {
+    explicit Writer(std::mutex* mu) { (void)mu; }
+    Status status;
+    WriteBatch* batch = nullptr;
+    bool sync = false;
+    bool done = false;
+    std::condition_variable cv;
+  };
+
+  // REQUIRES: mutex held, writers_ non-empty, first writer not done.
+  WriteBatch* BuildBatchGroup(Writer** last_writer);
+
+  Iterator* NewInternalIterator(const ReadOptions&,
+                                SequenceNumber* latest_snapshot);
+
+  void RecordBackgroundError(const Status& s);
+
+  // Compact the in-memory range [begin,end] at the given level (used by
+  // CompactRange).
+  void CompactRangeAtLevel(int level, const Slice* begin, const Slice* end);
+
+  struct ManualCompaction {
+    int level;
+    bool done;
+    const InternalKey* begin;  // null means beginning of key range
+    const InternalKey* end;    // null means end of key range
+    InternalKey tmp_storage;   // Used to keep track of compaction progress
+  };
+
+  // Constant after construction.
+  Env* const env_;
+  const InternalKeyComparator internal_comparator_;
+  const InternalFilterPolicy internal_filter_policy_;
+  const Options options_;
+  const std::string dbname_;
+
+  std::unique_ptr<BlockCache> owned_block_cache_;
+  TableOptions table_options_;        // derived, for readers/flushes
+  std::unique_ptr<TableCache> table_cache_;
+  std::unique_ptr<CompactionExecutor> executor_;
+
+  std::mutex mutex_;
+  std::condition_variable background_work_signal_;
+  std::condition_variable background_done_signal_;
+  std::atomic<bool> shutting_down_{false};
+
+  MemTable* mem_ = nullptr;
+  MemTable* imm_ = nullptr;              // Memtable being flushed
+  std::atomic<bool> has_imm_{false};     // imm_ != nullptr, lock-free probe
+  std::unique_ptr<WritableFile> logfile_;
+  uint64_t logfile_number_ = 0;
+  std::unique_ptr<log::Writer> log_;
+
+  std::list<SnapshotImpl*> snapshots_;
+
+  // Queue of writers waiting to commit (front = leader).
+  std::deque<Writer*> writers_;
+  WriteBatch tmp_batch_;  // scratch for group commit
+
+  // Files being generated by in-flight compactions (protected from GC).
+  std::set<uint64_t> pending_outputs_;
+
+  std::thread background_thread_;
+  bool background_work_pending_ = false;
+  bool background_work_active_ = false;
+  ManualCompaction* manual_compaction_ = nullptr;
+
+  std::unique_ptr<VersionSet> versions_;
+
+  Status bg_error_;
+  CompactionMetrics metrics_;
+};
+
+}  // namespace pipelsm

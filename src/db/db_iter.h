@@ -1,0 +1,19 @@
+// DBIter: wraps an internal-key iterator (memtables + tables merged) into
+// the user-facing view at a fixed sequence number — newest live version of
+// each user key, tombstones hidden.
+#pragma once
+
+#include <cstdint>
+
+#include "src/db/dbformat.h"
+#include "src/table/iterator.h"
+
+namespace pipelsm {
+
+// Return a new iterator that converts internal keys (yielded by
+// "*internal_iter", whose ownership is taken) that were live at the
+// specified `sequence` number into appropriate user keys.
+Iterator* NewDBIterator(const Comparator* user_key_comparator,
+                        Iterator* internal_iter, SequenceNumber sequence);
+
+}  // namespace pipelsm

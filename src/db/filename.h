@@ -1,0 +1,42 @@
+// File naming scheme within a DB directory:
+//   <dbname>/<number>.log      — WAL
+//   <dbname>/<number>.pst      — SSTable
+//   <dbname>/MANIFEST-<number> — version log
+//   <dbname>/CURRENT           — points at the live MANIFEST
+//   <dbname>/<number>.dbtmp    — temporary files
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/env/env.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace pipelsm {
+
+enum FileType {
+  kLogFile,
+  kDBLockFile,
+  kTableFile,
+  kDescriptorFile,
+  kCurrentFile,
+  kTempFile,
+};
+
+std::string LogFileName(const std::string& dbname, uint64_t number);
+std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string DescriptorFileName(const std::string& dbname, uint64_t number);
+std::string CurrentFileName(const std::string& dbname);
+std::string TempFileName(const std::string& dbname, uint64_t number);
+
+// If filename is a pipelsm file, store its type in *type, its number in
+// *number (0 for CURRENT), and return true.
+bool ParseFileName(const std::string& filename, uint64_t* number,
+                   FileType* type);
+
+// Make CURRENT point at the descriptor file with the given number.
+Status SetCurrentFile(Env* env, const std::string& dbname,
+                      uint64_t descriptor_number);
+
+}  // namespace pipelsm

@@ -1,0 +1,123 @@
+// Public DB options, including the paper's compaction-procedure knobs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/compress/codec.h"
+
+namespace pipelsm {
+
+class BlockCache;
+class Comparator;
+class Env;
+class FilterPolicy;
+class Snapshot;
+
+// Which compaction executor drives major compactions (paper §III):
+//   kSCP   — Sequential Compaction Procedure (the LevelDB baseline),
+//   kPCP   — 3-stage Pipelined Compaction Procedure,
+//   kSPPCP — Storage-Parallel PCP (stripe S1/S7 over multiple devices),
+//   kCPPCP — Computation-Parallel PCP (k compute workers).
+enum class CompactionMode { kSCP = 0, kPCP = 1, kSPPCP = 2, kCPPCP = 3 };
+
+const char* CompactionModeName(CompactionMode mode);
+
+struct Options {
+  // -------- general --------
+  // Comparator used to define the order of keys. Must be the same across
+  // DB openings. nullptr = bytewise.
+  const Comparator* comparator = nullptr;
+
+  bool create_if_missing = false;
+  bool error_if_exists = false;
+
+  // If true, treat recoverable corruption (e.g. a bad WAL tail) as errors.
+  bool paranoid_checks = false;
+
+  // nullptr = Env::Posix().
+  Env* env = nullptr;
+
+  // -------- shape of the tree (paper §IV-A defaults) --------
+  // Amount of data to build up in the memtable before converting to a
+  // sorted on-disk file. Paper default: 4 MB.
+  size_t write_buffer_size = 4 * 1024 * 1024;
+
+  // Target SSTable size. Paper default: 2 MB.
+  size_t max_file_size = 2 * 1024 * 1024;
+
+  // Uncompressed data-block size. Paper default: 4 KB.
+  size_t block_size = 4 * 1024;
+
+  int block_restart_interval = 16;
+
+  // Level-(L+1) holds level_size_multiplier times more data than level L.
+  int level_size_multiplier = 10;
+
+  // Number of open tables kept in the table cache.
+  int max_open_files = 500;
+
+  // Shared cache of decompressed blocks (nullptr = per-DB 8 MB cache).
+  BlockCache* block_cache = nullptr;
+
+  // S5 codec. Paper default: snappy; here the built-in LZ codec.
+  CompressionType compression = CompressionType::kLzCompression;
+
+  // Optional bloom filters on memtable-flush outputs.
+  const FilterPolicy* filter_policy = nullptr;
+
+  // -------- compaction procedure (the paper's contribution) --------
+  CompactionMode compaction_mode = CompactionMode::kPCP;
+
+  // Sub-task granularity in input bytes; each sub-task covers one or more
+  // data blocks of the upper input. Paper sweeps 64 KB..4 MB; its best PCP
+  // configuration on SSD is 512 KB.
+  size_t subtask_bytes = 512 * 1024;
+
+  // C-PPCP: number of compute worker threads (1 = plain PCP).
+  int compute_parallelism = 1;
+
+  // S-PPCP: number of reader threads issuing S1 concurrently (pair with a
+  // RAID0 device profile so the transfers actually parallelize).
+  int io_parallelism = 1;
+
+  // Depth of the bounded queues between pipeline stages.
+  size_t pipeline_queue_depth = 4;
+
+  // Slow-motion factor for compaction experiments on hosts with fewer
+  // cores than the paper's testbed (see CompactionJobOptions::
+  // time_dilation). 1.0 = real time.
+  double compaction_time_dilation = 1.0;
+
+  // Extension beyond the paper: pipeline memtable flushes too (block
+  // building/compression overlapped with file writes — the paper notes
+  // its system pipelines only major compactions "by now"). Off by
+  // default so the stock-LevelDB flush path stays the baseline.
+  bool pipelined_flush = false;
+
+  // Verify block checksums (S2) on every read path.
+  bool verify_checksums = true;
+};
+
+// Options that control read operations.
+struct ReadOptions {
+  // If true, all data read from underlying storage will be verified
+  // against corresponding checksums.
+  bool verify_checksums = false;
+
+  // Should the data read for this iteration be cached in memory?
+  bool fill_cache = true;
+
+  // If non-null, read as of the supplied snapshot (which must belong to
+  // the DB that is being read and must not have been released).
+  const Snapshot* snapshot = nullptr;
+};
+
+// Options that control write operations.
+struct WriteOptions {
+  // If true, the write will be flushed from the operating system buffer
+  // cache before the write is considered complete.
+  bool sync = false;
+};
+
+}  // namespace pipelsm

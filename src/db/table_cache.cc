@@ -1,0 +1,103 @@
+#include "src/db/table_cache.h"
+
+#include "src/db/filename.h"
+#include "src/env/env.h"
+
+namespace pipelsm {
+
+TableCache::TableCache(std::string dbname, const TableOptions& table_options,
+                       Env* env, int max_open_tables)
+    : dbname_(std::move(dbname)),
+      table_options_(table_options),
+      env_(env),
+      capacity_(max_open_tables > 0 ? max_open_tables : 1) {}
+
+Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
+                             std::shared_ptr<Table>* table) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(file_number);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      *table = it->second->table;
+      return Status::OK();
+    }
+  }
+
+  // Open outside the lock (it performs I/O).
+  std::string fname = TableFileName(dbname_, file_number);
+  std::unique_ptr<RandomAccessFile> file;
+  Status s = env_->NewRandomAccessFile(fname, &file);
+  if (!s.ok()) return s;
+
+  std::unique_ptr<Table> t;
+  s = Table::Open(table_options_, std::move(file), file_size, &t);
+  if (!s.ok()) return s;
+
+  std::shared_ptr<Table> shared(std::move(t));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(file_number);
+    if (it != index_.end()) {
+      // Raced with another opener; use theirs.
+      *table = it->second->table;
+      return Status::OK();
+    }
+    lru_.push_front(Entry{file_number, shared});
+    index_[file_number] = lru_.begin();
+    while (lru_.size() > capacity_) {
+      auto victim = std::prev(lru_.end());
+      index_.erase(victim->number);
+      lru_.erase(victim);
+    }
+  }
+  *table = std::move(shared);
+  return Status::OK();
+}
+
+Status TableCache::GetTable(uint64_t file_number, uint64_t file_size,
+                            std::shared_ptr<Table>* table) {
+  return FindTable(file_number, file_size, table);
+}
+
+Iterator* TableCache::NewIterator(const TableReadOptions& read_options,
+                                  uint64_t file_number, uint64_t file_size,
+                                  Table** tableptr) {
+  if (tableptr != nullptr) {
+    *tableptr = nullptr;
+  }
+
+  std::shared_ptr<Table> table;
+  Status s = FindTable(file_number, file_size, &table);
+  if (!s.ok()) {
+    return NewErrorIterator(s);
+  }
+
+  Iterator* result = table->NewIterator(read_options);
+  // Keep the table alive for the iterator's lifetime.
+  result->RegisterCleanup([table]() mutable { table.reset(); });
+  if (tableptr != nullptr) {
+    *tableptr = table.get();
+  }
+  return result;
+}
+
+Status TableCache::Get(
+    const TableReadOptions& read_options, uint64_t file_number,
+    uint64_t file_size, const Slice& k,
+    const std::function<void(const Slice&, const Slice&)>& handle) {
+  std::shared_ptr<Table> table;
+  Status s = FindTable(file_number, file_size, &table);
+  if (!s.ok()) return s;
+  return table->InternalGet(read_options, k, handle);
+}
+
+void TableCache::Evict(uint64_t file_number) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(file_number);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+}  // namespace pipelsm

@@ -1,0 +1,67 @@
+// TableCache: LRU cache of open SSTable readers, keyed by file number.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/db/options.h"
+#include "src/table/iterator.h"
+#include "src/table/table.h"
+#include "src/table/table_options.h"
+#include "src/util/status.h"
+
+namespace pipelsm {
+
+class Env;
+
+class TableCache {
+ public:
+  TableCache(std::string dbname, const TableOptions& table_options, Env* env,
+             int max_open_tables);
+
+  TableCache(const TableCache&) = delete;
+  TableCache& operator=(const TableCache&) = delete;
+
+  // Returns an iterator over file `file_number` (of length `file_size`).
+  // If tableptr is non-null, sets it to the underlying Table (owned by the
+  // cache; valid while the iterator is live).
+  Iterator* NewIterator(const TableReadOptions& read_options,
+                        uint64_t file_number, uint64_t file_size,
+                        Table** tableptr = nullptr);
+
+  // Point lookup routed through Table::InternalGet.
+  Status Get(const TableReadOptions& read_options, uint64_t file_number,
+             uint64_t file_size, const Slice& k,
+             const std::function<void(const Slice&, const Slice&)>& handle);
+
+  // Pin the open table (compaction executors hold inputs open this way).
+  Status GetTable(uint64_t file_number, uint64_t file_size,
+                  std::shared_ptr<Table>* table);
+
+  // Drop any cached reader for the (deleted) file.
+  void Evict(uint64_t file_number);
+
+ private:
+  Status FindTable(uint64_t file_number, uint64_t file_size,
+                   std::shared_ptr<Table>* table);
+
+  const std::string dbname_;
+  const TableOptions table_options_;
+  Env* const env_;
+  const size_t capacity_;
+
+  std::mutex mu_;
+  // LRU of open tables; front = MRU.
+  struct Entry {
+    uint64_t number;
+    std::shared_ptr<Table> table;
+  };
+  std::list<Entry> lru_;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace pipelsm

@@ -1,0 +1,68 @@
+// WriteBatch: an ordered group of updates applied atomically.
+//
+// Wire format (also the WAL record payload):
+//   sequence: fixed64
+//   count: fixed32
+//   data: record[count]
+// record :=
+//   kTypeValue    varstring varstring |
+//   kTypeDeletion varstring
+#pragma once
+
+#include <string>
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace pipelsm {
+
+class MemTable;
+
+class WriteBatch {
+ public:
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void Put(const Slice& key, const Slice& value) = 0;
+    virtual void Delete(const Slice& key) = 0;
+  };
+
+  WriteBatch();
+  WriteBatch(const WriteBatch&) = default;
+  WriteBatch& operator=(const WriteBatch&) = default;
+  ~WriteBatch() = default;
+
+  void Put(const Slice& key, const Slice& value);
+  void Delete(const Slice& key);
+  void Clear();
+
+  // The size of the database changes caused by this batch.
+  size_t ApproximateSize() const { return rep_.size(); }
+
+  // Copies the operations in "source" to this batch.
+  void Append(const WriteBatch& source);
+
+  // Replays the operations into the handler, in insertion order.
+  Status Iterate(Handler* handler) const;
+
+ private:
+  friend class WriteBatchInternal;
+
+  std::string rep_;
+};
+
+// Internal plumbing shared by the DB write path and WAL recovery.
+class WriteBatchInternal {
+ public:
+  static int Count(const WriteBatch* batch);
+  static void SetCount(WriteBatch* batch, int n);
+  static uint64_t Sequence(const WriteBatch* batch);
+  static void SetSequence(WriteBatch* batch, uint64_t seq);
+  static Slice Contents(const WriteBatch* batch) { return Slice(batch->rep_); }
+  static size_t ByteSize(const WriteBatch* batch) { return batch->rep_.size(); }
+  static void SetContents(WriteBatch* batch, const Slice& contents);
+  static Status InsertInto(const WriteBatch* batch, MemTable* memtable);
+  static void Append(WriteBatch* dst, const WriteBatch* src);
+};
+
+}  // namespace pipelsm

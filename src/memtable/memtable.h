@@ -1,0 +1,70 @@
+// MemTable: the LSM-tree's C0 component — an arena-backed skiplist of
+// internal keys. Reference-counted because reads may hold the immutable
+// memtable while it is being flushed to level 0.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "src/db/dbformat.h"
+#include "src/memtable/skiplist.h"
+#include "src/table/iterator.h"
+#include "src/util/arena.h"
+
+namespace pipelsm {
+
+class MemTable {
+ public:
+  // MemTables are reference counted. The initial reference count is zero
+  // and the caller must call Ref() at least once.
+  explicit MemTable(const InternalKeyComparator& comparator);
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+
+  void Unref() {
+    int prev = refs_.fetch_sub(1, std::memory_order_acq_rel);
+    assert(prev >= 1);
+    if (prev == 1) {
+      delete this;
+    }
+  }
+
+  // Approximate memory usage.
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
+  // Iterator over the memtable's internal keys.
+  Iterator* NewIterator();
+
+  // Add an entry that maps key->value at the specified sequence number.
+  // Typically value is empty for a deletion.
+  void Add(SequenceNumber seq, ValueType type, const Slice& key,
+           const Slice& value);
+
+  // If the memtable contains a value for key, store it in *value and
+  // return true. If it contains a deletion for key, store NotFound() in
+  // *s and return true. Else return false.
+  bool Get(const LookupKey& key, std::string* value, Status* s);
+
+ private:
+  friend class MemTableIterator;
+
+  struct KeyComparator {
+    const InternalKeyComparator comparator;
+    explicit KeyComparator(const InternalKeyComparator& c) : comparator(c) {}
+    int operator()(const char* a, const char* b) const;
+  };
+
+  typedef SkipList<const char*, KeyComparator> Table;
+
+  ~MemTable();  // Private since only Unref() should be used to delete it
+
+  KeyComparator comparator_;
+  std::atomic<int> refs_;
+  Arena arena_;
+  Table table_;
+};
+
+}  // namespace pipelsm

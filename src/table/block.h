@@ -1,0 +1,37 @@
+// Block: the in-memory reader for BlockBuilder's format.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/table/format.h"
+#include "src/table/iterator.h"
+
+namespace pipelsm {
+
+class Comparator;
+
+class Block {
+ public:
+  // Takes ownership of contents.data if heap_allocated.
+  explicit Block(const BlockContents& contents);
+  ~Block();
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  size_t size() const { return size_; }
+  Iterator* NewIterator(const Comparator* comparator);
+
+ private:
+  class Iter;
+
+  uint32_t NumRestarts() const;
+
+  const char* data_;
+  size_t size_;
+  uint32_t restart_offset_;  // Offset in data_ of restart array
+  bool owned_;               // Block owns data_[]
+};
+
+}  // namespace pipelsm

@@ -1,0 +1,53 @@
+#include "src/table/block_cache.h"
+
+#include "src/table/block.h"
+
+namespace pipelsm {
+
+std::shared_ptr<Block> BlockCache::Lookup(const Slice& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key.ToString());
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  // Promote to MRU.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->block;
+}
+
+void BlockCache::Insert(const Slice& key, std::shared_ptr<Block> block,
+                        size_t charge) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string k = key.ToString();
+  auto it = index_.find(k);
+  if (it != index_.end()) {
+    usage_ -= it->second->charge;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{k, std::move(block), charge});
+  index_[std::move(k)] = lru_.begin();
+  usage_ += charge;
+
+  while (usage_ > capacity_ && !lru_.empty()) {
+    // Evict from the LRU end, but never the entry just inserted.
+    auto victim = std::prev(lru_.end());
+    if (victim == lru_.begin()) break;
+    usage_ -= victim->charge;
+    index_.erase(victim->key);
+    lru_.erase(victim);
+  }
+}
+
+void BlockCache::Erase(const Slice& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key.ToString());
+  if (it == index_.end()) return;
+  usage_ -= it->second->charge;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+}  // namespace pipelsm

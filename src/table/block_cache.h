@@ -1,0 +1,66 @@
+// BlockCache: LRU cache of decompressed data blocks shared by all open
+// tables. Entries are pinned by shared_ptr refcounts, so eviction never
+// invalidates a block an iterator is standing on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/util/slice.h"
+
+namespace pipelsm {
+
+class Block;
+
+class BlockCache {
+ public:
+  explicit BlockCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  // Returns the cached block or nullptr. Promotes the entry to MRU.
+  std::shared_ptr<Block> Lookup(const Slice& key);
+
+  // Inserts (replacing any existing entry) and evicts LRU entries until
+  // usage <= capacity.
+  void Insert(const Slice& key, std::shared_ptr<Block> block, size_t charge);
+
+  void Erase(const Slice& key);
+
+  // Distinct prefix for each table's keys in a shared cache.
+  uint64_t NewId() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  size_t usage() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return usage_;
+  }
+  size_t capacity() const { return capacity_; }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<Block> block;
+    size_t charge;
+  };
+  using LruList = std::list<Entry>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = MRU
+  std::unordered_map<std::string, LruList::iterator> index_;
+  size_t usage_ = 0;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace pipelsm

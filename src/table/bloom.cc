@@ -1,0 +1,113 @@
+#include "src/table/filter_policy.h"
+
+#include <cstdint>
+
+namespace pipelsm {
+
+namespace {
+
+// Murmur-inspired hash used only for bloom probing (double hashing).
+uint32_t BloomHash(const Slice& key) {
+  const char* data = key.data();
+  size_t n = key.size();
+  const uint32_t seed = 0xbc9f1d34;
+  const uint32_t m = 0xc6a4a793;
+  uint32_t h = seed ^ static_cast<uint32_t>(n * m);
+  while (n >= 4) {
+    uint32_t w;
+    __builtin_memcpy(&w, data, 4);
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+    data += 4;
+    n -= 4;
+  }
+  switch (n) {
+    case 3:
+      h += static_cast<uint8_t>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<uint8_t>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<uint8_t>(data[0]);
+      h *= m;
+      h ^= (h >> 24);
+      break;
+  }
+  return h;
+}
+
+class BloomFilterPolicy final : public FilterPolicy {
+ public:
+  explicit BloomFilterPolicy(int bits_per_key) : bits_per_key_(bits_per_key) {
+    // Round down k = bits_per_key * ln(2); clamp to a sane range.
+    k_ = static_cast<size_t>(bits_per_key * 0.69);
+    if (k_ < 1) k_ = 1;
+    if (k_ > 30) k_ = 30;
+  }
+
+  const char* Name() const override { return "pipelsm.BuiltinBloomFilter"; }
+
+  void CreateFilter(const Slice* keys, size_t n,
+                    std::string* dst) const override {
+    // Compute bloom filter size (in both bits and bytes).
+    size_t bits = n * bits_per_key_;
+    // A tiny filter has a huge false-positive rate; enforce a floor.
+    if (bits < 64) bits = 64;
+    const size_t bytes = (bits + 7) / 8;
+    bits = bytes * 8;
+
+    const size_t init_size = dst->size();
+    dst->resize(init_size + bytes, 0);
+    dst->push_back(static_cast<char>(k_));  // Remember # of probes
+    char* array = &(*dst)[init_size];
+    for (size_t i = 0; i < n; i++) {
+      // Double hashing: h, h+delta, h+2*delta, ...
+      uint32_t h = BloomHash(keys[i]);
+      const uint32_t delta = (h >> 17) | (h << 15);
+      for (size_t j = 0; j < k_; j++) {
+        const uint32_t bitpos = h % bits;
+        array[bitpos / 8] |= (1 << (bitpos % 8));
+        h += delta;
+      }
+    }
+  }
+
+  bool KeyMayMatch(const Slice& key, const Slice& bloom_filter) const override {
+    const size_t len = bloom_filter.size();
+    if (len < 2) return false;
+
+    const char* array = bloom_filter.data();
+    const size_t bits = (len - 1) * 8;
+
+    // Use the encoded k so we can read filters built with a different
+    // parameterization.
+    const size_t k = static_cast<uint8_t>(array[len - 1]);
+    if (k > 30) {
+      // Reserved for future encodings; treat as a match.
+      return true;
+    }
+
+    uint32_t h = BloomHash(key);
+    const uint32_t delta = (h >> 17) | (h << 15);
+    for (size_t j = 0; j < k; j++) {
+      const uint32_t bitpos = h % bits;
+      if ((array[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+      h += delta;
+    }
+    return true;
+  }
+
+ private:
+  const int bits_per_key_;
+  size_t k_;
+};
+
+}  // namespace
+
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key) {
+  return new BloomFilterPolicy(bits_per_key);
+}
+
+}  // namespace pipelsm

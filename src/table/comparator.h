@@ -1,0 +1,34 @@
+// Comparator: total order over keys, plus the two key-shortening hooks the
+// table format uses to keep index blocks small.
+#pragma once
+
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace pipelsm {
+
+class Comparator {
+ public:
+  virtual ~Comparator() = default;
+
+  // Three-way comparison: <0 iff a < b, 0 iff equal, >0 iff a > b.
+  virtual int Compare(const Slice& a, const Slice& b) const = 0;
+
+  // Name of the comparator; persisted implicitly via file formats that
+  // depend on the ordering. Changing the order under a name corrupts data.
+  virtual const char* Name() const = 0;
+
+  // If *start < limit, change *start to a short string in [start,limit).
+  // Used to pick short index-block separators.
+  virtual void FindShortestSeparator(std::string* start,
+                                     const Slice& limit) const = 0;
+
+  // Change *key to a short string >= *key.
+  virtual void FindShortSuccessor(std::string* key) const = 0;
+};
+
+// Lexicographic byte order. Singleton; never deleted.
+const Comparator* BytewiseComparator();
+
+}  // namespace pipelsm

@@ -1,0 +1,56 @@
+// Filter block: one filter per 2 KiB window of data-block offsets, plus an
+// offset array so a reader can find the filter covering any data block.
+//
+//   [filter 0] [filter 1] ... [filter N-1]
+//   [offset of filter 0 (fixed32)] ... [offset of filter N-1]
+//   [offset of offset array (fixed32)]
+//   [lg(base) (1 byte)]
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/slice.h"
+
+namespace pipelsm {
+
+class FilterPolicy;
+
+class FilterBlockBuilder {
+ public:
+  explicit FilterBlockBuilder(const FilterPolicy* policy);
+
+  FilterBlockBuilder(const FilterBlockBuilder&) = delete;
+  FilterBlockBuilder& operator=(const FilterBlockBuilder&) = delete;
+
+  void StartBlock(uint64_t block_offset);
+  void AddKey(const Slice& key);
+  Slice Finish();
+
+ private:
+  void GenerateFilter();
+
+  const FilterPolicy* policy_;
+  std::string keys_;             // Flattened key contents
+  std::vector<size_t> start_;    // Starting index in keys_ of each key
+  std::string result_;           // Filter data computed so far
+  std::vector<Slice> tmp_keys_;  // policy_->CreateFilter() argument
+  std::vector<uint32_t> filter_offsets_;
+};
+
+class FilterBlockReader {
+ public:
+  // "contents" and *policy must stay live while *this is in use.
+  FilterBlockReader(const FilterPolicy* policy, const Slice& contents);
+  bool KeyMayMatch(uint64_t block_offset, const Slice& key);
+
+ private:
+  const FilterPolicy* policy_;
+  const char* data_;    // Pointer to filter data (at block-start)
+  const char* offset_;  // Pointer to beginning of offset array (at block-end)
+  size_t num_;          // Number of entries in offset array
+  size_t base_lg_;      // Encoding parameter (see kFilterBaseLg)
+};
+
+}  // namespace pipelsm

@@ -1,0 +1,34 @@
+// FilterPolicy + Bloom filter. Per the paper's related-work discussion
+// (bLSM), bloom filters avoid disk I/O for levels that cannot contain the
+// sought-after key; the table format stores one filter block per SSTable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/util/slice.h"
+
+namespace pipelsm {
+
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+
+  // Name persisted in the table's metaindex; a reader with a
+  // differently-named policy ignores the filter.
+  virtual const char* Name() const = 0;
+
+  // Append a filter summarizing keys[0..n-1] to *dst.
+  virtual void CreateFilter(const Slice* keys, size_t n,
+                            std::string* dst) const = 0;
+
+  // True if key may be in the list the filter was built from; false means
+  // definitely absent.
+  virtual bool KeyMayMatch(const Slice& key, const Slice& filter) const = 0;
+};
+
+// Bloom filter with ~bits_per_key bits per key (10 → ~1% false positives).
+// Singleton-per-configuration; caller owns the result.
+const FilterPolicy* NewBloomFilterPolicy(int bits_per_key);
+
+}  // namespace pipelsm

@@ -1,0 +1,48 @@
+#include "src/table/iterator.h"
+
+namespace pipelsm {
+
+Iterator::~Iterator() {
+  CleanupNode* node = cleanup_head_;
+  while (node != nullptr) {
+    node->fn();
+    CleanupNode* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
+void Iterator::RegisterCleanup(std::function<void()> cleanup) {
+  CleanupNode* node = new CleanupNode{std::move(cleanup), cleanup_head_};
+  cleanup_head_ = node;
+}
+
+namespace {
+
+class EmptyIterator final : public Iterator {
+ public:
+  explicit EmptyIterator(const Status& s) : status_(s) {}
+
+  bool Valid() const override { return false; }
+  void Seek(const Slice&) override {}
+  void SeekToFirst() override {}
+  void SeekToLast() override {}
+  void Next() override {}
+  void Prev() override {}
+  Slice key() const override { return Slice(); }
+  Slice value() const override { return Slice(); }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace
+
+Iterator* NewEmptyIterator() { return new EmptyIterator(Status::OK()); }
+
+Iterator* NewErrorIterator(const Status& status) {
+  return new EmptyIterator(status);
+}
+
+}  // namespace pipelsm

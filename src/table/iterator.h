@@ -1,0 +1,50 @@
+// Iterator: the uniform cursor over sorted key/value sequences (blocks,
+// tables, memtables, merged views, the DB itself).
+#pragma once
+
+#include <functional>
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace pipelsm {
+
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator();
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  virtual void SeekToLast() = 0;
+  // Position at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+  virtual void Next() = 0;
+  virtual void Prev() = 0;
+
+  // REQUIRES: Valid(). Slices stay valid until the next mutation.
+  virtual Slice key() const = 0;
+  virtual Slice value() const = 0;
+
+  virtual Status status() const = 0;
+
+  // Clients may register a cleanup to run when the iterator is destroyed
+  // (used to pin cache handles / table references).
+  void RegisterCleanup(std::function<void()> cleanup);
+
+ private:
+  struct CleanupNode {
+    std::function<void()> fn;
+    CleanupNode* next;
+  };
+  CleanupNode* cleanup_head_ = nullptr;
+};
+
+// An empty iterator (immediately !Valid()) carrying `status`.
+Iterator* NewEmptyIterator();
+Iterator* NewErrorIterator(const Status& status);
+
+}  // namespace pipelsm

@@ -1,0 +1,162 @@
+#include "src/table/merger.h"
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "src/table/comparator.h"
+
+namespace pipelsm {
+
+namespace {
+
+class MergingIterator final : public Iterator {
+ public:
+  MergingIterator(const Comparator* comparator, Iterator** children, int n)
+      : comparator_(comparator), current_(nullptr), direction_(kForward) {
+    children_.reserve(n);
+    for (int i = 0; i < n; i++) {
+      children_.emplace_back(children[i]);
+    }
+  }
+
+  bool Valid() const override { return current_ != nullptr; }
+
+  void SeekToFirst() override {
+    for (auto& child : children_) {
+      child->SeekToFirst();
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void SeekToLast() override {
+    for (auto& child : children_) {
+      child->SeekToLast();
+    }
+    FindLargest();
+    direction_ = kReverse;
+  }
+
+  void Seek(const Slice& target) override {
+    for (auto& child : children_) {
+      child->Seek(target);
+    }
+    FindSmallest();
+    direction_ = kForward;
+  }
+
+  void Next() override {
+    assert(Valid());
+
+    // Ensure that all children are positioned after key(). If we are moving
+    // in the forward direction, this is already true; otherwise we need to
+    // reposition the non-current children.
+    if (direction_ != kForward) {
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(key());
+          if (child->Valid() &&
+              comparator_->Compare(key(), child->key()) == 0) {
+            child->Next();
+          }
+        }
+      }
+      direction_ = kForward;
+    }
+
+    current_->Next();
+    FindSmallest();
+  }
+
+  void Prev() override {
+    assert(Valid());
+
+    if (direction_ != kReverse) {
+      for (auto& child : children_) {
+        if (child.get() != current_) {
+          child->Seek(key());
+          if (child->Valid()) {
+            // Child is at first entry >= key(). Step back one.
+            child->Prev();
+          } else {
+            // Child has no entries >= key(). Position at last entry.
+            child->SeekToLast();
+          }
+        }
+      }
+      direction_ = kReverse;
+    }
+
+    current_->Prev();
+    FindLargest();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return current_->key();
+  }
+
+  Slice value() const override {
+    assert(Valid());
+    return current_->value();
+  }
+
+  Status status() const override {
+    for (const auto& child : children_) {
+      Status s = child->status();
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+ private:
+  enum Direction { kForward, kReverse };
+
+  void FindSmallest() {
+    Iterator* smallest = nullptr;
+    for (auto& child : children_) {
+      if (child->Valid()) {
+        if (smallest == nullptr ||
+            comparator_->Compare(child->key(), smallest->key()) < 0) {
+          smallest = child.get();
+        }
+      }
+    }
+    current_ = smallest;
+  }
+
+  void FindLargest() {
+    Iterator* largest = nullptr;
+    // Reverse order so ties prefer earlier children when going backward.
+    for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+      if ((*it)->Valid()) {
+        if (largest == nullptr ||
+            comparator_->Compare((*it)->key(), largest->key()) > 0) {
+          largest = it->get();
+        }
+      }
+    }
+    current_ = largest;
+  }
+
+  const Comparator* comparator_;
+  std::vector<std::unique_ptr<Iterator>> children_;
+  Iterator* current_;
+  Direction direction_;
+};
+
+}  // namespace
+
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children,
+                             int n) {
+  assert(n >= 0);
+  if (n == 0) {
+    return NewEmptyIterator();
+  } else if (n == 1) {
+    return children[0];
+  }
+  return new MergingIterator(comparator, children, n);
+}
+
+}  // namespace pipelsm

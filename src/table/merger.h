@@ -1,0 +1,18 @@
+// Merging iterator: the sorted union of n child iterators. This is the
+// S4 (SORT) engine of the compaction procedure and the read path's
+// multi-level view.
+#pragma once
+
+#include "src/table/iterator.h"
+
+namespace pipelsm {
+
+class Comparator;
+
+// Takes ownership of children[0..n-1]. Duplicate keys appear in child
+// order (callers that need precedence — e.g. internal keys with sequence
+// numbers — encode it in the key).
+Iterator* NewMergingIterator(const Comparator* comparator, Iterator** children,
+                             int n);
+
+}  // namespace pipelsm

@@ -1,0 +1,247 @@
+#include "src/table/table.h"
+
+#include <string>
+
+#include "src/table/block.h"
+#include "src/table/block_cache.h"
+#include "src/table/comparator.h"
+#include "src/table/filter_block.h"
+#include "src/table/filter_policy.h"
+#include "src/table/format.h"
+#include "src/table/two_level_iterator.h"
+#include "src/util/coding.h"
+
+namespace pipelsm {
+
+struct Table::Rep {
+  ~Rep() {
+    delete filter;
+    delete[] filter_data;
+  }
+
+  TableOptions options;
+  Status status;
+  std::unique_ptr<RandomAccessFile> file;
+  uint64_t cache_id = 0;
+  FilterBlockReader* filter = nullptr;
+  const char* filter_data = nullptr;
+
+  BlockHandle metaindex_handle;
+  std::unique_ptr<Block> index_block;
+};
+
+Table::Table(Rep* rep) : rep_(rep) {}
+
+Table::~Table() = default;
+
+const TableOptions& Table::options() const { return rep_->options; }
+
+Status Table::Open(const TableOptions& options,
+                   std::unique_ptr<RandomAccessFile> file, uint64_t size,
+                   std::unique_ptr<Table>* table) {
+  table->reset();
+  if (size < Footer::kEncodedLength) {
+    return Status::Corruption("file is too short to be an sstable");
+  }
+
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  Status s = file->Read(size - Footer::kEncodedLength, Footer::kEncodedLength,
+                        &footer_input, footer_space);
+  if (!s.ok()) return s;
+
+  Footer footer;
+  s = footer.DecodeFrom(&footer_input);
+  if (!s.ok()) return s;
+
+  // Read the index block.
+  BlockContents index_block_contents;
+  s = ReadBlock(file.get(), footer.index_handle(), options.verify_checksums,
+                &index_block_contents);
+  if (!s.ok()) return s;
+
+  auto* rep = new Rep;
+  rep->options = options;
+  rep->file = std::move(file);
+  rep->metaindex_handle = footer.metaindex_handle();
+  rep->index_block.reset(new Block(index_block_contents));
+  rep->cache_id =
+      options.block_cache != nullptr ? options.block_cache->NewId() : 0;
+  table->reset(new Table(rep));
+  (*table)->ReadMeta(footer);
+  return Status::OK();
+}
+
+void Table::ReadMeta(const Footer& footer) {
+  if (rep_->options.filter_policy == nullptr) {
+    return;  // Do not need any metadata
+  }
+
+  BlockContents contents;
+  if (!ReadBlock(rep_->file.get(), footer.metaindex_handle(),
+                 rep_->options.verify_checksums, &contents)
+           .ok()) {
+    // Do not propagate errors since meta info is not needed for operation.
+    return;
+  }
+  Block meta(contents);
+
+  std::unique_ptr<Iterator> iter(meta.NewIterator(BytewiseComparator()));
+  std::string key = "filter.";
+  key.append(rep_->options.filter_policy->Name());
+  iter->Seek(key);
+  if (iter->Valid() && iter->key() == Slice(key)) {
+    ReadFilter(iter->value());
+  }
+}
+
+void Table::ReadFilter(const Slice& filter_handle_value) {
+  Slice v = filter_handle_value;
+  BlockHandle filter_handle;
+  if (!filter_handle.DecodeFrom(&v).ok()) {
+    return;
+  }
+
+  BlockContents block;
+  if (!ReadBlock(rep_->file.get(), filter_handle,
+                 rep_->options.verify_checksums, &block)
+           .ok()) {
+    return;
+  }
+  if (block.heap_allocated) {
+    rep_->filter_data = block.data.data();  // Will need to delete later
+  }
+  rep_->filter = new FilterBlockReader(rep_->options.filter_policy, block.data);
+}
+
+// Converts an index-block value (encoded BlockHandle) into an iterator over
+// the corresponding data block, consulting the shared cache first.
+Iterator* Table::ReadBlockIterator(const TableReadOptions& read_options,
+                                   const Slice& index_value) const {
+  BlockCache* cache = rep_->options.block_cache;
+  Slice input = index_value;
+  BlockHandle handle;
+  Status s = handle.DecodeFrom(&input);
+  if (!s.ok()) {
+    return NewErrorIterator(s);
+  }
+
+  const bool verify =
+      rep_->options.verify_checksums || read_options.verify_checksums;
+  std::shared_ptr<Block> block;
+  char cache_key_buffer[16];
+  if (cache != nullptr) {
+    EncodeFixed64(cache_key_buffer, rep_->cache_id);
+    EncodeFixed64(cache_key_buffer + 8, handle.offset());
+    Slice key(cache_key_buffer, sizeof(cache_key_buffer));
+    block = cache->Lookup(key);
+    if (block == nullptr) {
+      BlockContents contents;
+      s = ReadBlock(rep_->file.get(), handle, verify, &contents);
+      if (!s.ok()) return NewErrorIterator(s);
+      block = std::make_shared<Block>(contents);
+      if (contents.cachable && read_options.fill_cache) {
+        cache->Insert(key, block, block->size());
+      }
+    }
+  } else {
+    BlockContents contents;
+    s = ReadBlock(rep_->file.get(), handle, verify, &contents);
+    if (!s.ok()) return NewErrorIterator(s);
+    block = std::make_shared<Block>(contents);
+  }
+
+  Iterator* iter = block->NewIterator(rep_->options.comparator);
+  // Pin the block for the iterator's lifetime.
+  iter->RegisterCleanup([block]() mutable { block.reset(); });
+  return iter;
+}
+
+Iterator* Table::NewIterator(const TableReadOptions& read_options) const {
+  return NewTwoLevelIterator(
+      rep_->index_block->NewIterator(rep_->options.comparator),
+      [this, read_options](const Slice& index_value) {
+        return ReadBlockIterator(read_options, index_value);
+      });
+}
+
+Iterator* Table::NewIndexIterator() const {
+  return rep_->index_block->NewIterator(rep_->options.comparator);
+}
+
+Status Table::ReadRaw(const BlockHandle& handle, RawBlock* out) const {
+  return ReadRawBlock(rep_->file.get(), handle, out);
+}
+
+Status Table::ReadExtent(uint64_t offset, uint64_t size,
+                         std::string* out) const {
+  out->resize(size);
+  Slice contents;
+  Status s = rep_->file->Read(offset, size, &contents, out->data());
+  if (!s.ok()) return s;
+  if (contents.size() != size) {
+    return Status::Corruption("truncated extent read");
+  }
+  if (contents.data() != out->data()) {
+    out->assign(contents.data(), contents.size());
+  }
+  return Status::OK();
+}
+
+Status Table::InternalGet(
+    const TableReadOptions& read_options, const Slice& k,
+    const std::function<void(const Slice&, const Slice&)>& handle_result)
+    const {
+  Status s;
+  std::unique_ptr<Iterator> iiter(
+      rep_->index_block->NewIterator(rep_->options.comparator));
+  iiter->Seek(k);
+  if (iiter->Valid()) {
+    Slice handle_value = iiter->value();
+    FilterBlockReader* filter = rep_->filter;
+    BlockHandle handle;
+    Slice hv = handle_value;
+    if (filter != nullptr && handle.DecodeFrom(&hv).ok() &&
+        !filter->KeyMayMatch(handle.offset(), k)) {
+      // Not found: filter says the key is definitely absent.
+    } else {
+      std::unique_ptr<Iterator> block_iter(
+          ReadBlockIterator(read_options, handle_value));
+      block_iter->Seek(k);
+      if (block_iter->Valid()) {
+        handle_result(block_iter->key(), block_iter->value());
+      }
+      s = block_iter->status();
+    }
+  }
+  if (s.ok()) {
+    s = iiter->status();
+  }
+  return s;
+}
+
+uint64_t Table::ApproximateOffsetOf(const Slice& key) const {
+  std::unique_ptr<Iterator> index_iter(
+      rep_->index_block->NewIterator(rep_->options.comparator));
+  index_iter->Seek(key);
+  uint64_t result;
+  if (index_iter->Valid()) {
+    BlockHandle handle;
+    Slice input = index_iter->value();
+    Status s = handle.DecodeFrom(&input);
+    if (s.ok()) {
+      result = handle.offset();
+    } else {
+      // Strange: we can't decode the block handle in the index block.
+      // We'll just return the offset of the metaindex block.
+      result = rep_->metaindex_handle.offset();
+    }
+  } else {
+    // key is past the last key in the file; approximate by the metaindex
+    // offset (close to the whole file size).
+    result = rep_->metaindex_handle.offset();
+  }
+  return result;
+}
+
+}  // namespace pipelsm

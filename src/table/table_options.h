@@ -1,0 +1,39 @@
+// Knobs shared by the table builder/reader. The DB layer derives these
+// from its own Options so the table layer stays independent.
+#pragma once
+
+#include <cstddef>
+
+#include "src/compress/codec.h"
+#include "src/table/comparator.h"
+
+namespace pipelsm {
+
+class FilterPolicy;
+class BlockCache;
+
+struct TableOptions {
+  const Comparator* comparator = BytewiseComparator();
+  const FilterPolicy* filter_policy = nullptr;  // optional bloom filters
+  BlockCache* block_cache = nullptr;            // optional shared cache
+
+  // Uncompressed data-block size target. The paper's default is 4 KB.
+  size_t block_size = 4 * 1024;
+
+  // Keys between restart points in a block.
+  int block_restart_interval = 16;
+
+  // S5 codec for data blocks.
+  CompressionType compression = CompressionType::kLzCompression;
+
+  // Verify block trailers (S2) when reading.
+  bool verify_checksums = true;
+};
+
+// Per-read overrides (derived from the DB's ReadOptions).
+struct TableReadOptions {
+  bool verify_checksums = false;  // additionally verify data-block CRCs
+  bool fill_cache = true;         // insert fetched blocks into the cache
+};
+
+}  // namespace pipelsm

@@ -1,0 +1,18 @@
+// Two-level iterator: walks an index iterator whose values identify the
+// inputs to a block-iterator factory. Used for table iteration (index block
+// → data blocks) and level iteration (file list → tables).
+#pragma once
+
+#include <functional>
+
+#include "src/table/iterator.h"
+
+namespace pipelsm {
+
+// block_function(index_value) returns an iterator over the corresponding
+// block's contents; ownership passes to the two-level iterator.
+Iterator* NewTwoLevelIterator(
+    Iterator* index_iter,
+    std::function<Iterator*(const Slice& index_value)> block_function);
+
+}  // namespace pipelsm

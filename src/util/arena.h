@@ -1,0 +1,55 @@
+// Arena: bump allocator for memtable nodes and keys.
+//
+// Allocations live until the arena is destroyed; there is no per-object
+// free. AllocateAligned is safe for objects containing atomics. MemoryUsage
+// is approximate and may be read concurrently with allocations.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pipelsm {
+
+class Arena {
+ public:
+  Arena();
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns a pointer to a newly allocated memory block of `bytes` bytes.
+  char* Allocate(size_t bytes);
+
+  // Allocate with the normal alignment guarantees provided by malloc.
+  char* AllocateAligned(size_t bytes);
+
+  // Estimate of the total memory used by the arena (blocks + bookkeeping).
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<char*> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+inline char* Arena::Allocate(size_t bytes) {
+  // 0-byte allocations would be ambiguous; disallow them.
+  if (bytes <= alloc_bytes_remaining_ && bytes > 0) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+}  // namespace pipelsm

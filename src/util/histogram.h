@@ -1,0 +1,38 @@
+// Histogram: latency/throughput distribution with exponential buckets,
+// used by the workload driver and benches to report median/percentiles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pipelsm {
+
+class Histogram {
+ public:
+  static constexpr int kNumBuckets_ = 154;
+
+  Histogram() { Clear(); }
+
+  void Clear();
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  double Median() const;
+  double Percentile(double p) const;
+  double Average() const;
+  double StandardDeviation() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+  double Num() const { return num_; }
+  std::string ToString() const;
+
+ private:
+  double min_;
+  double max_;
+  double num_;
+  double sum_;
+  double sum_squares_;
+  double buckets_[kNumBuckets_];
+};
+
+}  // namespace pipelsm

@@ -1,0 +1,97 @@
+#include "src/util/logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include <atomic>
+#include <limits>
+
+namespace pipelsm {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void Logf(LogLevel level, const char* format, ...) {
+  if (static_cast<int>(level) <
+      g_log_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  char buf[2048];
+  va_list ap;
+  va_start(ap, format);
+  std::vsnprintf(buf, sizeof(buf), format, ap);
+  va_end(ap);
+  std::fprintf(stderr, "[pipelsm %s] %s\n",
+               kNames[static_cast<int>(level)], buf);
+}
+
+void AppendNumberTo(std::string* str, uint64_t num) {
+  char buf[30];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(num));
+  str->append(buf);
+}
+
+void AppendEscapedStringTo(std::string* str, const Slice& value) {
+  for (size_t i = 0; i < value.size(); i++) {
+    char c = value[i];
+    if (c >= ' ' && c <= '~') {
+      str->push_back(c);
+    } else {
+      char buf[10];
+      std::snprintf(buf, sizeof(buf), "\\x%02x",
+                    static_cast<unsigned int>(c) & 0xff);
+      str->append(buf);
+    }
+  }
+}
+
+std::string NumberToString(uint64_t num) {
+  std::string r;
+  AppendNumberTo(&r, num);
+  return r;
+}
+
+std::string EscapeString(const Slice& value) {
+  std::string r;
+  AppendEscapedStringTo(&r, value);
+  return r;
+}
+
+bool ConsumeDecimalNumber(Slice* in, uint64_t* val) {
+  constexpr uint64_t kMaxUint64 = std::numeric_limits<uint64_t>::max();
+  constexpr char kLastDigitOfMaxUint64 = '0' + (kMaxUint64 % 10);
+
+  uint64_t value = 0;
+  const uint8_t* start = reinterpret_cast<const uint8_t*>(in->data());
+  const uint8_t* end = start + in->size();
+  const uint8_t* current = start;
+  for (; current != end; ++current) {
+    const uint8_t ch = *current;
+    if (ch < '0' || ch > '9') break;
+    // Overflow check.
+    if (value > kMaxUint64 / 10 ||
+        (value == kMaxUint64 / 10 &&
+         ch > static_cast<uint8_t>(kLastDigitOfMaxUint64))) {
+      return false;
+    }
+    value = (value * 10) + (ch - '0');
+  }
+
+  *val = value;
+  const size_t digits_consumed = current - start;
+  in->remove_prefix(digits_consumed);
+  return digits_consumed != 0;
+}
+
+}  // namespace pipelsm

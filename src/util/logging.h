@@ -1,0 +1,43 @@
+// Minimal leveled logger plus number/escape helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/slice.h"
+
+namespace pipelsm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging to stderr with a level prefix.
+void Logf(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define PIPELSM_LOG_DEBUG(...) \
+  ::pipelsm::Logf(::pipelsm::LogLevel::kDebug, __VA_ARGS__)
+#define PIPELSM_LOG_INFO(...) \
+  ::pipelsm::Logf(::pipelsm::LogLevel::kInfo, __VA_ARGS__)
+#define PIPELSM_LOG_WARN(...) \
+  ::pipelsm::Logf(::pipelsm::LogLevel::kWarn, __VA_ARGS__)
+#define PIPELSM_LOG_ERROR(...) \
+  ::pipelsm::Logf(::pipelsm::LogLevel::kError, __VA_ARGS__)
+
+// Append a human-readable printout of "num" to *str.
+void AppendNumberTo(std::string* str, uint64_t num);
+
+// Append a human-readable version of "value" to *str, escaping any
+// non-printable characters.
+void AppendEscapedStringTo(std::string* str, const Slice& value);
+
+std::string NumberToString(uint64_t num);
+std::string EscapeString(const Slice& value);
+
+// Parse a decimal number from *in into *val; consumes the digits.
+bool ConsumeDecimalNumber(Slice* in, uint64_t* val);
+
+}  // namespace pipelsm

@@ -1,0 +1,78 @@
+// Deterministic PRNGs for tests and workload generation.
+//
+// Random: LevelDB's Lehmer LCG — fast, tiny state, good enough for skiplist
+// heights and workload shaping where reproducibility matters more than
+// statistical quality. Xoroshiro128pp: larger-period generator for value
+// payload synthesis.
+#pragma once
+
+#include <cstdint>
+
+namespace pipelsm {
+
+class Random {
+ public:
+  explicit Random(uint32_t s) : seed_(s & 0x7fffffffu) {
+    // Avoid bad seeds (0 and 2^31-1 are fixed points of the recurrence).
+    if (seed_ == 0 || seed_ == 2147483647L) {
+      seed_ = 1;
+    }
+  }
+
+  uint32_t Next() {
+    static const uint32_t M = 2147483647L;  // 2^31-1
+    static const uint64_t A = 16807;        // bits 14, 8, 7, 5, 2, 1, 0
+    // seed_ = (seed_ * A) % M, computed without overflow in 64 bits.
+    uint64_t product = seed_ * A;
+    seed_ = static_cast<uint32_t>((product >> 31) + (product & M));
+    if (seed_ > M) {
+      seed_ -= M;
+    }
+    return seed_;
+  }
+
+  // Returns a uniformly distributed value in the range [0..n-1]. n > 0.
+  uint32_t Uniform(int n) { return Next() % n; }
+
+  // Returns true with probability approximately 1/n.
+  bool OneIn(int n) { return (Next() % n) == 0; }
+
+  // Skewed: pick base in [0, max_log] uniformly, then return a value in
+  // [0, 2^base - 1]. Favors small numbers exponentially.
+  uint32_t Skewed(int max_log) { return Uniform(1 << Uniform(max_log + 1)); }
+
+ private:
+  uint32_t seed_;
+};
+
+class Xoroshiro128pp {
+ public:
+  explicit Xoroshiro128pp(uint64_t seed) {
+    // SplitMix64 seeding.
+    auto next = [&seed]() {
+      uint64_t z = (seed += 0x9e3779b97f4a7c15ULL);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    s_[0] = next();
+    s_[1] = next();
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  uint64_t Next() {
+    const uint64_t s0 = s_[0];
+    uint64_t s1 = s_[1];
+    const uint64_t result = Rotl(s0 + s1, 17) + s0;
+    s1 ^= s0;
+    s_[0] = Rotl(s0, 49) ^ s1 ^ (s1 << 21);
+    s_[1] = Rotl(s1, 28);
+    return result;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[2];
+};
+
+}  // namespace pipelsm

@@ -1,0 +1,68 @@
+#include "src/util/status.h"
+
+#include <cstdio>
+
+namespace pipelsm {
+
+const char* Status::CopyState(const char* state) {
+  if (state == nullptr) return nullptr;
+  uint32_t size;
+  std::memcpy(&size, state, sizeof(size));
+  char* result = new char[size + 5];
+  std::memcpy(result, state, size + 5);
+  return result;
+}
+
+Status::Status(Code code, const Slice& msg, const Slice& msg2) {
+  const uint32_t len1 = static_cast<uint32_t>(msg.size());
+  const uint32_t len2 = static_cast<uint32_t>(msg2.size());
+  const uint32_t size = len1 + (len2 ? (2 + len2) : 0);
+  char* result = new char[size + 5];
+  std::memcpy(result, &size, sizeof(size));
+  result[4] = static_cast<char>(code);
+  std::memcpy(result + 5, msg.data(), len1);
+  if (len2) {
+    result[5 + len1] = ':';
+    result[6 + len1] = ' ';
+    std::memcpy(result + 7 + len1, msg2.data(), len2);
+  }
+  state_ = result;
+}
+
+std::string Status::ToString() const {
+  if (state_ == nullptr) return "OK";
+  const char* type;
+  switch (code()) {
+    case kOk:
+      type = "OK";
+      break;
+    case kNotFound:
+      type = "NotFound: ";
+      break;
+    case kCorruption:
+      type = "Corruption: ";
+      break;
+    case kNotSupported:
+      type = "Not implemented: ";
+      break;
+    case kInvalidArgument:
+      type = "Invalid argument: ";
+      break;
+    case kIOError:
+      type = "IO error: ";
+      break;
+    case kBusy:
+      type = "Busy: ";
+      break;
+    default:
+      type = "Unknown code: ";
+      break;
+  }
+  std::string result(type);
+  uint32_t length;
+  std::memcpy(&length, state_, sizeof(length));
+  result.append(state_ + 5, length);
+  return result;
+}
+
+}  // namespace pipelsm

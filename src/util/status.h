@@ -1,0 +1,93 @@
+// Status: result of an operation that may fail.
+//
+// The OK state is represented by a null pointer so the success path costs a
+// single pointer test and no allocation. Error states carry a code and a
+// message in a heap-allocated buffer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "src/util/slice.h"
+
+namespace pipelsm {
+
+class Status {
+ public:
+  Status() noexcept : state_(nullptr) {}
+  ~Status() { delete[] state_; }
+
+  Status(const Status& rhs) : state_(CopyState(rhs.state_)) {}
+  Status& operator=(const Status& rhs) {
+    if (state_ != rhs.state_) {
+      delete[] state_;
+      state_ = CopyState(rhs.state_);
+    }
+    return *this;
+  }
+
+  Status(Status&& rhs) noexcept : state_(rhs.state_) { rhs.state_ = nullptr; }
+  Status& operator=(Status&& rhs) noexcept {
+    std::swap(state_, rhs.state_);
+    return *this;
+  }
+
+  static Status OK() { return Status(); }
+  static Status NotFound(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotFound, msg, msg2);
+  }
+  static Status Corruption(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kCorruption, msg, msg2);
+  }
+  static Status NotSupported(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kNotSupported, msg, msg2);
+  }
+  static Status InvalidArgument(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kInvalidArgument, msg, msg2);
+  }
+  static Status IOError(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kIOError, msg, msg2);
+  }
+  static Status Busy(const Slice& msg, const Slice& msg2 = Slice()) {
+    return Status(kBusy, msg, msg2);
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  bool IsNotFound() const { return code() == kNotFound; }
+  bool IsCorruption() const { return code() == kCorruption; }
+  bool IsIOError() const { return code() == kIOError; }
+  bool IsNotSupported() const { return code() == kNotSupported; }
+  bool IsInvalidArgument() const { return code() == kInvalidArgument; }
+  bool IsBusy() const { return code() == kBusy; }
+
+  std::string ToString() const;
+
+ private:
+  enum Code : uint8_t {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+  };
+
+  Status(Code code, const Slice& msg, const Slice& msg2);
+
+  Code code() const {
+    return (state_ == nullptr) ? kOk : static_cast<Code>(state_[4]);
+  }
+
+  static const char* CopyState(const char* s);
+
+  // OK status has a null state_.  Otherwise, state_ is a new[] array with:
+  //    state_[0..3] == length of message
+  //    state_[4]    == code
+  //    state_[5..]  == message
+  const char* state_;
+};
+
+}  // namespace pipelsm

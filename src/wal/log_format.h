@@ -1,0 +1,29 @@
+// WAL record format (shared by writer and reader):
+//
+// The log is a sequence of 32 KiB blocks. Each record fragment has a
+// 7-byte header: crc32c (4) | length (2) | type (1), where type marks the
+// fragment's position in its logical record (FULL / FIRST / MIDDLE /
+// LAST). A block's trailing <7 bytes are zero-padded.
+#pragma once
+
+namespace pipelsm::log {
+
+enum RecordType {
+  // Zero is reserved for preallocated files.
+  kZeroType = 0,
+
+  kFullType = 1,
+
+  // For fragments:
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+static const int kMaxRecordType = kLastType;
+
+static const int kBlockSize = 32768;
+
+// Header is checksum (4 bytes), length (2 bytes), type (1 byte).
+static const int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace pipelsm::log

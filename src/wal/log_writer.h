@@ -1,0 +1,39 @@
+// WAL writer.
+#pragma once
+
+#include <cstdint>
+
+#include "src/env/env.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+#include "src/wal/log_format.h"
+
+namespace pipelsm::log {
+
+class Writer {
+ public:
+  // Create a writer that will append data to "*dest". "*dest" must be
+  // initially empty and must remain live while this Writer is in use.
+  explicit Writer(WritableFile* dest);
+
+  // Create a writer that will append data to "*dest", which has initial
+  // length "dest_length" (reopen-for-append case).
+  Writer(WritableFile* dest, uint64_t dest_length);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& slice);
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  WritableFile* dest_;
+  int block_offset_;  // Current offset in block
+
+  // crc32c values for all supported record types, precomputed to reduce
+  // the cost of computing the crc of the type byte.
+  uint32_t type_crc_[kMaxRecordType + 1];
+};
+
+}  // namespace pipelsm::log

@@ -1,0 +1,62 @@
+#include "src/workload/generator.h"
+
+#include <cstdio>
+
+namespace pipelsm {
+
+WorkloadGenerator::WorkloadGenerator(uint64_t num_entries, size_t key_size,
+                                     size_t value_size, KeyOrder order,
+                                     uint32_t seed,
+                                     double value_compressibility)
+    : num_entries_(num_entries),
+      key_size_(key_size < 8 ? 8 : key_size),
+      value_size_(value_size),
+      order_(order),
+      seed_(seed),
+      compressibility_(value_compressibility) {}
+
+std::string WorkloadGenerator::Key(uint64_t i) const {
+  uint64_t k = i;
+  if (order_ == KeyOrder::kRandom) {
+    // Feistel-style mix for a collision-free pseudo-random order over the
+    // index space (bijective on 64 bits).
+    k = k * 0x9e3779b97f4a7c15ULL + seed_;
+    k ^= k >> 29;
+    k *= 0xbf58476d1ce4e5b9ULL;
+    k ^= k >> 32;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(k));
+  std::string key(buf);
+  if (key.size() < key_size_) {
+    key.append(key_size_ - key.size(), 'k');
+  } else {
+    // Keep the LOW-order digits: for sequential indices the high digits
+    // are constant zeros (all keys would collide), while the low digits
+    // both discriminate and preserve numeric order.
+    key = key.substr(key.size() - key_size_);
+  }
+  return key;
+}
+
+std::string WorkloadGenerator::Value(uint64_t i) const {
+  std::string value;
+  value.reserve(value_size_);
+  const size_t pattern_len =
+      static_cast<size_t>(value_size_ * compressibility_);
+  // Compressible prefix: a short repeated pattern keyed by the index.
+  const char pattern = static_cast<char>('a' + (i % 26));
+  value.append(pattern_len, pattern);
+  // Incompressible tail: xoroshiro filler.
+  Xoroshiro128pp rng(seed_ ^ (i * 0x517cc1b727220a95ULL));
+  while (value.size() < value_size_) {
+    uint64_t bits = rng.Next();
+    for (int b = 0; b < 8 && value.size() < value_size_; b++) {
+      value.push_back(static_cast<char>(bits >> (8 * b)));
+    }
+  }
+  return value;
+}
+
+}  // namespace pipelsm

@@ -1,0 +1,45 @@
+// Workload generation: the paper's insert-only workloads (§IV-A: 16-byte
+// keys, 100-byte values, fifty million entries — scaled down here) plus
+// the key orders and value shapes the benches sweep over.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/random.h"
+#include "src/util/slice.h"
+
+namespace pipelsm {
+
+enum class KeyOrder { kSequential, kRandom };
+
+class WorkloadGenerator {
+ public:
+  // value_compressibility in [0,1]: fraction of each value that is a
+  // repeated pattern (snappy-friendly); the rest is pseudo-random.
+  WorkloadGenerator(uint64_t num_entries, size_t key_size, size_t value_size,
+                    KeyOrder order, uint32_t seed = 301,
+                    double value_compressibility = 0.5);
+
+  uint64_t num_entries() const { return num_entries_; }
+  size_t key_size() const { return key_size_; }
+  size_t value_size() const { return value_size_; }
+
+  // The i-th key of the run (zero-padded decimal, collision-free).
+  // Sequential order yields ascending keys; random order a fixed
+  // permutation-ish shuffle of the same key space.
+  std::string Key(uint64_t i) const;
+
+  // The value written for key index i (deterministic per index).
+  std::string Value(uint64_t i) const;
+
+ private:
+  const uint64_t num_entries_;
+  const size_t key_size_;
+  const size_t value_size_;
+  const KeyOrder order_;
+  const uint32_t seed_;
+  const double compressibility_;
+};
+
+}  // namespace pipelsm

@@ -1,0 +1,148 @@
+#include "src/compaction/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+
+#include "src/env/sim_env.h"
+#include "src/workload/table_gen.h"
+
+namespace pipelsm {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() : icmp_(BytewiseComparator()) {}
+
+  CompactionInputs MakeInputs(uint64_t upper_bytes = 1 << 20,
+                              uint64_t lower_bytes = 2 << 20) {
+    TableGenOptions gen;
+    gen.env = &env_;
+    gen.icmp = &icmp_;
+    gen.upper_bytes = upper_bytes;
+    gen.lower_bytes = lower_bytes;
+    CompactionInputs inputs;
+    EXPECT_TRUE(GenerateCompactionInputs(gen, &inputs).ok());
+    return inputs;
+  }
+
+  CompactionJobOptions JobOptions(size_t subtask_bytes) {
+    CompactionJobOptions job;
+    job.icmp = &icmp_;
+    job.subtask_bytes = subtask_bytes;
+    return job;
+  }
+
+  SimEnv env_;
+  InternalKeyComparator icmp_;
+};
+
+TEST_F(PlannerTest, EmptyInputsYieldNoPlans) {
+  std::vector<SubTaskPlan> plans;
+  ASSERT_TRUE(PlanSubTasks(JobOptions(64 << 10), {}, &plans).ok());
+  EXPECT_TRUE(plans.empty());
+}
+
+TEST_F(PlannerTest, SingleSubTaskWhenBudgetIsHuge) {
+  auto inputs = MakeInputs();
+  std::vector<SubTaskPlan> plans;
+  ASSERT_TRUE(
+      PlanSubTasks(JobOptions(1ull << 40), inputs.tables, &plans).ok());
+  ASSERT_EQ(1u, plans.size());
+  EXPECT_TRUE(plans[0].unbounded_lo);
+  EXPECT_TRUE(plans[0].unbounded_hi);
+  EXPECT_GT(plans[0].blocks.size(), 0u);
+}
+
+TEST_F(PlannerTest, SmallBudgetMakesManySubTasks) {
+  auto inputs = MakeInputs();
+  std::vector<SubTaskPlan> plans;
+  ASSERT_TRUE(PlanSubTasks(JobOptions(64 << 10), inputs.tables, &plans).ok());
+  EXPECT_GT(plans.size(), 10u);
+}
+
+TEST_F(PlannerTest, PlansAreOrderedAndContiguous) {
+  auto inputs = MakeInputs();
+  std::vector<SubTaskPlan> plans;
+  ASSERT_TRUE(PlanSubTasks(JobOptions(128 << 10), inputs.tables, &plans).ok());
+  ASSERT_GT(plans.size(), 2u);
+
+  const Comparator* ucmp = icmp_.user_comparator();
+  EXPECT_TRUE(plans.front().unbounded_lo);
+  EXPECT_TRUE(plans.back().unbounded_hi);
+  for (size_t i = 0; i < plans.size(); i++) {
+    EXPECT_EQ(i, plans[i].seq);
+    if (i > 0) {
+      // Each plan's lo is the previous plan's hi.
+      ASSERT_FALSE(plans[i].unbounded_lo);
+      ASSERT_FALSE(plans[i - 1].unbounded_hi);
+      EXPECT_EQ(plans[i - 1].hi_user_key, plans[i].lo_user_key);
+    }
+    if (!plans[i].unbounded_lo && !plans[i].unbounded_hi) {
+      EXPECT_LT(
+          ucmp->Compare(plans[i].lo_user_key, plans[i].hi_user_key), 0);
+    }
+  }
+}
+
+TEST_F(PlannerTest, EveryInputBlockIsCovered) {
+  auto inputs = MakeInputs();
+  std::vector<SubTaskPlan> plans;
+  ASSERT_TRUE(PlanSubTasks(JobOptions(128 << 10), inputs.tables, &plans).ok());
+
+  // Count distinct blocks per table in the inputs.
+  size_t total_blocks = 0;
+  for (const auto& t : inputs.tables) {
+    std::unique_ptr<Iterator> it(t->NewIndexIterator());
+    for (it->SeekToFirst(); it->Valid(); it->Next()) total_blocks++;
+  }
+
+  // Collect distinct (table, offset) pairs across plans.
+  std::set<std::pair<int, uint64_t>> covered;
+  for (const auto& p : plans) {
+    for (const auto& br : p.blocks) {
+      covered.insert({br.table_index, br.handle.offset()});
+    }
+  }
+  EXPECT_EQ(total_blocks, covered.size());
+}
+
+TEST_F(PlannerTest, SubTaskSizesNearBudget) {
+  auto inputs = MakeInputs(2 << 20, 4 << 20);
+  const size_t budget = 256 << 10;
+  std::vector<SubTaskPlan> plans;
+  ASSERT_TRUE(PlanSubTasks(JobOptions(budget), inputs.tables, &plans).ok());
+  ASSERT_GT(plans.size(), 2u);
+  // All but the last sub-task should be within ~3x of the budget (boundary
+  // blocks can spill).
+  for (size_t i = 0; i + 1 < plans.size(); i++) {
+    EXPECT_GT(plans[i].input_bytes, budget / 4) << i;
+    EXPECT_LT(plans[i].input_bytes, budget * 3) << i;
+  }
+}
+
+TEST_F(PlannerTest, RangeIsBaseLevelCallbackApplied) {
+  auto inputs = MakeInputs();
+  CompactionJobOptions job = JobOptions(128 << 10);
+  int calls = 0;
+  job.range_is_base_level = [&calls](const SubTaskPlan& plan) {
+    calls++;
+    return plan.seq % 2 == 0;
+  };
+  std::vector<SubTaskPlan> plans;
+  ASSERT_TRUE(PlanSubTasks(job, inputs.tables, &plans).ok());
+  EXPECT_EQ(static_cast<int>(plans.size()), calls);
+  for (const auto& p : plans) {
+    EXPECT_EQ(p.seq % 2 == 0, p.drop_deletions);
+  }
+}
+
+TEST_F(PlannerTest, MissingIcmpRejected) {
+  CompactionJobOptions job;
+  std::vector<SubTaskPlan> plans;
+  EXPECT_TRUE(PlanSubTasks(job, {}, &plans).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace pipelsm

@@ -1,0 +1,158 @@
+// Direct tests of the step primitives: range filtering at sub-task
+// boundaries, extent coalescing in S1, and the slow-motion dilation.
+#include "src/compaction/steps.h"
+
+#include <gtest/gtest.h>
+
+#include "src/compaction/planner.h"
+#include "src/env/sim_env.h"
+#include "src/util/stopwatch.h"
+#include "src/workload/table_gen.h"
+
+namespace pipelsm {
+namespace {
+
+class StepsTest : public ::testing::Test {
+ protected:
+  StepsTest() : icmp_(BytewiseComparator()) {
+    TableGenOptions gen;
+    gen.env = &env_;
+    gen.icmp = &icmp_;
+    gen.upper_bytes = 256 << 10;
+    gen.lower_bytes = 512 << 10;
+    EXPECT_TRUE(GenerateCompactionInputs(gen, &inputs_).ok());
+    job_.icmp = &icmp_;
+    job_.subtask_bytes = 64 << 10;
+  }
+
+  SimEnv env_;
+  InternalKeyComparator icmp_;
+  CompactionInputs inputs_;
+  CompactionJobOptions job_;
+};
+
+TEST_F(StepsTest, BoundaryBlocksDoNotDuplicateOutput) {
+  std::vector<SubTaskPlan> plans;
+  ASSERT_TRUE(PlanSubTasks(job_, inputs_.tables, &plans).ok());
+  ASSERT_GT(plans.size(), 3u);
+
+  // Total blocks listed across plans exceeds distinct blocks (boundary
+  // blocks are read twice)...
+  size_t listed = 0;
+  for (const auto& p : plans) listed += p.blocks.size();
+  size_t distinct = 0;
+  for (const auto& t : inputs_.tables) {
+    std::unique_ptr<Iterator> it(t->NewIndexIterator());
+    for (it->SeekToFirst(); it->Valid(); it->Next()) distinct++;
+  }
+  EXPECT_GT(listed, distinct);
+
+  // ...yet the merged outputs contain each user key exactly once, in
+  // globally ascending order across sub-tasks.
+  std::string prev_last;
+  uint64_t entries = 0;
+  for (const auto& plan : plans) {
+    StepProfile profile;
+    RawSubTask raw;
+    ASSERT_TRUE(ReadSubTask(job_, inputs_.tables, plan, &raw, &profile).ok());
+    ComputedSubTask computed;
+    ASSERT_TRUE(ComputeSubTask(job_, std::move(raw), &computed).ok());
+    if (computed.entries == 0) continue;
+    Slice first_user = ExtractUserKey(computed.smallest_key);
+    if (!prev_last.empty()) {
+      EXPECT_GT(first_user.ToString(), prev_last);
+    }
+    prev_last = ExtractUserKey(computed.largest_key).ToString();
+    entries += computed.entries;
+  }
+  // Upper rewrote half the lower keys: output = distinct user keys.
+  const uint64_t distinct_keys =
+      (512 << 10) / (16 + 100);  // lower component key count
+  EXPECT_EQ(distinct_keys, entries);
+}
+
+TEST_F(StepsTest, ReadCoalescesContiguousBlocks) {
+  std::vector<SubTaskPlan> plans;
+  ASSERT_TRUE(PlanSubTasks(job_, inputs_.tables, &plans).ok());
+
+  env_.device()->ResetStats();
+  StepProfile profile;
+  RawSubTask raw;
+  ASSERT_TRUE(ReadSubTask(job_, inputs_.tables, plans[1], &raw, &profile).ok());
+
+  // Far fewer device read ops than blocks (coalesced extents).
+  const uint64_t ops = env_.device()->stats().read_ops.load();
+  EXPECT_LT(ops, plans[1].blocks.size() / 2 + 2);
+  EXPECT_GT(raw.blocks.size(), 4u);
+
+  // And every sliced payload verifies + decodes.
+  for (const auto& rb : raw.blocks) {
+    ASSERT_TRUE(VerifyRawBlock(rb).ok());
+    std::string contents;
+    ASSERT_TRUE(DecodeRawBlock(rb, &contents).ok());
+  }
+}
+
+TEST_F(StepsTest, DilationStretchesComputeUniformly) {
+  std::vector<SubTaskPlan> plans;
+  ASSERT_TRUE(PlanSubTasks(job_, inputs_.tables, &plans).ok());
+
+  StepProfile rp;
+  RawSubTask raw1, raw2;
+  ASSERT_TRUE(ReadSubTask(job_, inputs_.tables, plans[0], &raw1, &rp).ok());
+  raw2 = raw1;  // same input twice
+
+  ComputedSubTask plain;
+  ASSERT_TRUE(ComputeSubTask(job_, std::move(raw1), &plain).ok());
+
+  CompactionJobOptions dilated_job = job_;
+  dilated_job.time_dilation = 4.0;
+  Stopwatch sw;
+  ComputedSubTask dilated;
+  ASSERT_TRUE(ComputeSubTask(dilated_job, std::move(raw2), &dilated).ok());
+  const uint64_t dilated_wall = sw.ElapsedNanos();
+
+  // Identical output bytes.
+  ASSERT_EQ(plain.blocks.size(), dilated.blocks.size());
+  for (size_t i = 0; i < plain.blocks.size(); i++) {
+    EXPECT_EQ(plain.blocks[i].payload, dilated.blocks[i].payload);
+  }
+
+  // Reported compute time scaled ~4x, and real wall time actually grew
+  // (the sleep is real).
+  EXPECT_GT(dilated.profile.ComputeNanos(),
+            plain.profile.ComputeNanos() * 2);
+  EXPECT_GT(dilated_wall, plain.profile.ComputeNanos() * 2);
+}
+
+TEST_F(StepsTest, DilatedProfileScalesDeviceNumbers) {
+  DeviceProfile hdd = DeviceProfile::Hdd();
+  DeviceProfile slow = DilatedProfile(hdd, 4.0);
+  EXPECT_NEAR(hdd.read_bw_bps / 4, slow.read_bw_bps, 1);
+  EXPECT_NEAR(hdd.write_position_us * 4, slow.write_position_us, 1e-6);
+  // Dilation of 1 is identity.
+  DeviceProfile same = DilatedProfile(hdd, 1.0);
+  EXPECT_EQ(hdd.read_bw_bps, same.read_bw_bps);
+  EXPECT_EQ(hdd.name, same.name);
+}
+
+TEST_F(StepsTest, SubTaskProfileAccountsAllSteps) {
+  std::vector<SubTaskPlan> plans;
+  ASSERT_TRUE(PlanSubTasks(job_, inputs_.tables, &plans).ok());
+  StepProfile profile;
+  RawSubTask raw;
+  ASSERT_TRUE(ReadSubTask(job_, inputs_.tables, plans[0], &raw, &profile).ok());
+  ComputedSubTask computed;
+  ASSERT_TRUE(ComputeSubTask(job_, std::move(raw), &computed).ok());
+
+  EXPECT_GT(profile.nanos[kStepRead], 0u);
+  EXPECT_GT(profile.bytes[kStepRead], 0u);
+  for (CompactionStep s : {kStepChecksum, kStepDecompress, kStepSort,
+                           kStepCompress, kStepRechecksum}) {
+    EXPECT_GT(computed.profile.nanos[s], 0u) << CompactionStepName(s);
+  }
+  EXPECT_EQ(1u, computed.profile.subtasks);
+}
+
+}  // namespace
+}  // namespace pipelsm

@@ -1,0 +1,165 @@
+#include "src/compress/lz_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/util/random.h"
+
+namespace pipelsm::lz {
+namespace {
+
+std::string RoundTrip(const std::string& input) {
+  std::string compressed;
+  Compress(input.data(), input.size(), &compressed);
+  EXPECT_LE(compressed.size(), MaxCompressedLength(input.size()));
+
+  size_t ulen = 0;
+  EXPECT_TRUE(GetUncompressedLength(compressed.data(), compressed.size(),
+                                    &ulen));
+  EXPECT_EQ(input.size(), ulen);
+
+  std::string output;
+  Status s = Uncompress(compressed.data(), compressed.size(), &output);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return output;
+}
+
+TEST(LzCodec, Empty) { EXPECT_EQ("", RoundTrip("")); }
+
+TEST(LzCodec, Short) {
+  EXPECT_EQ("a", RoundTrip("a"));
+  EXPECT_EQ("ab", RoundTrip("ab"));
+  EXPECT_EQ("abc", RoundTrip("abc"));
+}
+
+TEST(LzCodec, RepetitiveCompresses) {
+  std::string input(10000, 'x');
+  std::string compressed;
+  Compress(input.data(), input.size(), &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 10);
+  std::string output;
+  ASSERT_TRUE(Uncompress(compressed.data(), compressed.size(), &output).ok());
+  EXPECT_EQ(input, output);
+}
+
+TEST(LzCodec, PatternedData) {
+  std::string input;
+  for (int i = 0; i < 3000; i++) {
+    input += "key";
+    input += std::to_string(i % 97);
+    input += "=value;";
+  }
+  EXPECT_EQ(input, RoundTrip(input));
+  std::string compressed;
+  Compress(input.data(), input.size(), &compressed);
+  EXPECT_LT(compressed.size(), input.size());  // should find the repeats
+}
+
+TEST(LzCodec, IncompressibleRandomData) {
+  Xoroshiro128pp rng(4242);
+  std::string input;
+  for (int i = 0; i < 4096; i++) {
+    input.push_back(static_cast<char>(rng.Next()));
+  }
+  EXPECT_EQ(input, RoundTrip(input));
+}
+
+TEST(LzCodec, OverlappingCopiesRle) {
+  // "abcabcabc..." exercises offset < length copies (RLE-style).
+  std::string input;
+  for (int i = 0; i < 5000; i++) {
+    input.push_back("abc"[i % 3]);
+  }
+  EXPECT_EQ(input, RoundTrip(input));
+}
+
+TEST(LzCodec, LargeInputAcrossWindowRebase) {
+  // > 64K inputs slide the match window; content repeats at long range.
+  std::string unit = "the quick brown fox jumps over the lazy dog. ";
+  std::string input;
+  while (input.size() < 300 * 1024) {
+    input += unit;
+    input.push_back(static_cast<char>(input.size() & 0xff));
+  }
+  EXPECT_EQ(input, RoundTrip(input));
+}
+
+TEST(LzCodec, TruncatedInputFails) {
+  std::string input = "hello hello hello hello hello";
+  std::string compressed;
+  Compress(input.data(), input.size(), &compressed);
+  std::string output;
+  for (size_t cut = 1; cut < compressed.size(); cut++) {
+    Status s = Uncompress(compressed.data(), cut, &output);
+    // Any truncation must fail cleanly — never crash or return wrong data.
+    if (s.ok()) {
+      EXPECT_EQ(input.substr(0, output.size()), output);
+    }
+  }
+}
+
+TEST(LzCodec, CorruptOffsetRejected) {
+  // Handcraft a copy whose offset exceeds the produced output.
+  std::string bogus;
+  bogus.push_back(5);  // varint32 uncompressed length = 5
+  bogus.push_back(static_cast<char>(0x02 | ((4 - 1) << 2)));  // copy-2 len 4
+  bogus.push_back(static_cast<char>(0xff));                   // offset 0xffff
+  bogus.push_back(static_cast<char>(0xff));
+  std::string output;
+  Status s = Uncompress(bogus.data(), bogus.size(), &output);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(LzCodec, DeclaredLengthMismatchRejected) {
+  std::string input = "0123456789";
+  std::string compressed;
+  Compress(input.data(), input.size(), &compressed);
+  // Tamper with the declared length (first varint byte: 10 -> 9).
+  ASSERT_EQ(10, compressed[0]);
+  compressed[0] = 9;
+  std::string output;
+  EXPECT_FALSE(
+      Uncompress(compressed.data(), compressed.size(), &output).ok());
+}
+
+// Property sweep: random mixes of run lengths, literals and dictionary
+// words must always round-trip exactly.
+class LzRoundTrip : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(LzRoundTrip, RandomMixes) {
+  Random rnd(GetParam());
+  Xoroshiro128pp payload(GetParam() * 7919);
+  static const char* kWords[] = {"alpha", "bravo", "charlie", "delta",
+                                 "echo",  "fox",   "golf"};
+  for (int round = 0; round < 20; round++) {
+    std::string input;
+    const int pieces = 1 + rnd.Uniform(200);
+    for (int p = 0; p < pieces; p++) {
+      switch (rnd.Uniform(3)) {
+        case 0:  // run
+          input.append(1 + rnd.Uniform(100),
+                       static_cast<char>('a' + rnd.Uniform(26)));
+          break;
+        case 1:  // dictionary word
+          input.append(kWords[rnd.Uniform(7)]);
+          break;
+        default:  // random bytes
+          for (uint32_t i = 0, n = rnd.Uniform(64); i < n; i++) {
+            input.push_back(static_cast<char>(payload.Next()));
+          }
+          break;
+      }
+    }
+    ASSERT_EQ(input, RoundTrip(input)) << "seed=" << GetParam()
+                                       << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 301u, 0xbeefu,
+                                           0xfeedu, 99991u));
+
+}  // namespace
+}  // namespace pipelsm::lz

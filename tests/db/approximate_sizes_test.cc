@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/db/db.h"
+#include "src/env/sim_env.h"
+#include "src/workload/generator.h"
+
+namespace pipelsm {
+namespace {
+
+class ApproximateSizesTest : public ::testing::Test {
+ protected:
+  ApproximateSizesTest() {
+    options_.env = &env_;
+    options_.create_if_missing = true;
+    options_.write_buffer_size = 64 << 10;
+    options_.max_file_size = 64 << 10;
+    // Incompressible-ish values keep size estimates near raw volume.
+    options_.compression = CompressionType::kNoCompression;
+  }
+
+  void Open() {
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(options_, "/db", &raw).ok());
+    db_.reset(raw);
+  }
+
+  uint64_t Size(const std::string& start, const std::string& limit) {
+    Range r(start, limit);
+    uint64_t size;
+    db_->GetApproximateSizes(&r, 1, &size);
+    return size;
+  }
+
+  SimEnv env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(ApproximateSizesTest, EmptyDbIsZero) {
+  Open();
+  EXPECT_EQ(0u, Size("a", "z"));
+}
+
+TEST_F(ApproximateSizesTest, GrowsWithDataAndSplitsByRange) {
+  Open();
+  WorkloadGenerator gen(6000, 16, 100, KeyOrder::kSequential);
+  for (uint64_t i = 0; i < gen.num_entries(); i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), gen.Key(i), gen.Value(i)).ok());
+  }
+  // Flush everything to tables (estimates ignore the memtable).
+  db_->CompactRange(nullptr, nullptr);
+
+  const uint64_t total_bytes = 6000 * 116;
+  const uint64_t whole = Size(gen.Key(0), gen.Key(5999));
+  EXPECT_GT(whole, total_bytes / 2);
+  EXPECT_LT(whole, total_bytes * 2);
+
+  // First half + second half ≈ whole.
+  const uint64_t first = Size(gen.Key(0), gen.Key(3000));
+  const uint64_t second = Size(gen.Key(3000), gen.Key(5999));
+  EXPECT_GT(first, whole / 4);
+  EXPECT_GT(second, whole / 4);
+  EXPECT_NEAR(double(first + second), double(whole), whole * 0.2);
+
+  // Ranges outside the data are ~empty.
+  EXPECT_LT(Size("zzzz", "zzzzz"), 16u * 1024);
+}
+
+TEST_F(ApproximateSizesTest, MultipleRangesInOneCall) {
+  Open();
+  WorkloadGenerator gen(3000, 16, 100, KeyOrder::kSequential);
+  for (uint64_t i = 0; i < gen.num_entries(); i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), gen.Key(i), gen.Value(i)).ok());
+  }
+  db_->CompactRange(nullptr, nullptr);
+
+  // Range holds Slices; the key strings must outlive the call.
+  const std::string k0 = gen.Key(0), k1 = gen.Key(1000), k2 = gen.Key(2000),
+                    k3 = gen.Key(2999);
+  Range ranges[3] = {Range(k0, k1), Range(k1, k2), Range(k2, k3)};
+  uint64_t sizes[3];
+  db_->GetApproximateSizes(ranges, 3, sizes);
+  for (int i = 0; i < 3; i++) {
+    EXPECT_GT(sizes[i], 0u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace pipelsm

@@ -1,0 +1,176 @@
+// DBIter in isolation: collapsing internal-key history (overwrites,
+// deletions, sequence visibility) into the user view, both directions.
+#include "src/db/db_iter.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/memtable/memtable.h"
+
+namespace pipelsm {
+namespace {
+
+class DBIterTest : public ::testing::Test {
+ protected:
+  DBIterTest() : icmp_(BytewiseComparator()), mem_(new MemTable(icmp_)) {
+    mem_->Ref();
+  }
+  ~DBIterTest() override { mem_->Unref(); }
+
+  void Put(SequenceNumber seq, const std::string& k, const std::string& v) {
+    mem_->Add(seq, kTypeValue, k, v);
+  }
+  void Del(SequenceNumber seq, const std::string& k) {
+    mem_->Add(seq, kTypeDeletion, k, "");
+  }
+
+  // Iterator over the memtable at `snapshot`.
+  Iterator* NewIter(SequenceNumber snapshot) {
+    return NewDBIterator(BytewiseComparator(), mem_->NewIterator(), snapshot);
+  }
+
+  std::string Dump(Iterator* it) {
+    std::string out;
+    for (it->SeekToFirst(); it->Valid(); it->Next()) {
+      out += it->key().ToString() + "=" + it->value().ToString() + ";";
+    }
+    return out;
+  }
+
+  std::string DumpReverse(Iterator* it) {
+    std::string out;
+    for (it->SeekToLast(); it->Valid(); it->Prev()) {
+      out += it->key().ToString() + "=" + it->value().ToString() + ";";
+    }
+    return out;
+  }
+
+  InternalKeyComparator icmp_;
+  MemTable* mem_;
+};
+
+TEST_F(DBIterTest, NewestVersionWinsForward) {
+  Put(1, "a", "old");
+  Put(5, "a", "new");
+  Put(2, "b", "b1");
+  std::unique_ptr<Iterator> it(NewIter(100));
+  EXPECT_EQ("a=new;b=b1;", Dump(it.get()));
+}
+
+TEST_F(DBIterTest, DeletionsHideValuesBothDirections) {
+  Put(1, "a", "va");
+  Put(2, "b", "vb");
+  Del(3, "b");
+  Put(4, "c", "vc");
+  std::unique_ptr<Iterator> it(NewIter(100));
+  EXPECT_EQ("a=va;c=vc;", Dump(it.get()));
+  EXPECT_EQ("c=vc;a=va;", DumpReverse(it.get()));
+}
+
+TEST_F(DBIterTest, ReinsertAfterDeleteVisible) {
+  Put(1, "k", "v1");
+  Del(2, "k");
+  Put(3, "k", "v3");
+  std::unique_ptr<Iterator> it(NewIter(100));
+  EXPECT_EQ("k=v3;", Dump(it.get()));
+  EXPECT_EQ("k=v3;", DumpReverse(it.get()));
+}
+
+TEST_F(DBIterTest, SnapshotSelectsOldVersions) {
+  Put(1, "k", "v1");
+  Put(5, "k", "v5");
+  Del(8, "k");
+
+  std::unique_ptr<Iterator> at3(NewIter(3));
+  EXPECT_EQ("k=v1;", Dump(at3.get()));
+  std::unique_ptr<Iterator> at6(NewIter(6));
+  EXPECT_EQ("k=v5;", Dump(at6.get()));
+  std::unique_ptr<Iterator> at9(NewIter(9));
+  EXPECT_EQ("", Dump(at9.get()));
+  // An even older snapshot predates the key entirely.
+  std::unique_ptr<Iterator> at0(NewIter(0));
+  EXPECT_EQ("", Dump(at0.get()));
+}
+
+TEST_F(DBIterTest, SeekLandsOnNextLiveKey) {
+  Put(1, "apple", "1");
+  Del(2, "banana");
+  Put(1, "banana", "x");
+  Put(3, "cherry", "3");
+  std::unique_ptr<Iterator> it(NewIter(100));
+  it->Seek("banana");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("cherry", it->key().ToString());  // banana is deleted
+  it->Seek("a");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("apple", it->key().ToString());
+  it->Seek("zebra");
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(DBIterTest, DirectionSwitchAcrossDeletions) {
+  Put(1, "a", "va");
+  Put(1, "b", "vb-old");
+  Put(4, "b", "vb");
+  Del(2, "c");
+  Put(1, "c", "vc-dead");
+  Put(1, "d", "vd");
+
+  std::unique_ptr<Iterator> it(NewIter(100));
+  it->Seek("b");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("vb", it->value().ToString());
+
+  it->Next();  // -> d (c deleted)
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("d", it->key().ToString());
+
+  it->Prev();  // back over deleted c -> b
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("b", it->key().ToString());
+  EXPECT_EQ("vb", it->value().ToString());
+
+  it->Prev();  // -> a
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("a", it->key().ToString());
+
+  it->Next();  // forward again -> b
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("b", it->key().ToString());
+}
+
+TEST_F(DBIterTest, PrevFromFirstInvalidates) {
+  Put(1, "only", "v");
+  std::unique_ptr<Iterator> it(NewIter(100));
+  it->SeekToFirst();
+  ASSERT_TRUE(it->Valid());
+  it->Prev();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(DBIterTest, EmptyViewWhenEverythingDeleted) {
+  for (int i = 0; i < 10; i++) {
+    Put(i * 2 + 1, "k" + std::to_string(i), "v");
+    Del(i * 2 + 2, "k" + std::to_string(i));
+  }
+  std::unique_ptr<Iterator> it(NewIter(100));
+  EXPECT_EQ("", Dump(it.get()));
+  EXPECT_EQ("", DumpReverse(it.get()));
+  it->Seek("k5");
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST_F(DBIterTest, ManyVersionsPerKeyCollapse) {
+  for (SequenceNumber s = 1; s <= 50; s++) {
+    Put(s, "hot", "v" + std::to_string(s));
+  }
+  std::unique_ptr<Iterator> it(NewIter(100));
+  EXPECT_EQ("hot=v50;", Dump(it.get()));
+  EXPECT_EQ("hot=v50;", DumpReverse(it.get()));
+  std::unique_ptr<Iterator> mid(NewIter(25));
+  EXPECT_EQ("hot=v25;", Dump(mid.get()));
+}
+
+}  // namespace
+}  // namespace pipelsm

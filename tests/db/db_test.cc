@@ -1,0 +1,281 @@
+// End-to-end DB tests: write/read/delete/scan across memtable rotations
+// and background compactions, for every compaction executor.
+#include "src/db/db.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/db/write_batch.h"
+#include "src/env/sim_env.h"
+#include "src/workload/generator.h"
+
+namespace pipelsm {
+namespace {
+
+class DBTest : public ::testing::TestWithParam<CompactionMode> {
+ protected:
+  DBTest() {
+    options_.env = &env_;
+    options_.create_if_missing = true;
+    options_.compaction_mode = GetParam();
+    options_.compute_parallelism =
+        GetParam() == CompactionMode::kCPPCP ? 3 : 1;
+    options_.io_parallelism = GetParam() == CompactionMode::kSPPCP ? 3 : 1;
+    // Small shapes so compactions actually trigger in-test.
+    options_.write_buffer_size = 64 << 10;
+    options_.max_file_size = 64 << 10;
+    options_.subtask_bytes = 16 << 10;
+  }
+
+  ~DBTest() override { Close(); }
+
+  void Open() {
+    Close();
+    DB* db = nullptr;
+    Status s = DB::Open(options_, "/db", &db);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    db_.reset(db);
+  }
+
+  void Close() { db_.reset(); }
+
+  Status Put(const std::string& k, const std::string& v) {
+    return db_->Put(WriteOptions(), k, v);
+  }
+
+  std::string Get(const std::string& k) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), k, &value);
+    if (s.IsNotFound()) return "NOT_FOUND";
+    if (!s.ok()) return "ERROR: " + s.ToString();
+    return value;
+  }
+
+  SimEnv env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_P(DBTest, PutGet) {
+  Open();
+  ASSERT_TRUE(Put("foo", "v1").ok());
+  EXPECT_EQ("v1", Get("foo"));
+  EXPECT_EQ("NOT_FOUND", Get("bar"));
+  ASSERT_TRUE(Put("foo", "v2").ok());
+  EXPECT_EQ("v2", Get("foo"));
+}
+
+TEST_P(DBTest, DeleteHidesValue) {
+  Open();
+  ASSERT_TRUE(Put("k", "v").ok());
+  ASSERT_TRUE(db_->Delete(WriteOptions(), "k").ok());
+  EXPECT_EQ("NOT_FOUND", Get("k"));
+  ASSERT_TRUE(Put("k", "v2").ok());
+  EXPECT_EQ("v2", Get("k"));
+}
+
+TEST_P(DBTest, EmptyValueAndEmptyishKeys) {
+  Open();
+  ASSERT_TRUE(Put("empty-value", "").ok());
+  EXPECT_EQ("", Get("empty-value"));
+  std::string binary_key("\x00\x01\xff", 3);
+  ASSERT_TRUE(Put(binary_key, "bin").ok());
+  EXPECT_EQ("bin", Get(binary_key));
+}
+
+TEST_P(DBTest, WriteBatchIsAtomicallyVisible) {
+  Open();
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("b", "2");
+  batch.Delete("a");
+  ASSERT_TRUE(db_->Write(WriteOptions(), &batch).ok());
+  EXPECT_EQ("NOT_FOUND", Get("a"));
+  EXPECT_EQ("2", Get("b"));
+}
+
+TEST_P(DBTest, ManyWritesSurviveCompactions) {
+  Open();
+  WorkloadGenerator gen(4000, 16, 100, KeyOrder::kRandom);
+  for (uint64_t i = 0; i < gen.num_entries(); i++) {
+    ASSERT_TRUE(Put(gen.Key(i), gen.Value(i)).ok()) << i;
+  }
+  ASSERT_TRUE(db_->WaitForCompactions().ok());
+
+  // Compactions must have actually run given the tiny write buffer.
+  CompactionMetrics m = db_->GetCompactionMetrics();
+  EXPECT_GT(m.memtable_flushes, 0u);
+
+  for (uint64_t i = 0; i < gen.num_entries(); i++) {
+    ASSERT_EQ(gen.Value(i), Get(gen.Key(i))) << "key index " << i;
+  }
+}
+
+TEST_P(DBTest, OverwritesKeepNewestAcrossCompactions) {
+  Open();
+  WorkloadGenerator gen(800, 16, 64, KeyOrder::kSequential);
+  for (int round = 0; round < 4; round++) {
+    for (uint64_t i = 0; i < gen.num_entries(); i++) {
+      ASSERT_TRUE(
+          Put(gen.Key(i), "round" + std::to_string(round) + "-" +
+                              std::to_string(i))
+              .ok());
+    }
+  }
+  ASSERT_TRUE(db_->WaitForCompactions().ok());
+  for (uint64_t i = 0; i < gen.num_entries(); i++) {
+    EXPECT_EQ("round3-" + std::to_string(i), Get(gen.Key(i)));
+  }
+}
+
+TEST_P(DBTest, IteratorSeesSortedLiveView) {
+  Open();
+  std::map<std::string, std::string> expected;
+  WorkloadGenerator gen(1500, 16, 50, KeyOrder::kRandom);
+  for (uint64_t i = 0; i < gen.num_entries(); i++) {
+    ASSERT_TRUE(Put(gen.Key(i), gen.Value(i)).ok());
+    expected[gen.Key(i)] = gen.Value(i);
+  }
+  // Delete a subset.
+  int d = 0;
+  for (auto it = expected.begin(); it != expected.end() && d < 200;) {
+    ASSERT_TRUE(db_->Delete(WriteOptions(), it->first).ok());
+    it = expected.erase(it);
+    ++d;
+    if (it != expected.end()) ++it;  // skip one, delete next
+  }
+  ASSERT_TRUE(db_->WaitForCompactions().ok());
+
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  auto model = expected.begin();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next(), ++model) {
+    ASSERT_NE(expected.end(), model);
+    EXPECT_EQ(model->first, iter->key().ToString());
+    EXPECT_EQ(model->second, iter->value().ToString());
+  }
+  EXPECT_EQ(expected.end(), model);
+  EXPECT_TRUE(iter->status().ok());
+}
+
+TEST_P(DBTest, IteratorSeekAndReverse) {
+  Open();
+  for (char c = 'a'; c <= 'z'; c++) {
+    ASSERT_TRUE(Put(std::string(1, c), std::string(1, c)).ok());
+  }
+  std::unique_ptr<Iterator> iter(db_->NewIterator(ReadOptions()));
+  iter->Seek("m");
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ("m", iter->key().ToString());
+  iter->Prev();
+  EXPECT_EQ("l", iter->key().ToString());
+  iter->SeekToLast();
+  EXPECT_EQ("z", iter->key().ToString());
+  std::string reverse;
+  for (; iter->Valid(); iter->Prev()) reverse += iter->key().ToString();
+  EXPECT_EQ("zyxwvutsrqponmlkjihgfedcba", reverse);
+}
+
+TEST_P(DBTest, SnapshotIsolation) {
+  Open();
+  ASSERT_TRUE(Put("k", "before").ok());
+  const Snapshot* snap = db_->GetSnapshot();
+  ASSERT_TRUE(Put("k", "after").ok());
+  ASSERT_TRUE(Put("new-key", "x").ok());
+
+  ReadOptions ro;
+  ro.snapshot = snap;
+  std::string value;
+  ASSERT_TRUE(db_->Get(ro, "k", &value).ok());
+  EXPECT_EQ("before", value);
+  EXPECT_TRUE(db_->Get(ro, "new-key", &value).IsNotFound());
+
+  // Snapshot survives compactions.
+  WorkloadGenerator gen(2000, 16, 100, KeyOrder::kRandom);
+  for (uint64_t i = 0; i < gen.num_entries(); i++) {
+    ASSERT_TRUE(Put(gen.Key(i), gen.Value(i)).ok());
+  }
+  ASSERT_TRUE(db_->WaitForCompactions().ok());
+  ASSERT_TRUE(db_->Get(ro, "k", &value).ok());
+  EXPECT_EQ("before", value);
+
+  db_->ReleaseSnapshot(snap);
+  ASSERT_TRUE(db_->Get(ReadOptions(), "k", &value).ok());
+  EXPECT_EQ("after", value);
+}
+
+TEST_P(DBTest, CompactRangePushesDataDown) {
+  Open();
+  WorkloadGenerator gen(3000, 16, 100, KeyOrder::kRandom);
+  for (uint64_t i = 0; i < gen.num_entries(); i++) {
+    ASSERT_TRUE(Put(gen.Key(i), gen.Value(i)).ok());
+  }
+  db_->CompactRange(nullptr, nullptr);
+
+  std::string l0;
+  ASSERT_TRUE(db_->GetProperty("pipelsm.num-files-at-level0", &l0));
+  EXPECT_EQ("0", l0);
+
+  for (uint64_t i = 0; i < gen.num_entries(); i += 97) {
+    ASSERT_EQ(gen.Value(i), Get(gen.Key(i)));
+  }
+}
+
+TEST_P(DBTest, GetProperty) {
+  Open();
+  std::string value;
+  EXPECT_TRUE(db_->GetProperty("pipelsm.num-files-at-level0", &value));
+  EXPECT_TRUE(db_->GetProperty("pipelsm.stats", &value));
+  EXPECT_TRUE(db_->GetProperty("pipelsm.sstables", &value));
+  EXPECT_TRUE(db_->GetProperty("pipelsm.approximate-memory-usage", &value));
+  EXPECT_FALSE(db_->GetProperty("pipelsm.no-such-property", &value));
+  EXPECT_FALSE(db_->GetProperty("unprefixed", &value));
+}
+
+TEST_P(DBTest, OpenMissingDbFailsWithoutCreateFlag) {
+  Options opt = options_;
+  opt.create_if_missing = false;
+  DB* db = nullptr;
+  Status s = DB::Open(opt, "/nonexistent", &db);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(nullptr, db);
+}
+
+TEST_P(DBTest, ErrorIfExists) {
+  Open();
+  Close();
+  Options opt = options_;
+  opt.error_if_exists = true;
+  DB* db = nullptr;
+  Status s = DB::Open(opt, "/db", &db);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_P(DBTest, DestroyDbRemovesFiles) {
+  Open();
+  ASSERT_TRUE(Put("a", "b").ok());
+  Close();
+  ASSERT_TRUE(DestroyDB("/db", options_).ok());
+  std::vector<std::string> children;
+  env_.GetChildren("/db", &children);
+  EXPECT_TRUE(children.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, DBTest,
+                         ::testing::Values(CompactionMode::kSCP,
+                                           CompactionMode::kPCP,
+                                           CompactionMode::kSPPCP,
+                                           CompactionMode::kCPPCP),
+                         [](const ::testing::TestParamInfo<CompactionMode>& i) {
+                           switch (i.param) {
+                             case CompactionMode::kSCP: return "SCP";
+                             case CompactionMode::kPCP: return "PCP";
+                             case CompactionMode::kSPPCP: return "SPPCP";
+                             case CompactionMode::kCPPCP: return "CPPCP";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace pipelsm

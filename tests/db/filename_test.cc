@@ -1,0 +1,78 @@
+#include "src/db/filename.h"
+
+#include <gtest/gtest.h>
+
+#include "src/env/sim_env.h"
+
+namespace pipelsm {
+namespace {
+
+TEST(FileName, Construction) {
+  EXPECT_EQ("/db/000007.log", LogFileName("/db", 7));
+  EXPECT_EQ("/db/000123.pst", TableFileName("/db", 123));
+  EXPECT_EQ("/db/MANIFEST-000004", DescriptorFileName("/db", 4));
+  EXPECT_EQ("/db/CURRENT", CurrentFileName("/db"));
+  EXPECT_EQ("/db/000009.dbtmp", TempFileName("/db", 9));
+}
+
+TEST(FileName, Parse) {
+  uint64_t number;
+  FileType type;
+
+  ASSERT_TRUE(ParseFileName("000042.log", &number, &type));
+  EXPECT_EQ(42u, number);
+  EXPECT_EQ(kLogFile, type);
+
+  ASSERT_TRUE(ParseFileName("000001.pst", &number, &type));
+  EXPECT_EQ(1u, number);
+  EXPECT_EQ(kTableFile, type);
+
+  ASSERT_TRUE(ParseFileName("MANIFEST-000033", &number, &type));
+  EXPECT_EQ(33u, number);
+  EXPECT_EQ(kDescriptorFile, type);
+
+  ASSERT_TRUE(ParseFileName("CURRENT", &number, &type));
+  EXPECT_EQ(kCurrentFile, type);
+
+  ASSERT_TRUE(ParseFileName("999999.dbtmp", &number, &type));
+  EXPECT_EQ(999999u, number);
+  EXPECT_EQ(kTempFile, type);
+}
+
+TEST(FileName, ParseRejectsGarbage) {
+  uint64_t number;
+  FileType type;
+  const char* bad[] = {"",         "foo",          "foo-dx-100.log",
+                       ".log",     "100",          "100.",
+                       "100.lop",  "MANIFEST",     "MANIFEST-",
+                       "MANIFEST-abc", "CURRENT2", "100.log.bak"};
+  for (const char* name : bad) {
+    EXPECT_FALSE(ParseFileName(name, &number, &type)) << name;
+  }
+}
+
+TEST(FileName, RoundTripThroughParse) {
+  uint64_t number;
+  FileType type;
+  for (uint64_t n : {1ull, 42ull, 999999ull, 12345678901ull}) {
+    std::string full = TableFileName("/x", n);
+    std::string base = full.substr(3);  // strip "/x/"
+    ASSERT_TRUE(ParseFileName(base, &number, &type));
+    EXPECT_EQ(n, number);
+    EXPECT_EQ(kTableFile, type);
+  }
+}
+
+TEST(FileName, SetCurrentFile) {
+  SimEnv env;
+  env.CreateDir("/db");
+  ASSERT_TRUE(SetCurrentFile(&env, "/db", 5).ok());
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(&env, "/db/CURRENT", &contents).ok());
+  EXPECT_EQ("MANIFEST-000005\n", contents);
+  // The temp file must not linger.
+  EXPECT_FALSE(env.FileExists(TempFileName("/db", 5)));
+}
+
+}  // namespace
+}  // namespace pipelsm

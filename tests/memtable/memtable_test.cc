@@ -1,0 +1,129 @@
+#include "src/memtable/memtable.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/table/comparator.h"
+
+namespace pipelsm {
+namespace {
+
+class MemTableTest : public ::testing::Test {
+ protected:
+  MemTableTest() : icmp_(BytewiseComparator()), mem_(new MemTable(icmp_)) {
+    mem_->Ref();
+  }
+  ~MemTableTest() override { mem_->Unref(); }
+
+  bool Get(const std::string& key, SequenceNumber seq, std::string* value,
+           Status* s) {
+    LookupKey lkey(key, seq);
+    return mem_->Get(lkey, value, s);
+  }
+
+  InternalKeyComparator icmp_;
+  MemTable* mem_;
+};
+
+TEST_F(MemTableTest, AddAndGet) {
+  mem_->Add(1, kTypeValue, "alpha", "one");
+  mem_->Add(2, kTypeValue, "beta", "two");
+
+  std::string value;
+  Status s;
+  ASSERT_TRUE(Get("alpha", 10, &value, &s));
+  EXPECT_EQ("one", value);
+  ASSERT_TRUE(Get("beta", 10, &value, &s));
+  EXPECT_EQ("two", value);
+  EXPECT_FALSE(Get("gamma", 10, &value, &s));
+}
+
+TEST_F(MemTableTest, NewerVersionWins) {
+  mem_->Add(1, kTypeValue, "k", "v1");
+  mem_->Add(5, kTypeValue, "k", "v5");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(Get("k", 100, &value, &s));
+  EXPECT_EQ("v5", value);
+}
+
+TEST_F(MemTableTest, SnapshotReadsOldVersion) {
+  mem_->Add(1, kTypeValue, "k", "v1");
+  mem_->Add(5, kTypeValue, "k", "v5");
+  std::string value;
+  Status s;
+  // Read as of sequence 3: should see v1.
+  ASSERT_TRUE(Get("k", 3, &value, &s));
+  EXPECT_EQ("v1", value);
+}
+
+TEST_F(MemTableTest, DeletionShadowsValue) {
+  mem_->Add(1, kTypeValue, "k", "v1");
+  mem_->Add(2, kTypeDeletion, "k", "");
+  std::string value;
+  Status s;
+  ASSERT_TRUE(Get("k", 10, &value, &s));
+  EXPECT_TRUE(s.IsNotFound());
+  // But the old snapshot still sees the value.
+  Status s2;
+  ASSERT_TRUE(Get("k", 1, &value, &s2));
+  EXPECT_EQ("v1", value);
+}
+
+TEST_F(MemTableTest, IteratorYieldsInternalKeysInOrder) {
+  mem_->Add(3, kTypeValue, "b", "2");
+  mem_->Add(1, kTypeValue, "a", "1");
+  mem_->Add(2, kTypeValue, "c", "3");
+
+  std::unique_ptr<Iterator> it(mem_->NewIterator());
+  std::string keys;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    ParsedInternalKey parsed;
+    ASSERT_TRUE(ParseInternalKey(it->key(), &parsed));
+    keys += parsed.user_key.ToString();
+  }
+  EXPECT_EQ("abc", keys);
+}
+
+TEST_F(MemTableTest, EmptyValueAllowed) {
+  mem_->Add(1, kTypeValue, "empty", "");
+  std::string value = "sentinel";
+  Status s;
+  ASSERT_TRUE(Get("empty", 10, &value, &s));
+  EXPECT_EQ("", value);
+}
+
+TEST_F(MemTableTest, MemoryUsageGrows) {
+  const size_t before = mem_->ApproximateMemoryUsage();
+  for (int i = 0; i < 1000; i++) {
+    mem_->Add(i + 1, kTypeValue, "key" + std::to_string(i),
+              std::string(100, 'v'));
+  }
+  EXPECT_GT(mem_->ApproximateMemoryUsage(), before + 100 * 1000);
+}
+
+TEST_F(MemTableTest, ManyKeysSortedScan) {
+  for (int i = 999; i >= 0; i--) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%04d", i);
+    mem_->Add(1000 - i, kTypeValue, buf, "v");
+  }
+  std::unique_ptr<Iterator> it(mem_->NewIterator());
+  int count = 0;
+  std::string prev;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    ParsedInternalKey parsed;
+    ASSERT_TRUE(ParseInternalKey(it->key(), &parsed));
+    std::string user = parsed.user_key.ToString();
+    if (!prev.empty()) {
+      EXPECT_LT(prev, user);
+    }
+    prev = user;
+    count++;
+  }
+  EXPECT_EQ(1000, count);
+}
+
+}  // namespace
+}  // namespace pipelsm

@@ -1,0 +1,166 @@
+#include "src/table/block.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/table/block_builder.h"
+#include "src/table/comparator.h"
+#include "src/util/random.h"
+
+namespace pipelsm {
+namespace {
+
+// Builds a block from sorted pairs and returns an owning Block.
+std::unique_ptr<Block> BuildBlock(const std::map<std::string, std::string>& kv,
+                                  int restart_interval = 16) {
+  BlockBuilder builder(restart_interval);
+  for (const auto& [k, v] : kv) {
+    builder.Add(k, v);
+  }
+  Slice raw = builder.Finish();
+  char* buf = new char[raw.size()];
+  std::memcpy(buf, raw.data(), raw.size());
+  BlockContents contents;
+  contents.data = Slice(buf, raw.size());
+  contents.heap_allocated = true;
+  contents.cachable = false;
+  return std::make_unique<Block>(contents);
+}
+
+TEST(Block, EmptyBlockIterates) {
+  std::map<std::string, std::string> kv;
+  auto block = BuildBlock(kv);
+  std::unique_ptr<Iterator> it(block->NewIterator(BytewiseComparator()));
+  it->SeekToFirst();
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(Block, ForwardIteration) {
+  std::map<std::string, std::string> kv = {
+      {"apple", "1"}, {"banana", "2"}, {"cherry", "3"}, {"date", "4"}};
+  auto block = BuildBlock(kv);
+  std::unique_ptr<Iterator> it(block->NewIterator(BytewiseComparator()));
+  auto expected = kv.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++expected) {
+    ASSERT_NE(kv.end(), expected);
+    EXPECT_EQ(expected->first, it->key().ToString());
+    EXPECT_EQ(expected->second, it->value().ToString());
+  }
+  EXPECT_EQ(kv.end(), expected);
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST(Block, BackwardIteration) {
+  std::map<std::string, std::string> kv = {
+      {"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"}, {"e", "5"}};
+  auto block = BuildBlock(kv, /*restart_interval=*/2);
+  std::unique_ptr<Iterator> it(block->NewIterator(BytewiseComparator()));
+  auto expected = kv.rbegin();
+  for (it->SeekToLast(); it->Valid(); it->Prev(), ++expected) {
+    ASSERT_NE(kv.rend(), expected);
+    EXPECT_EQ(expected->first, it->key().ToString());
+  }
+  EXPECT_EQ(kv.rend(), expected);
+}
+
+TEST(Block, Seek) {
+  std::map<std::string, std::string> kv = {
+      {"b", "1"}, {"d", "2"}, {"f", "3"}, {"h", "4"}};
+  auto block = BuildBlock(kv, 2);
+  std::unique_ptr<Iterator> it(block->NewIterator(BytewiseComparator()));
+
+  it->Seek("d");  // exact hit
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("d", it->key().ToString());
+
+  it->Seek("e");  // between keys: lands on next
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("f", it->key().ToString());
+
+  it->Seek("a");  // before first
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("b", it->key().ToString());
+
+  it->Seek("z");  // past last
+  EXPECT_FALSE(it->Valid());
+}
+
+TEST(Block, PrefixCompressionPreservesKeys) {
+  std::map<std::string, std::string> kv;
+  for (int i = 0; i < 500; i++) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "common_prefix_%06d", i);
+    kv[buf] = std::to_string(i);
+  }
+  auto block = BuildBlock(kv, 16);
+  std::unique_ptr<Iterator> it(block->NewIterator(BytewiseComparator()));
+  auto expected = kv.begin();
+  for (it->SeekToFirst(); it->Valid(); it->Next(), ++expected) {
+    EXPECT_EQ(expected->first, it->key().ToString());
+    EXPECT_EQ(expected->second, it->value().ToString());
+  }
+  EXPECT_EQ(kv.end(), expected);
+}
+
+TEST(Block, CorruptContentsYieldErrorIterator) {
+  BlockContents contents;
+  contents.data = Slice("xx", 2);  // shorter than the restart count field
+  contents.heap_allocated = false;
+  contents.cachable = false;
+  Block block(contents);
+  std::unique_ptr<Iterator> it(block.NewIterator(BytewiseComparator()));
+  EXPECT_FALSE(it->Valid());
+  EXPECT_FALSE(it->status().ok());
+}
+
+TEST(BlockBuilder, ResetReuses) {
+  BlockBuilder builder(4);
+  builder.Add("a", "1");
+  builder.Add("b", "2");
+  EXPECT_GT(builder.CurrentSizeEstimate(), 0u);
+  builder.Finish();
+  builder.Reset();
+  EXPECT_TRUE(builder.empty());
+  builder.Add("c", "3");
+  Slice raw = builder.Finish();
+  EXPECT_GT(raw.size(), 0u);
+}
+
+// Property sweep across restart intervals: every key written is found by
+// both scan and seek.
+class BlockRestartSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BlockRestartSweep, ScanAndSeek) {
+  const int restart_interval = GetParam();
+  Random rnd(restart_interval * 997);
+  std::map<std::string, std::string> kv;
+  for (int i = 0; i < 200; i++) {
+    std::string key;
+    const int len = 1 + rnd.Uniform(24);
+    for (int j = 0; j < len; j++) {
+      key.push_back(static_cast<char>('a' + rnd.Uniform(26)));
+    }
+    kv[key] = std::to_string(rnd.Next());
+  }
+  auto block = BuildBlock(kv, restart_interval);
+  std::unique_ptr<Iterator> it(block->NewIterator(BytewiseComparator()));
+
+  size_t n = 0;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) n++;
+  EXPECT_EQ(kv.size(), n);
+
+  for (const auto& [k, v] : kv) {
+    it->Seek(k);
+    ASSERT_TRUE(it->Valid()) << k;
+    EXPECT_EQ(k, it->key().ToString());
+    EXPECT_EQ(v, it->value().ToString());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RestartIntervals, BlockRestartSweep,
+                         ::testing::Values(1, 2, 3, 8, 16, 64));
+
+}  // namespace
+}  // namespace pipelsm

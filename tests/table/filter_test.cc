@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/table/filter_block.h"
+#include "src/table/filter_policy.h"
+#include "src/util/coding.h"
+#include "src/util/logging.h"
+
+namespace pipelsm {
+namespace {
+
+TEST(Bloom, EmptyFilter) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  std::string filter;
+  policy->CreateFilter(nullptr, 0, &filter);
+  EXPECT_FALSE(policy->KeyMayMatch("hello", filter));
+}
+
+TEST(Bloom, AddedKeysMatch) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  std::vector<Slice> keys = {"hello", "world"};
+  std::string filter;
+  policy->CreateFilter(keys.data(), keys.size(), &filter);
+  EXPECT_TRUE(policy->KeyMayMatch("hello", filter));
+  EXPECT_TRUE(policy->KeyMayMatch("world", filter));
+}
+
+TEST(Bloom, FalsePositiveRateReasonable) {
+  std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(10));
+  std::vector<std::string> key_storage;
+  std::vector<Slice> keys;
+  for (int i = 0; i < 10000; i++) {
+    key_storage.push_back("key" + std::to_string(i));
+  }
+  for (const auto& k : key_storage) keys.emplace_back(k);
+  std::string filter;
+  policy->CreateFilter(keys.data(), keys.size(), &filter);
+
+  for (const auto& k : key_storage) {
+    EXPECT_TRUE(policy->KeyMayMatch(k, filter));  // no false negatives, ever
+  }
+
+  int false_positives = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; i++) {
+    if (policy->KeyMayMatch("absent" + std::to_string(i), filter)) {
+      false_positives++;
+    }
+  }
+  // 10 bits/key → ~1%; allow up to 4%.
+  EXPECT_LT(false_positives, probes / 25);
+}
+
+TEST(Bloom, VaryingBitsPerKey) {
+  for (int bits : {4, 8, 10, 16}) {
+    std::unique_ptr<const FilterPolicy> policy(NewBloomFilterPolicy(bits));
+    std::vector<Slice> keys = {"a", "bb", "ccc"};
+    std::string filter;
+    policy->CreateFilter(keys.data(), keys.size(), &filter);
+    for (const Slice& k : keys) {
+      EXPECT_TRUE(policy->KeyMayMatch(k, filter)) << bits;
+    }
+  }
+}
+
+// Filter-block plumbing (offsets, multiple 2KB windows).
+class FilterBlockTest : public ::testing::Test {
+ protected:
+  FilterBlockTest() : policy_(NewBloomFilterPolicy(10)) {}
+  std::unique_ptr<const FilterPolicy> policy_;
+};
+
+TEST_F(FilterBlockTest, EmptyBuilder) {
+  FilterBlockBuilder builder(policy_.get());
+  Slice block = builder.Finish();
+  ASSERT_EQ("\\x00\\x00\\x00\\x00\\x0b", EscapeString(block));
+  FilterBlockReader reader(policy_.get(), block);
+  EXPECT_TRUE(reader.KeyMayMatch(0, "foo"));
+  EXPECT_TRUE(reader.KeyMayMatch(100000, "foo"));
+}
+
+TEST_F(FilterBlockTest, SingleChunk) {
+  FilterBlockBuilder builder(policy_.get());
+  builder.StartBlock(100);
+  builder.AddKey("foo");
+  builder.AddKey("bar");
+  builder.AddKey("box");
+  builder.StartBlock(200);
+  builder.AddKey("box");
+  builder.StartBlock(300);
+  builder.AddKey("hello");
+  Slice block = builder.Finish();
+  FilterBlockReader reader(policy_.get(), block);
+  EXPECT_TRUE(reader.KeyMayMatch(100, "foo"));
+  EXPECT_TRUE(reader.KeyMayMatch(100, "bar"));
+  EXPECT_TRUE(reader.KeyMayMatch(100, "box"));
+  EXPECT_TRUE(reader.KeyMayMatch(100, "hello"));
+  EXPECT_TRUE(reader.KeyMayMatch(100, "foo"));
+  EXPECT_FALSE(reader.KeyMayMatch(100, "missing"));
+  EXPECT_FALSE(reader.KeyMayMatch(100, "other"));
+}
+
+TEST_F(FilterBlockTest, MultiChunk) {
+  FilterBlockBuilder builder(policy_.get());
+
+  // First filter
+  builder.StartBlock(0);
+  builder.AddKey("foo");
+  builder.StartBlock(2000);
+  builder.AddKey("bar");
+
+  // Second filter
+  builder.StartBlock(3100);
+  builder.AddKey("box");
+
+  // Third filter is empty
+
+  // Last filter
+  builder.StartBlock(9000);
+  builder.AddKey("box");
+  builder.AddKey("hello");
+
+  Slice block = builder.Finish();
+  FilterBlockReader reader(policy_.get(), block);
+
+  // Check first filter
+  EXPECT_TRUE(reader.KeyMayMatch(0, "foo"));
+  EXPECT_TRUE(reader.KeyMayMatch(2000, "bar"));
+  EXPECT_FALSE(reader.KeyMayMatch(0, "box"));
+  EXPECT_FALSE(reader.KeyMayMatch(0, "hello"));
+
+  // Check second filter
+  EXPECT_TRUE(reader.KeyMayMatch(3100, "box"));
+  EXPECT_FALSE(reader.KeyMayMatch(3100, "foo"));
+  EXPECT_FALSE(reader.KeyMayMatch(3100, "bar"));
+  EXPECT_FALSE(reader.KeyMayMatch(3100, "hello"));
+
+  // Check third filter (empty)
+  EXPECT_FALSE(reader.KeyMayMatch(4100, "foo"));
+  EXPECT_FALSE(reader.KeyMayMatch(4100, "bar"));
+  EXPECT_FALSE(reader.KeyMayMatch(4100, "box"));
+  EXPECT_FALSE(reader.KeyMayMatch(4100, "hello"));
+
+  // Check last filter
+  EXPECT_TRUE(reader.KeyMayMatch(9000, "box"));
+  EXPECT_TRUE(reader.KeyMayMatch(9000, "hello"));
+  EXPECT_FALSE(reader.KeyMayMatch(9000, "foo"));
+  EXPECT_FALSE(reader.KeyMayMatch(9000, "bar"));
+}
+
+}  // namespace
+}  // namespace pipelsm

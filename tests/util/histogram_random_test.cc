@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/histogram.h"
+#include "src/util/random.h"
+
+namespace pipelsm {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(0, h.Average());
+  EXPECT_EQ(0, h.StandardDeviation());
+  EXPECT_EQ(0u, h.Num());
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_DOUBLE_EQ(42.0, h.Average());
+  EXPECT_EQ(42.0, h.Min());
+  EXPECT_EQ(42.0, h.Max());
+  EXPECT_NEAR(42.0, h.Median(), 42.0 * 0.25);
+}
+
+TEST(Histogram, UniformMedianApproximation) {
+  Histogram h;
+  for (int i = 1; i <= 10000; i++) {
+    h.Add(i);
+  }
+  EXPECT_NEAR(5000.0, h.Average(), 1.0);
+  // Bucketed median is approximate; allow the bucket growth factor.
+  EXPECT_NEAR(5000.0, h.Median(), 5000.0 * 0.25);
+  EXPECT_GE(h.Percentile(99), h.Percentile(50));
+  EXPECT_GE(h.Percentile(95), h.Median());
+  EXPECT_EQ(1.0, h.Min());
+  EXPECT_EQ(10000.0, h.Max());
+}
+
+TEST(Histogram, Merge) {
+  Histogram a, b;
+  for (int i = 0; i < 100; i++) a.Add(10.0);
+  for (int i = 0; i < 100; i++) b.Add(20.0);
+  a.Merge(b);
+  EXPECT_EQ(200u, a.Num());
+  EXPECT_NEAR(15.0, a.Average(), 0.01);
+  EXPECT_EQ(10.0, a.Min());
+  EXPECT_EQ(20.0, a.Max());
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.Add(5);
+  h.Clear();
+  EXPECT_EQ(0u, h.Num());
+  EXPECT_EQ(0, h.Average());
+}
+
+TEST(Random, UniformInRange) {
+  Random rnd(301);
+  for (int i = 0; i < 10000; i++) {
+    uint32_t v = rnd.Uniform(100);
+    EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(Random, OneInRoughFrequency) {
+  Random rnd(301);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; i++) {
+    if (rnd.OneIn(10)) hits++;
+  }
+  EXPECT_NEAR(trials / 10.0, hits, trials / 10.0 * 0.2);
+}
+
+TEST(Random, DeterministicForSeed) {
+  Random a(77), b(77);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Xoroshiro, NoShortCycles) {
+  Xoroshiro128pp rng(12345);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 10000; i++) {
+    seen.insert(rng.Next());
+  }
+  // A healthy 64-bit generator should not repeat in 10k draws.
+  EXPECT_EQ(10000u, seen.size());
+}
+
+TEST(Xoroshiro, SeedsDiverge) {
+  Xoroshiro128pp a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; i++) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace pipelsm

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace pipelsm {
+namespace {
+
+TEST(Slice, Basics) {
+  Slice empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(0u, empty.size());
+
+  Slice s("hello");
+  EXPECT_EQ(5u, s.size());
+  EXPECT_EQ('h', s[0]);
+  EXPECT_EQ("hello", s.ToString());
+
+  s.remove_prefix(2);
+  EXPECT_EQ("llo", s.ToString());
+
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Slice, Compare) {
+  EXPECT_EQ(0, Slice("abc").compare(Slice("abc")));
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("abc").compare(Slice("ab")), 0);
+  EXPECT_TRUE(Slice("a") < Slice("b"));
+  EXPECT_TRUE(Slice("abc") == Slice("abc"));
+  EXPECT_TRUE(Slice("abc") != Slice("abd"));
+}
+
+TEST(Slice, StartsWith) {
+  Slice s("MANIFEST-000001");
+  EXPECT_TRUE(s.starts_with("MANIFEST-"));
+  EXPECT_FALSE(s.starts_with("CURRENT"));
+  EXPECT_TRUE(s.starts_with(""));
+  EXPECT_FALSE(Slice("ab").starts_with("abc"));
+}
+
+TEST(Slice, EmbeddedNulBytes) {
+  std::string raw("a\0b", 3);
+  Slice s(raw);
+  EXPECT_EQ(3u, s.size());
+  EXPECT_EQ(raw, s.ToString());
+  EXPECT_TRUE(s == Slice(raw));
+}
+
+TEST(Status, OkDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ("OK", s.ToString());
+}
+
+TEST(Status, Codes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_FALSE(Status::NotFound("x").ok());
+}
+
+TEST(Status, Messages) {
+  Status s = Status::Corruption("block", "checksum mismatch");
+  EXPECT_EQ("Corruption: block: checksum mismatch", s.ToString());
+  Status t = Status::IOError("open failed");
+  EXPECT_EQ("IO error: open failed", t.ToString());
+}
+
+TEST(Status, CopyAndMove) {
+  Status a = Status::NotFound("missing key");
+  Status b = a;  // copy
+  EXPECT_TRUE(b.IsNotFound());
+  EXPECT_EQ(a.ToString(), b.ToString());
+
+  Status c = std::move(a);  // move
+  EXPECT_TRUE(c.IsNotFound());
+
+  Status d;
+  d = c;  // copy-assign
+  EXPECT_TRUE(d.IsNotFound());
+
+  Status e;
+  e = std::move(c);  // move-assign
+  EXPECT_TRUE(e.IsNotFound());
+}
+
+TEST(Status, SelfAssignment) {
+  Status a = Status::Corruption("self");
+  a = static_cast<Status&>(a);
+  EXPECT_TRUE(a.IsCorruption());
+  EXPECT_EQ("Corruption: self", a.ToString());
+}
+
+}  // namespace
+}  // namespace pipelsm

@@ -1,0 +1,101 @@
+#include "src/version/version_edit.h"
+
+#include <gtest/gtest.h>
+
+namespace pipelsm {
+namespace {
+
+void TestEncodeDecode(const VersionEdit& edit) {
+  std::string encoded, encoded2;
+  edit.EncodeTo(&encoded);
+  VersionEdit parsed;
+  Status s = parsed.DecodeFrom(encoded);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  parsed.EncodeTo(&encoded2);
+  ASSERT_EQ(encoded, encoded2);
+}
+
+TEST(VersionEditTest, EncodeDecode) {
+  static const uint64_t kBig = 1ull << 50;
+
+  VersionEdit edit;
+  for (int i = 0; i < 4; i++) {
+    TestEncodeDecode(edit);
+    edit.AddFile(3, kBig + 300 + i, kBig + 400 + i,
+                 InternalKey("foo", kBig + 500 + i, kTypeValue),
+                 InternalKey("zoo", kBig + 600 + i, kTypeDeletion));
+    edit.RemoveFile(4, kBig + 700 + i);
+    edit.SetCompactPointer(i, InternalKey("x", kBig + 900 + i, kTypeValue));
+  }
+
+  edit.SetComparatorName("foot");
+  edit.SetLogNumber(kBig + 100);
+  edit.SetNextFile(kBig + 200);
+  edit.SetLastSequence(kBig + 1000);
+  TestEncodeDecode(edit);
+}
+
+TEST(VersionEditTest, EmptyEdit) {
+  VersionEdit edit;
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  EXPECT_TRUE(encoded.empty());
+  VersionEdit parsed;
+  EXPECT_TRUE(parsed.DecodeFrom(encoded).ok());
+}
+
+TEST(VersionEditTest, DecodeRejectsGarbage) {
+  VersionEdit edit;
+  EXPECT_FALSE(edit.DecodeFrom(Slice("\xff\xff garbage")).ok());
+}
+
+TEST(VersionEditTest, DecodeRejectsTruncation) {
+  VersionEdit edit;
+  edit.SetComparatorName("cmp");
+  edit.AddFile(1, 2, 3, InternalKey("a", 1, kTypeValue),
+               InternalKey("b", 2, kTypeValue));
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  for (size_t cut = 1; cut < encoded.size(); cut++) {
+    VersionEdit parsed;
+    Status s = parsed.DecodeFrom(Slice(encoded.data(), cut));
+    // Some prefixes are valid (they just contain fewer records); the rest
+    // must fail cleanly.
+    (void)s;
+  }
+  SUCCEED();  // No crash/UB across all truncations is the property.
+}
+
+TEST(VersionEditTest, DecodeRejectsBadLevel) {
+  // kDeletedFile with level 99 (>= kNumLevels).
+  std::string encoded;
+  PutVarint32(&encoded, 6);   // kDeletedFile
+  PutVarint32(&encoded, 99);  // bad level
+  PutVarint64(&encoded, 1);
+  VersionEdit parsed;
+  EXPECT_FALSE(parsed.DecodeFrom(encoded).ok());
+}
+
+TEST(VersionEditTest, ClearResets) {
+  VersionEdit edit;
+  edit.SetLogNumber(7);
+  edit.AddFile(1, 2, 3, InternalKey("a", 1, kTypeValue),
+               InternalKey("b", 2, kTypeValue));
+  edit.Clear();
+  std::string encoded;
+  edit.EncodeTo(&encoded);
+  EXPECT_TRUE(encoded.empty());
+}
+
+TEST(VersionEditTest, DebugStringMentionsFields) {
+  VersionEdit edit;
+  edit.SetLogNumber(9);
+  edit.AddFile(2, 11, 1234, InternalKey("aa", 5, kTypeValue),
+               InternalKey("zz", 6, kTypeValue));
+  std::string dbg = edit.DebugString();
+  EXPECT_NE(std::string::npos, dbg.find("LogNumber: 9"));
+  EXPECT_NE(std::string::npos, dbg.find("AddFile: 2 11 1234"));
+}
+
+}  // namespace
+}  // namespace pipelsm

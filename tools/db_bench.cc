@@ -1,0 +1,388 @@
+// db_bench: the measurement CLI (mirrors LevelDB's tool of the same name,
+// which the paper's evaluation drove). Runs a comma-separated list of
+// workloads against one DB instance and reports throughput + latency
+// percentiles per workload.
+//
+//   db_bench [--flag=value ...]
+//
+// Workloads (--benchmarks=, run left to right, default
+// "fillrandom,readrandom,overwrite,readseq,stats"):
+//   fillseq      insert --num entries in key order
+//   fillrandom   insert --num entries in a pseudo-random order
+//   overwrite    re-insert the same key space (new values)
+//   readrandom   --reads random point lookups (verified)
+//   readmissing  --reads lookups for keys that do not exist
+//   readseq      one full forward scan
+//   readreverse  one full backward scan
+//   deleterandom delete --reads random keys
+//   compact      CompactRange over everything
+//   wait         drain background compactions
+//   stats        print the DB's internal stats + compaction profile
+//
+// Key flags:
+//   --db=PATH                DB directory (default /tmp/pipelsm_bench)
+//   --device=posix|ssd|hdd|hddx<k>|null
+//                            storage: the real FS or a simulated device
+//   --compaction=scp|pcp|sppcp|cppcp
+//   --num=N --reads=N --key_size=N --value_size=N --batch=N
+//   --write_buffer_kb=N --file_kb=N --subtask_kb=N --block=N
+//   --compute_parallelism=N --io_parallelism=N --queue_depth=N
+//   --bloom_bits=N           per-key bloom bits (0 = no filters)
+//   --dilation=X             compaction slow-motion factor
+//   --histogram              print full latency histograms
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/db/db.h"
+#include "src/db/write_batch.h"
+#include "src/env/sim_env.h"
+#include "src/table/filter_policy.h"
+#include "src/util/histogram.h"
+#include "src/util/stopwatch.h"
+#include "src/workload/generator.h"
+
+namespace pipelsm {
+namespace {
+
+struct Flags {
+  std::string benchmarks = "fillrandom,readrandom,overwrite,readseq,stats";
+  std::string db = "/tmp/pipelsm_bench";
+  std::string device = "posix";
+  std::string compaction = "pcp";
+  uint64_t num = 100000;
+  uint64_t reads = 10000;
+  size_t key_size = 16;
+  size_t value_size = 100;
+  uint64_t batch = 1;
+  size_t write_buffer_kb = 4096;
+  size_t file_kb = 2048;
+  size_t subtask_kb = 512;
+  size_t block = 4096;
+  int compute_parallelism = 1;
+  int io_parallelism = 1;
+  size_t queue_depth = 4;
+  int bloom_bits = 0;
+  double dilation = 1.0;
+  bool histogram = false;
+  uint32_t seed = 301;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+template <typename T>
+bool ParseNumFlag(const char* arg, const char* name, T* out) {
+  std::string v;
+  if (!ParseFlag(arg, name, &v)) return false;
+  *out = static_cast<T>(std::strtoull(v.c_str(), nullptr, 10));
+  return true;
+}
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--flag=value ...] (see header comment)\n",
+               argv0);
+  std::exit(2);
+}
+
+class Benchmark {
+ public:
+  explicit Benchmark(const Flags& flags) : flags_(flags) {
+    if (flags_.device == "posix") {
+      env_ = Env::Posix();
+    } else {
+      DeviceProfile profile;
+      if (flags_.device == "ssd") {
+        profile = DeviceProfile::Ssd();
+      } else if (flags_.device == "hdd") {
+        profile = DeviceProfile::Hdd();
+      } else if (flags_.device.rfind("hddx", 0) == 0) {
+        profile = DeviceProfile::Hdd(std::atoi(flags_.device.c_str() + 4));
+      } else if (flags_.device == "null") {
+        profile = DeviceProfile::Null();
+      } else {
+        std::fprintf(stderr, "unknown --device=%s\n", flags_.device.c_str());
+        std::exit(2);
+      }
+      sim_env_ = std::make_unique<SimEnv>(profile);
+      env_ = sim_env_.get();
+    }
+
+    options_.env = env_;
+    options_.create_if_missing = true;
+    if (flags_.compaction == "scp") {
+      options_.compaction_mode = CompactionMode::kSCP;
+    } else if (flags_.compaction == "pcp") {
+      options_.compaction_mode = CompactionMode::kPCP;
+    } else if (flags_.compaction == "sppcp") {
+      options_.compaction_mode = CompactionMode::kSPPCP;
+    } else if (flags_.compaction == "cppcp") {
+      options_.compaction_mode = CompactionMode::kCPPCP;
+    } else {
+      std::fprintf(stderr, "unknown --compaction=%s\n",
+                   flags_.compaction.c_str());
+      std::exit(2);
+    }
+    options_.write_buffer_size = flags_.write_buffer_kb << 10;
+    options_.max_file_size = flags_.file_kb << 10;
+    options_.subtask_bytes = flags_.subtask_kb << 10;
+    options_.block_size = flags_.block;
+    options_.compute_parallelism = flags_.compute_parallelism;
+    options_.io_parallelism = flags_.io_parallelism;
+    options_.pipeline_queue_depth = flags_.queue_depth;
+    options_.compaction_time_dilation = flags_.dilation;
+    if (flags_.bloom_bits > 0) {
+      filter_policy_.reset(NewBloomFilterPolicy(flags_.bloom_bits));
+      options_.filter_policy = filter_policy_.get();
+    }
+
+    DestroyDB(flags_.db, options_);
+    DB* raw = nullptr;
+    Status s = DB::Open(options_, flags_.db, &raw);
+    if (!s.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", flags_.db.c_str(),
+                   s.ToString().c_str());
+      std::exit(1);
+    }
+    db_.reset(raw);
+
+    std::printf("pipelsm db_bench\n");
+    std::printf("  db=%s device=%s compaction=%s\n", flags_.db.c_str(),
+                flags_.device.c_str(), flags_.compaction.c_str());
+    std::printf("  entries=%llu (%zuB key + %zuB value), reads=%llu\n",
+                static_cast<unsigned long long>(flags_.num), flags_.key_size,
+                flags_.value_size,
+                static_cast<unsigned long long>(flags_.reads));
+    std::printf(
+        "  memtable=%zuKB sstable=%zuKB subtask=%zuKB bloom=%d bits\n",
+        flags_.write_buffer_kb, flags_.file_kb, flags_.subtask_kb,
+        flags_.bloom_bits);
+    std::printf("--------------------------------------------------\n");
+  }
+
+  void Run() {
+    std::string list = flags_.benchmarks;
+    size_t pos = 0;
+    while (pos < list.size()) {
+      size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      std::string name = list.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (!name.empty()) {
+        RunOne(name);
+      }
+    }
+  }
+
+ private:
+  WorkloadGenerator Gen(KeyOrder order) const {
+    return WorkloadGenerator(flags_.num, flags_.key_size, flags_.value_size,
+                             order, flags_.seed);
+  }
+
+  void Report(const std::string& name, uint64_t ops, double seconds,
+              const Histogram& latency, uint64_t bytes = 0) {
+    std::printf("%-13s %10.0f ops/s", name.c_str(),
+                seconds > 0 ? ops / seconds : 0);
+    if (bytes > 0) {
+      std::printf("  %7.1f MiB/s", bytes / seconds / 1048576.0);
+    }
+    if (latency.Num() > 0) {
+      std::printf("  lat(us) avg=%.1f p95=%.1f p99=%.1f max=%.0f",
+                  latency.Average(), latency.Percentile(95),
+                  latency.Percentile(99), latency.Max());
+    }
+    std::printf("  (%llu ops in %.2fs)\n",
+                static_cast<unsigned long long>(ops), seconds);
+    if (flags_.histogram && latency.Num() > 0) {
+      std::printf("%s", latency.ToString().c_str());
+    }
+  }
+
+  void Fill(const std::string& name, KeyOrder order) {
+    WorkloadGenerator gen = Gen(order);
+    Histogram latency;
+    Stopwatch total;
+    WriteBatch batch;
+    uint64_t in_batch = 0;
+    uint64_t bytes = 0;
+    for (uint64_t i = 0; i < flags_.num; i++) {
+      Stopwatch op;
+      batch.Put(gen.Key(i), gen.Value(i));
+      bytes += flags_.key_size + flags_.value_size;
+      if (++in_batch >= flags_.batch || i + 1 == flags_.num) {
+        Status s = db_->Write(WriteOptions(), &batch);
+        if (!s.ok()) Fail(name, s);
+        batch.Clear();
+        in_batch = 0;
+      }
+      latency.Add(op.ElapsedNanos() / 1000.0);
+    }
+    Report(name, flags_.num, total.ElapsedSeconds(), latency, bytes);
+  }
+
+  void ReadRandom(const std::string& name, bool missing) {
+    WorkloadGenerator gen = Gen(KeyOrder::kRandom);
+    Random rnd(flags_.seed + 7);
+    Histogram latency;
+    Stopwatch total;
+    uint64_t found = 0;
+    std::string value;
+    for (uint64_t i = 0; i < flags_.reads; i++) {
+      const uint64_t idx = rnd.Next() % flags_.num;
+      std::string key = gen.Key(idx);
+      if (missing) key.back() = '.';
+      Stopwatch op;
+      Status s = db_->Get(ReadOptions(), key, &value);
+      latency.Add(op.ElapsedNanos() / 1000.0);
+      if (s.ok()) {
+        found++;
+        if (!missing && value != gen.Value(idx)) {
+          std::fprintf(stderr, "%s: value mismatch at %llu\n", name.c_str(),
+                       static_cast<unsigned long long>(idx));
+          std::exit(1);
+        }
+      } else if (!s.IsNotFound()) {
+        Fail(name, s);
+      }
+    }
+    Report(name, flags_.reads, total.ElapsedSeconds(), latency);
+    std::printf("              (%llu of %llu found)\n",
+                static_cast<unsigned long long>(found),
+                static_cast<unsigned long long>(flags_.reads));
+  }
+
+  void Scan(const std::string& name, bool reverse) {
+    Histogram latency;
+    Stopwatch total;
+    uint64_t entries = 0, bytes = 0;
+    std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+    for (reverse ? it->SeekToLast() : it->SeekToFirst(); it->Valid();
+         reverse ? it->Prev() : it->Next()) {
+      entries++;
+      bytes += it->key().size() + it->value().size();
+    }
+    if (!it->status().ok()) Fail(name, it->status());
+    Report(name, entries, total.ElapsedSeconds(), latency, bytes);
+  }
+
+  void DeleteRandom(const std::string& name) {
+    WorkloadGenerator gen = Gen(KeyOrder::kRandom);
+    Random rnd(flags_.seed + 13);
+    Histogram latency;
+    Stopwatch total;
+    for (uint64_t i = 0; i < flags_.reads; i++) {
+      Stopwatch op;
+      Status s = db_->Delete(WriteOptions(), gen.Key(rnd.Next() % flags_.num));
+      if (!s.ok()) Fail(name, s);
+      latency.Add(op.ElapsedNanos() / 1000.0);
+    }
+    Report(name, flags_.reads, total.ElapsedSeconds(), latency);
+  }
+
+  void RunOne(const std::string& name) {
+    if (name == "fillseq") {
+      Fill(name, KeyOrder::kSequential);
+    } else if (name == "fillrandom" || name == "overwrite") {
+      Fill(name, KeyOrder::kRandom);
+    } else if (name == "readrandom") {
+      ReadRandom(name, /*missing=*/false);
+    } else if (name == "readmissing") {
+      ReadRandom(name, /*missing=*/true);
+    } else if (name == "readseq") {
+      Scan(name, /*reverse=*/false);
+    } else if (name == "readreverse") {
+      Scan(name, /*reverse=*/true);
+    } else if (name == "deleterandom") {
+      DeleteRandom(name);
+    } else if (name == "compact") {
+      Stopwatch sw;
+      db_->CompactRange(nullptr, nullptr);
+      std::printf("%-13s done in %.2fs\n", name.c_str(), sw.ElapsedSeconds());
+    } else if (name == "wait") {
+      Stopwatch sw;
+      Status s = db_->WaitForCompactions();
+      if (!s.ok()) Fail(name, s);
+      std::printf("%-13s drained in %.2fs\n", name.c_str(),
+                  sw.ElapsedSeconds());
+    } else if (name == "stats") {
+      std::string stats;
+      if (db_->GetProperty("pipelsm.stats", &stats)) {
+        std::printf("%s\n", stats.c_str());
+      }
+    } else {
+      std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
+      std::exit(2);
+    }
+  }
+
+  [[noreturn]] void Fail(const std::string& name, const Status& s) {
+    std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
+                 s.ToString().c_str());
+    std::exit(1);
+  }
+
+  const Flags flags_;
+  std::unique_ptr<SimEnv> sim_env_;
+  Env* env_ = nullptr;
+  std::unique_ptr<const FilterPolicy> filter_policy_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+}  // namespace
+}  // namespace pipelsm
+
+using namespace pipelsm;
+
+int main(int argc, char** argv) {
+  pipelsm::Flags flags;
+  for (int i = 1; i < argc; i++) {
+    std::string unused_bool;
+    if (ParseFlag(argv[i], "benchmarks", &flags.benchmarks) ||
+        ParseFlag(argv[i], "db", &flags.db) ||
+        ParseFlag(argv[i], "device", &flags.device) ||
+        ParseFlag(argv[i], "compaction", &flags.compaction) ||
+        ParseNumFlag(argv[i], "num", &flags.num) ||
+        ParseNumFlag(argv[i], "reads", &flags.reads) ||
+        ParseNumFlag(argv[i], "key_size", &flags.key_size) ||
+        ParseNumFlag(argv[i], "value_size", &flags.value_size) ||
+        ParseNumFlag(argv[i], "batch", &flags.batch) ||
+        ParseNumFlag(argv[i], "write_buffer_kb", &flags.write_buffer_kb) ||
+        ParseNumFlag(argv[i], "file_kb", &flags.file_kb) ||
+        ParseNumFlag(argv[i], "subtask_kb", &flags.subtask_kb) ||
+        ParseNumFlag(argv[i], "block", &flags.block) ||
+        ParseNumFlag(argv[i], "compute_parallelism",
+                     &flags.compute_parallelism) ||
+        ParseNumFlag(argv[i], "io_parallelism", &flags.io_parallelism) ||
+        ParseNumFlag(argv[i], "queue_depth", &flags.queue_depth) ||
+        ParseNumFlag(argv[i], "bloom_bits", &flags.bloom_bits) ||
+        ParseNumFlag(argv[i], "seed", &flags.seed)) {
+      continue;
+    }
+    std::string v;
+    if (ParseFlag(argv[i], "dilation", &v)) {
+      flags.dilation = std::atof(v.c_str());
+      continue;
+    }
+    if (std::strcmp(argv[i], "--histogram") == 0) {
+      flags.histogram = true;
+      continue;
+    }
+    std::fprintf(stderr, "unrecognized flag: %s\n", argv[i]);
+    pipelsm::Usage(argv[0]);
+  }
+
+  pipelsm::Benchmark bench(flags);
+  bench.Run();
+  return 0;
+}
