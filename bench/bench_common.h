@@ -19,6 +19,8 @@
 #include "src/db/db.h"
 #include "src/env/sim_env.h"
 #include "src/model/model.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/workload/driver.h"
 #include "src/workload/table_gen.h"
 
@@ -36,12 +38,23 @@ inline double Scale() {
 
 inline double ToMiB(double bytes) { return bytes / (1024.0 * 1024.0); }
 
+// Every bench run fills a metrics registry (queue stalls, step times —
+// docs/OBSERVABILITY.md) and returns its JSON snapshot; set
+// PIPELSM_BENCH_METRICS=1 to also print each blob as it is produced, so
+// any bench emits machine-readable telemetry alongside its table.
+inline void MaybePrintMetrics(const char* what, const std::string& json) {
+  const char* flag = std::getenv("PIPELSM_BENCH_METRICS");
+  if (flag == nullptr || flag[0] == '\0' || flag[0] == '0') return;
+  std::printf("METRICS %s %s\n", what, json.c_str());
+}
+
 struct CompactionRun {
   StepProfile profile;
   double wall_seconds = 0;
   double bandwidth_mib_s = 0;  // input bytes / wall seconds
   uint64_t output_files = 0;
   uint64_t output_bytes = 0;
+  std::string metrics_json;    // registry snapshot for this run
 };
 
 struct CompactionBenchConfig {
@@ -50,6 +63,10 @@ struct CompactionBenchConfig {
   int read_parallelism = 1;
   int compute_parallelism = 1;
   double time_dilation = 1.0;
+
+  // Optional: collect per-sub-task stage spans of the run (the caller
+  // owns the collector and decides when/where to WriteFile it).
+  obs::TraceCollector* trace = nullptr;
 
   uint64_t upper_bytes = 4 << 20;  // paper Fig 11(a) default input
   uint64_t lower_bytes = 8 << 20;
@@ -97,6 +114,10 @@ inline CompactionRun RunCompaction(const CompactionBenchConfig& cfg) {
   job.compute_parallelism = cfg.compute_parallelism;
   job.time_dilation = cfg.time_dilation;
 
+  obs::MetricsRegistry registry;
+  job.metrics = &registry;
+  job.trace = cfg.trace;
+
   auto executor = NewCompactionExecutor(cfg.mode);
   CountingSink sink(&env, "/out");
   CompactionRun run;
@@ -105,6 +126,8 @@ inline CompactionRun RunCompaction(const CompactionBenchConfig& cfg) {
     std::fprintf(stderr, "compaction failed: %s\n", s.ToString().c_str());
     std::exit(1);
   }
+  run.metrics_json = registry.ToJson();
+  MaybePrintMetrics(CompactionModeName(cfg.mode), run.metrics_json);
   run.wall_seconds = run.profile.wall_nanos * 1e-9;
   run.bandwidth_mib_s =
       run.wall_seconds > 0 ? ToMiB(run.profile.input_bytes) / run.wall_seconds
@@ -118,6 +141,7 @@ struct DbRun {
   double iops = 0;             // paper's "IOPS": insert ops/sec
   double compaction_mib_s = 0; // compaction bandwidth over wall time
   CompactionMetrics metrics;
+  std::string metrics_json;    // GetProperty("pipelsm.metrics") snapshot
 };
 
 struct DbBenchConfig {
@@ -182,6 +206,8 @@ inline DbRun RunDbFill(const DbBenchConfig& cfg) {
   run.iops = result.ops_per_sec;
   run.compaction_mib_s = ToMiB(result.compaction_bandwidth);
   run.metrics = result.compaction;
+  db->GetProperty("pipelsm.metrics", &run.metrics_json);
+  MaybePrintMetrics(CompactionModeName(cfg.mode), run.metrics_json);
   return run;
 }
 

@@ -4,10 +4,15 @@
 // to back on the calling thread, so at any instant either the device or
 // the CPU is idle — the inefficiency PCP removes. Equation 1:
 //   B_scp = l / sum(t_S1..t_S7).
+//
+// SCP traces onto a single lane — the back-to-back S1 / S2-S6 / S7 spans
+// make the serialization visually obvious next to a PCP trace.
 #include "src/compaction/executor.h"
 #include "src/compaction/planner.h"
 #include "src/compaction/steps.h"
 #include "src/compaction/write_stage.h"
+#include "src/obs/pipeline_metrics.h"
+#include "src/obs/trace.h"
 
 namespace pipelsm {
 
@@ -25,29 +30,68 @@ class ScpExecutor final : public CompactionExecutor {
     Status s = PlanSubTasks(options, inputs, &plans);
     if (!s.ok()) return s;
 
-    WriteStage write_stage(options, sink);
+    CompactionJobOptions job = options;
+    obs::TraceCollector* const trace = job.trace;
+    if (trace != nullptr) {
+      job.trace_pid = trace->BeginJob("SCP compaction (" +
+                                      std::to_string(plans.size()) +
+                                      " sub-tasks)");
+      job.trace_write_lane = 0;
+      trace->SetLaneName(job.trace_pid, 0, "S1-S7 sequential");
+    }
+    const uint32_t pid = job.trace_pid;
+
+    obs::HistogramMetric* read_hist = nullptr;
+    obs::HistogramMetric* compute_hist = nullptr;
+    if (job.metrics != nullptr) {
+      read_hist = job.metrics->RegisterHistogram(
+          "compaction.subtask.read_micros", "S1 time per sub-task");
+      compute_hist = job.metrics->RegisterHistogram(
+          "compaction.subtask.compute_micros", "S2-S6 time per sub-task");
+    }
+
+    StepProfile run_profile;
+    WriteStage write_stage(job, sink);
     for (SubTaskPlan& plan : plans) {
+      const uint64_t seq = plan.seq;
       RawSubTask raw;
-      s = ReadSubTask(options, inputs, std::move(plan), &raw, profile);  // S1
-      if (!s.ok()) return s;
+      {
+        obs::TraceSpan span(trace, pid, 0, "S1 read", "read", seq);
+        Stopwatch sw;
+        s = ReadSubTask(job, inputs, std::move(plan), &raw,
+                        &run_profile);  // S1
+        if (read_hist != nullptr) read_hist->Observe(sw.ElapsedNanos() / 1e3);
+      }
+      if (!s.ok()) break;
 
       ComputedSubTask computed;
-      s = ComputeSubTask(options, std::move(raw), &computed);  // S2..S6
-      if (!s.ok()) return s;
-      profile->Merge(computed.profile);
-      profile->input_bytes += computed.input_bytes;
-      profile->output_bytes += computed.output_raw_bytes;
+      {
+        obs::TraceSpan span(trace, pid, 0, "S2-S6 compute", "compute", seq);
+        Stopwatch sw;
+        s = ComputeSubTask(job, std::move(raw), &computed);  // S2..S6
+        if (compute_hist != nullptr) {
+          compute_hist->Observe(sw.ElapsedNanos() / 1e3);
+        }
+      }
+      if (!s.ok()) break;
+      run_profile.Merge(computed.profile);
+      run_profile.input_bytes += computed.input_bytes;
+      run_profile.output_bytes += computed.output_raw_bytes;
 
       s = write_stage.PushReordered(std::move(computed));  // S7
-      if (!s.ok()) return s;
+      if (!s.ok()) break;
     }
-    s = write_stage.Close();
+    if (s.ok()) {
+      s = write_stage.Close();
+    }
     if (!s.ok()) return s;
 
     const StepProfile& wp = write_stage.profile();
-    profile->nanos[kStepWrite] += wp.nanos[kStepWrite];
-    profile->bytes[kStepWrite] += wp.bytes[kStepWrite];
-    profile->wall_nanos += wall.ElapsedNanos();
+    run_profile.nanos[kStepWrite] += wp.nanos[kStepWrite];
+    run_profile.bytes[kStepWrite] += wp.bytes[kStepWrite];
+    run_profile.wall_nanos += wall.ElapsedNanos();
+    obs::AddStepMetrics(job.metrics, run_profile);
+    profile->Merge(run_profile);
     return Status::OK();
   }
 };

@@ -28,6 +28,11 @@
 
 namespace pipelsm {
 
+namespace obs {
+class MetricsRegistry;
+class TraceCollector;
+}  // namespace obs
+
 // One data-block extent to read for a sub-task.
 struct BlockRead {
   int table_index = 0;  // which input table
@@ -145,6 +150,23 @@ struct CompactionJobOptions {
   // The paper's procedure reads at sub-task granularity; this knob
   // quantifies why (see bench_ablation).
   bool coalesce_reads = true;
+
+  // -------- observability (src/obs, docs/OBSERVABILITY.md) --------
+  // Optional registry the executor publishes run metrics into: queue
+  // stall times, depth high-watermarks, per-step nanos/bytes, sub-task
+  // latency histograms. Registration is idempotent, so one registry can
+  // accumulate across many compactions.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  // Optional trace collector; when set, every sub-task's stage spans and
+  // queue-wait stalls are recorded for chrome://tracing export.
+  obs::TraceCollector* trace = nullptr;
+
+  // Set by the executor on its own copy of the options (callers leave
+  // them alone): which trace process the run belongs to and which lane
+  // the write stage draws its S7 spans in.
+  uint32_t trace_pid = 0;
+  uint32_t trace_write_lane = 0;
 
   // Slow-motion factor for hosts with fewer cores than the paper's
   // testbed (see DESIGN.md §"Substitutions"). When > 1, each sub-task's

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/obs/trace.h"
+
 namespace pipelsm {
 
 WriteStage::WriteStage(const CompactionJobOptions& options,
@@ -31,6 +33,12 @@ Status WriteStage::PushReordered(ComputedSubTask task) {
 }
 
 Status WriteStage::WriteOrdered(ComputedSubTask& task) {
+  // The span covers the real device writes of this sub-task; a sub-task
+  // that sat in the reorder buffer gets its span only now, when S7
+  // actually consumes it (so traces show true write-lane occupancy).
+  obs::TraceSpan span(options_.trace, options_.trace_pid,
+                      options_.trace_write_lane, "S7 write", "write",
+                      task.seq);
   for (EncodedBlock& block : task.blocks) {
     Status s = RotateIfNeeded();
     if (!s.ok()) return s;
@@ -71,6 +79,8 @@ Status WriteStage::RotateIfNeeded() {
 
 Status WriteStage::FinishCurrentFile() {
   if (!have_current_) return Status::OK();
+  obs::TraceSpan span(options_.trace, options_.trace_pid,
+                      options_.trace_write_lane, "S7 finish file", "write");
   Stopwatch sw;
   Status s = writer_->Finish();
   if (s.ok()) {

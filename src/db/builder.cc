@@ -166,6 +166,9 @@ Status BuildTablePipelined(const std::string& dbname, Env* env,
     if (batch.size() >= kBlocksPerBatch) {
       std::vector<EncodedBlock> out;
       out.swap(batch);
+      // Push fails only after the writer thread closed the queue on a
+      // write error; `out` is handed back and dropped here, and the real
+      // error surfaces through write_status below.
       return queue.Push(std::move(out));
     }
     return true;
@@ -187,6 +190,8 @@ Status BuildTablePipelined(const std::string& dbname, Env* env,
   }
   flush_block();
   if (!batch.empty()) {
+    // Same contract: a false return keeps `batch` alive; the tail blocks
+    // are intentionally abandoned because the writer already failed.
     queue.Push(std::move(batch));
   }
   meta->largest.DecodeFrom(last_key);

@@ -81,8 +81,14 @@ class DB {
   virtual void ReleaseSnapshot(const Snapshot* snapshot) = 0;
 
   // DB implementations can export properties about their state via this
-  // method. Recognized: "pipelsm.num-files-at-level<N>", "pipelsm.stats",
-  // "pipelsm.sstables", "pipelsm.approximate-memory-usage".
+  // method. Recognized (reference: docs/OBSERVABILITY.md):
+  //   "pipelsm.num-files-at-level<N>"    file count at level N
+  //   "pipelsm.stats"                    human-readable compaction summary
+  //   "pipelsm.sstables"                 per-level table listing
+  //   "pipelsm.approximate-memory-usage" memtable bytes
+  //   "pipelsm.metrics"                  JSON snapshot of the metrics
+  //                                      registry (queue stalls, step
+  //                                      times, sub-task histograms)
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
 
   // For each i in [0,n-1], store in "sizes[i]" the approximate file

@@ -107,6 +107,18 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
                                  &internal_comparator_));
   executor_ = NewCompactionExecutor(options_.compaction_mode);
 
+  if (!options_.trace_path.empty()) {
+    trace_ = std::make_unique<obs::TraceCollector>();
+  }
+  slowdown_micros_counter_ = metrics_registry_.RegisterCounter(
+      "db.write_slowdown_micros",
+      "writer time lost to 1ms L0 slowdown delays");
+  pause_micros_counter_ = metrics_registry_.RegisterCounter(
+      "db.write_pause_micros",
+      "writer time fully paused on memtable/L0 backpressure");
+  flush_runs_counter_ =
+      metrics_registry_.RegisterCounter("flush.runs", "memtable flushes");
+
   background_thread_ = std::thread([this] { BackgroundThreadMain(); });
 }
 
@@ -127,6 +139,16 @@ DBImpl::~DBImpl() {
 
   if (mem_ != nullptr) mem_->Unref();
   if (imm_ != nullptr) imm_->Unref();
+
+  if (trace_ != nullptr) {
+    Status ts = trace_->WriteFile(options_.trace_path);
+    if (!ts.ok()) {
+      PIPELSM_LOG_WARN("trace export failed: %s", ts.ToString().c_str());
+    } else {
+      PIPELSM_LOG_INFO("wrote %zu trace spans to %s", trace_->span_count(),
+                       options_.trace_path.c_str());
+    }
+  }
 }
 
 Status DBImpl::NewDB() {
@@ -327,6 +349,15 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
   {
     // Unlock while doing the actual dump.
     mutex_.unlock();
+    uint32_t flush_pid = 0;
+    if (trace_ != nullptr) {
+      flush_pid = trace_->BeginJob(
+          "flush #" + std::to_string(meta.number) +
+          (options_.pipelined_flush ? " (pipelined)" : ""));
+      trace_->SetLaneName(flush_pid, 0, "memtable dump");
+    }
+    obs::TraceSpan span(trace_.get(), flush_pid, 0, "flush memtable",
+                        "flush");
     if (options_.pipelined_flush) {
       // Flush blocks are tiny (one data block each), so the inter-stage
       // queue must be much deeper than a compaction's sub-task queue to
@@ -364,6 +395,7 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
 
   metrics_.memtable_flushes++;
   metrics_.bytes_written += meta.file_size;
+  flush_runs_counter_->Add(1);
   (void)sw;
   return s;
 }
@@ -602,6 +634,8 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
   job.queue_depth = options_.pipeline_queue_depth;
   job.time_dilation = options_.compaction_time_dilation;
   job.filter_policy = table_options_.filter_policy;
+  job.metrics = &metrics_registry_;
+  job.trace = trace_.get();
 
   if (snapshots_.empty()) {
     job.smallest_snapshot = versions_->LastSequence();
@@ -928,6 +962,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
       env_->SleepForMicroseconds(1000);
       lock.lock();
       metrics_.stall_micros += sw.ElapsedNanos() / 1000;
+      slowdown_micros_counter_->Add(sw.ElapsedNanos() / 1000);
       allow_delay = false;  // Do not delay a single write more than once
     } else if (!force &&
                (mem_->ApproximateMemoryUsage() <=
@@ -942,6 +977,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
       MaybeScheduleCompaction();
       background_done_signal_.wait(lock);
       metrics_.stall_micros += sw.ElapsedNanos() / 1000;
+      pause_micros_counter_->Add(sw.ElapsedNanos() / 1000);
     } else if (versions_->NumLevelFiles(0) >= config::kL0_StopWritesTrigger) {
       // There are too many level-0 files ("write pause").
       PIPELSM_LOG_DEBUG("too many L0 files; waiting...");
@@ -949,6 +985,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
       MaybeScheduleCompaction();
       background_done_signal_.wait(lock);
       metrics_.stall_micros += sw.ElapsedNanos() / 1000;
+      pause_micros_counter_->Add(sw.ElapsedNanos() / 1000);
     } else {
       // Attempt to switch to a new memtable and trigger compaction of
       // the old one.
@@ -1011,6 +1048,11 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     return true;
   } else if (in == Slice("sstables")) {
     *value = versions_->current()->DebugString();
+    return true;
+  } else if (in == Slice("metrics")) {
+    // Registry has its own lock; counters are updated by executors
+    // running outside mutex_, so the snapshot is taken lock-free here.
+    *value = metrics_registry_.ToJson();
     return true;
   } else if (in == Slice("approximate-memory-usage")) {
     uint64_t total = mem_ != nullptr ? mem_->ApproximateMemoryUsage() : 0;

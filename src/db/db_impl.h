@@ -20,6 +20,8 @@
 #include "src/db/table_cache.h"
 #include "src/db/write_batch.h"
 #include "src/memtable/memtable.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/table/block_cache.h"
 #include "src/version/version_set.h"
 #include "src/wal/log_writer.h"
@@ -170,6 +172,16 @@ class DBImpl final : public DB {
 
   Status bg_error_;
   CompactionMetrics metrics_;
+
+  // Observability (docs/OBSERVABILITY.md): instrument registry behind
+  // GetProperty("pipelsm.metrics") — has its own synchronization, and the
+  // executors update it outside mutex_. trace_ exists only when
+  // Options::trace_path is set; the file is written on DB close.
+  obs::MetricsRegistry metrics_registry_;
+  std::unique_ptr<obs::TraceCollector> trace_;
+  obs::Counter* slowdown_micros_counter_ = nullptr;
+  obs::Counter* pause_micros_counter_ = nullptr;
+  obs::Counter* flush_runs_counter_ = nullptr;
 };
 
 }  // namespace pipelsm

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "src/compress/codec.h"
 
@@ -97,6 +98,15 @@ struct Options {
 
   // Verify block checksums (S2) on every read path.
   bool verify_checksums = true;
+
+  // -------- observability (docs/OBSERVABILITY.md) --------
+  // When non-empty, the DB records per-sub-task pipeline stage spans for
+  // every compaction and flush, and writes them as Chrome trace_event
+  // JSON to this *host filesystem* path when the DB is closed (the trace
+  // always lands on the real FS so chrome://tracing or Perfetto can load
+  // it, even when the DB itself runs on a SimEnv). Pipeline metrics via
+  // GetProperty("pipelsm.metrics") are collected unconditionally.
+  std::string trace_path;
 };
 
 // Options that control read operations.

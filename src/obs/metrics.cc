@@ -1,0 +1,176 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace pipelsm::obs {
+
+namespace {
+
+// Metric names are dotted identifiers and help strings are plain ASCII,
+// but escape defensively so the JSON stays loadable whatever callers pass.
+void AppendJsonString(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(double v, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kCounter) return nullptr;
+    return &counters_[it->second.index];
+  }
+  counters_.emplace_back();
+  entries_.emplace(name, Entry{Kind::kCounter, counters_.size() - 1, help});
+  return &counters_.back();
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kGauge) return nullptr;
+    return &gauges_[it->second.index];
+  }
+  gauges_.emplace_back();
+  entries_.emplace(name, Entry{Kind::kGauge, gauges_.size() - 1, help});
+  return &gauges_.back();
+}
+
+HistogramMetric* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                                    const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != Kind::kHistogram) return nullptr;
+    return &histograms_[it->second.index];
+  }
+  histograms_.emplace_back();
+  entries_.emplace(name, Entry{Kind::kHistogram, histograms_.size() - 1, help});
+  return &histograms_.back();
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[160];
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", name.c_str(),
+                      counters_[entry.index].value());
+        out.append(buf);
+        break;
+      case Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n", name.c_str(),
+                      gauges_[entry.index].value());
+        out.append(buf);
+        break;
+      case Kind::kHistogram: {
+        const Histogram h = histograms_[entry.index].Snapshot();
+        std::snprintf(buf, sizeof(buf),
+                      "%s count=%.0f avg=%.1f p50=%.1f p95=%.1f p99=%.1f "
+                      "max=%.1f\n",
+                      name.c_str(), h.Num(), h.Average(), h.Median(),
+                      h.Percentile(95), h.Percentile(99), h.Max());
+        out.append(buf);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  char buf[64];
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters.push_back(',');
+        AppendJsonString(name, &counters);
+        std::snprintf(buf, sizeof(buf), ":%" PRIu64,
+                      counters_[entry.index].value());
+        counters.append(buf);
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges.push_back(',');
+        AppendJsonString(name, &gauges);
+        std::snprintf(buf, sizeof(buf), ":%" PRId64,
+                      gauges_[entry.index].value());
+        gauges.append(buf);
+        break;
+      case Kind::kHistogram: {
+        if (!histograms.empty()) histograms.push_back(',');
+        const Histogram h = histograms_[entry.index].Snapshot();
+        AppendJsonString(name, &histograms);
+        histograms.append(":{\"count\":");
+        std::snprintf(buf, sizeof(buf), "%.0f", h.Num());
+        histograms.append(buf);
+        histograms.append(",\"avg\":");
+        AppendDouble(h.Average(), &histograms);
+        histograms.append(",\"p50\":");
+        AppendDouble(h.Median(), &histograms);
+        histograms.append(",\"p95\":");
+        AppendDouble(h.Percentile(95), &histograms);
+        histograms.append(",\"p99\":");
+        AppendDouble(h.Percentile(99), &histograms);
+        histograms.append(",\"max\":");
+        AppendDouble(h.Num() > 0 ? h.Max() : 0, &histograms);
+        histograms.push_back('}');
+        break;
+      }
+    }
+  }
+  std::string out = "{\"counters\":{";
+  out.append(counters);
+  out.append("},\"gauges\":{");
+  out.append(gauges);
+  out.append("},\"histograms\":{");
+  out.append(histograms);
+  out.append("}}");
+  return out;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace pipelsm::obs

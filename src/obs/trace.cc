@@ -1,0 +1,135 @@
+#include "src/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace pipelsm::obs {
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+      continue;
+    }
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+// trace_event timestamps are microseconds; keep nanosecond precision as
+// a 3-decimal fraction (both chrome://tracing and Perfetto accept it).
+void AppendMicros(uint64_t nanos, std::string* out) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", nanos / 1000,
+                static_cast<unsigned>(nanos % 1000));
+  out->append(buf);
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector() = default;
+
+uint64_t TraceCollector::NowNanos() const { return epoch_.ElapsedNanos(); }
+
+uint32_t TraceCollector::BeginJob(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t pid = next_pid_++;
+  job_names_[pid] = name;
+  return pid;
+}
+
+void TraceCollector::SetLaneName(uint32_t pid, uint32_t lane,
+                                 const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lane_names_[{pid, lane}] = name;
+}
+
+void TraceCollector::AddSpan(uint32_t pid, uint32_t lane, const char* name,
+                             const char* category, uint64_t start_ns,
+                             uint64_t end_ns, uint64_t seq) {
+  const uint64_t dur = end_ns > start_ns ? end_ns - start_ns : 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(Span{name, category, pid, lane, start_ns, dur, seq});
+}
+
+size_t TraceCollector::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::string TraceCollector::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[96];
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+
+  for (const auto& [pid, name] : job_names_) {
+    comma();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%u,\"tid\":0,"
+                  "\"name\":\"process_name\",\"args\":{\"name\":",
+                  pid);
+    out.append(buf);
+    AppendEscaped(name, &out);
+    out.append("}}");
+  }
+  for (const auto& [key, name] : lane_names_) {
+    comma();
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%u,\"tid\":%u,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":",
+                  key.first, key.second);
+    out.append(buf);
+    AppendEscaped(name, &out);
+    out.append("}}");
+  }
+
+  for (const Span& span : spans_) {
+    comma();
+    std::snprintf(buf, sizeof(buf), "{\"ph\":\"X\",\"pid\":%u,\"tid\":%u,",
+                  span.pid, span.lane);
+    out.append(buf);
+    out.append("\"name\":");
+    AppendEscaped(span.name, &out);
+    out.append(",\"cat\":");
+    AppendEscaped(span.category, &out);
+    out.append(",\"ts\":");
+    AppendMicros(span.start_ns, &out);
+    out.append(",\"dur\":");
+    AppendMicros(span.dur_ns, &out);
+    if (span.seq != kNoSeq) {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"seq\":%" PRIu64 "}",
+                    span.seq);
+      out.append(buf);
+    }
+    out.append("}");
+  }
+  out.append("]}");
+  return out;
+}
+
+Status TraceCollector::WriteFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open trace file " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != json.size() || !close_ok) {
+    return Status::IOError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace pipelsm::obs

@@ -1,0 +1,118 @@
+// TraceCollector: per-sub-task stage spans dumped as Chrome trace_event
+// JSON, loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Each compaction (or flush) is one trace "process" (pid); each pipeline
+// lane — the S7 write stage, every S1 reader, every S2–S6 compute worker
+// — is one "thread" (tid) inside it. A PCP run therefore renders exactly
+// like the paper's Fig. 4 pipeline diagram: sub-task boxes marching
+// through the stages, with "stall" spans showing where a lane sat blocked
+// on an inter-stage queue. The lane whose row has no gaps is the
+// bottleneck stage of Eq. 2.
+//
+// Thread-safety: all methods may be called concurrently; spans are
+// appended under one mutex, which is fine at sub-task granularity (a few
+// spans per ~512 KB of compaction input — nowhere near a hot path).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/stopwatch.h"
+
+namespace pipelsm::obs {
+
+class TraceCollector {
+ public:
+  TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  // Nanoseconds since the collector was created (the trace epoch).
+  // Span begin/end timestamps must come from this clock.
+  uint64_t NowNanos() const;
+
+  // Allocates a trace process id for one job (compaction, flush, ...)
+  // and records its display name.
+  uint32_t BeginJob(const std::string& name);
+
+  // Names one lane (trace thread) of a job, e.g. "S1 read 0".
+  void SetLaneName(uint32_t pid, uint32_t lane, const std::string& name);
+
+  // Records one complete span. `category` is a stable literal ("read",
+  // "compute", "write", "stall"); `seq` is the sub-task sequence number
+  // (emitted into args so spans of one sub-task can be joined up), or
+  // kNoSeq for spans not tied to a sub-task.
+  static constexpr uint64_t kNoSeq = ~uint64_t{0};
+  void AddSpan(uint32_t pid, uint32_t lane, const char* name,
+               const char* category, uint64_t start_ns, uint64_t end_ns,
+               uint64_t seq);
+
+  size_t span_count() const;
+
+  // The full trace as Chrome trace_event JSON ({"traceEvents":[...]}).
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path` on the host filesystem (deliberately not
+  // through an Env: traces must land where chrome://tracing can open
+  // them even when the DB itself runs on a SimEnv).
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Span {
+    std::string name;
+    const char* category;
+    uint32_t pid;
+    uint32_t lane;
+    uint64_t start_ns;
+    uint64_t dur_ns;
+    uint64_t seq;
+  };
+
+  mutable std::mutex mu_;
+  uint32_t next_pid_ = 1;
+  std::vector<Span> spans_;
+  std::map<uint32_t, std::string> job_names_;                      // by pid
+  std::map<std::pair<uint32_t, uint32_t>, std::string> lane_names_;
+  Stopwatch epoch_;
+};
+
+// RAII span: measures construction→destruction on `collector`'s clock.
+// A null collector makes it a no-op, so call sites stay unconditional.
+class TraceSpan {
+ public:
+  TraceSpan(TraceCollector* collector, uint32_t pid, uint32_t lane,
+            const char* name, const char* category,
+            uint64_t seq = TraceCollector::kNoSeq)
+      : collector_(collector),
+        pid_(pid),
+        lane_(lane),
+        name_(name),
+        category_(category),
+        seq_(seq),
+        start_ns_(collector != nullptr ? collector->NowNanos() : 0) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (collector_ != nullptr) {
+      collector_->AddSpan(pid_, lane_, name_, category_, start_ns_,
+                          collector_->NowNanos(), seq_);
+    }
+  }
+
+ private:
+  TraceCollector* const collector_;
+  const uint32_t pid_;
+  const uint32_t lane_;
+  const char* const name_;
+  const char* const category_;
+  const uint64_t seq_;
+  const uint64_t start_ns_;
+};
+
+}  // namespace pipelsm::obs

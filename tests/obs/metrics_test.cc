@@ -1,0 +1,167 @@
+// MetricsRegistry contract tests: idempotent registration, kind-mismatch
+// detection, wait-free concurrent updates, and a machine-checked ToJson
+// format (parsed, not substring-matched — the blob is the payload of
+// GetProperty("pipelsm.metrics") and external tools consume it).
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tests/obs/json_check.h"
+
+namespace pipelsm::obs {
+namespace {
+
+using testjson::JsonValue;
+using testjson::ParseJson;
+
+TEST(MetricsRegistry, RegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  Counter* a = reg.RegisterCounter("x.count", "help a");
+  Counter* b = reg.RegisterCounter("x.count", "help ignored on re-register");
+  ASSERT_NE(nullptr, a);
+  EXPECT_EQ(a, b);  // same instrument, not a second one
+  EXPECT_EQ(1u, reg.size());
+
+  Gauge* g1 = reg.RegisterGauge("x.depth", "");
+  Gauge* g2 = reg.RegisterGauge("x.depth", "");
+  EXPECT_EQ(g1, g2);
+  HistogramMetric* h1 = reg.RegisterHistogram("x.micros", "");
+  HistogramMetric* h2 = reg.RegisterHistogram("x.micros", "");
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(3u, reg.size());
+}
+
+TEST(MetricsRegistry, KindMismatchReturnsNull) {
+  MetricsRegistry reg;
+  ASSERT_NE(nullptr, reg.RegisterCounter("name", ""));
+  EXPECT_EQ(nullptr, reg.RegisterGauge("name", ""));
+  EXPECT_EQ(nullptr, reg.RegisterHistogram("name", ""));
+  EXPECT_EQ(1u, reg.size());  // the bad registrations created nothing
+}
+
+TEST(MetricsRegistry, ConcurrentCounterUpdates) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&reg] {
+      // Every thread registers by name — the idempotent contract means
+      // they all hit the same instrument, the intended usage pattern.
+      Counter* c = reg.RegisterCounter("stress.count", "");
+      ASSERT_NE(nullptr, c);
+      for (int i = 0; i < kAddsPerThread; i++) c->Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(static_cast<uint64_t>(kThreads) * kAddsPerThread,
+            reg.RegisterCounter("stress.count", "")->value());
+}
+
+TEST(MetricsRegistry, GaugeUpdateMaxAcrossThreads) {
+  MetricsRegistry reg;
+  Gauge* g = reg.RegisterGauge("stress.highwater", "");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; t++) {
+    threads.emplace_back([g, t] {
+      for (int i = 0; i < 5000; i++) {
+        g->UpdateMax(t * 5000 + i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(8 * 5000 - 1, g->value());
+
+  g->Set(3);  // Set overwrites unconditionally
+  EXPECT_EQ(3, g->value());
+  g->UpdateMax(2);  // lower value must not regress the gauge
+  EXPECT_EQ(3, g->value());
+}
+
+TEST(MetricsRegistry, HistogramObserve) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.RegisterHistogram("lat.micros", "");
+  for (int i = 1; i <= 100; i++) h->Observe(i);
+  Histogram snap = h->Snapshot();
+  EXPECT_EQ(100, snap.Num());
+  EXPECT_DOUBLE_EQ(100.0, snap.Max());
+  EXPECT_NEAR(50.5, snap.Average(), 1e-9);
+}
+
+TEST(MetricsRegistry, ToStringListsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("b.count", "")->Add(7);
+  reg.RegisterGauge("a.depth", "")->Set(3);
+  reg.RegisterHistogram("c.micros", "")->Observe(1.5);
+  const std::string text = reg.ToString();
+  EXPECT_NE(std::string::npos, text.find("a.depth"));
+  EXPECT_NE(std::string::npos, text.find("b.count"));
+  EXPECT_NE(std::string::npos, text.find("c.micros"));
+  // Sorted by name: gauge line first.
+  EXPECT_LT(text.find("a.depth"), text.find("b.count"));
+}
+
+TEST(MetricsRegistry, ToJsonGoldenFormat) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("q.push_stalls", "")->Add(11);
+  reg.RegisterGauge("q.depth_highwater", "")->Set(4);
+  HistogramMetric* h = reg.RegisterHistogram("subtask.micros", "");
+  for (int i = 0; i < 10; i++) h->Observe(100.0);
+
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(reg.ToJson(), &root, &error)) << error;
+  ASSERT_EQ(JsonValue::kObject, root.type);
+
+  const JsonValue* counters = root.Find("counters");
+  ASSERT_NE(nullptr, counters);
+  const JsonValue* stalls = counters->Find("q.push_stalls");
+  ASSERT_NE(nullptr, stalls);
+  EXPECT_DOUBLE_EQ(11.0, stalls->number_value);
+
+  const JsonValue* gauges = root.Find("gauges");
+  ASSERT_NE(nullptr, gauges);
+  const JsonValue* depth = gauges->Find("q.depth_highwater");
+  ASSERT_NE(nullptr, depth);
+  EXPECT_DOUBLE_EQ(4.0, depth->number_value);
+
+  const JsonValue* histograms = root.Find("histograms");
+  ASSERT_NE(nullptr, histograms);
+  const JsonValue* lat = histograms->Find("subtask.micros");
+  ASSERT_NE(nullptr, lat);
+  for (const char* field : {"count", "avg", "p50", "p95", "p99", "max"}) {
+    ASSERT_NE(nullptr, lat->Find(field)) << "missing histogram field "
+                                         << field;
+  }
+  EXPECT_DOUBLE_EQ(10.0, lat->Find("count")->number_value);
+  EXPECT_DOUBLE_EQ(100.0, lat->Find("avg")->number_value);
+  EXPECT_DOUBLE_EQ(100.0, lat->Find("max")->number_value);
+}
+
+TEST(MetricsRegistry, ToJsonEscapesStrings) {
+  MetricsRegistry reg;
+  reg.RegisterCounter("weird\"name\\with\ncontrol", "")->Add(1);
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(reg.ToJson(), &root, &error)) << error;
+  const JsonValue* counters = root.Find("counters");
+  ASSERT_NE(nullptr, counters);
+  EXPECT_NE(nullptr, counters->Find("weird\"name\\with\ncontrol"));
+}
+
+TEST(MetricsRegistry, EmptyRegistryStillValidJson) {
+  MetricsRegistry reg;
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(reg.ToJson(), &root, &error)) << error;
+  EXPECT_NE(nullptr, root.Find("counters"));
+  EXPECT_NE(nullptr, root.Find("gauges"));
+  EXPECT_NE(nullptr, root.Find("histograms"));
+}
+
+}  // namespace
+}  // namespace pipelsm::obs

@@ -109,6 +109,76 @@ TEST(BoundedQueue, MoveOnlyPayload) {
   EXPECT_EQ(9, **v);
 }
 
+TEST(BoundedQueue, PushAfterCloseRetainsItem) {
+  // The Push contract: a rejected item is NOT consumed, so the producer
+  // can reclaim it (nothing is silently dropped inside the queue).
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  q.Close();
+  auto item = std::make_unique<int>(31);
+  EXPECT_FALSE(q.Push(std::move(item)));
+  ASSERT_NE(nullptr, item);  // still ours
+  EXPECT_EQ(31, *item);
+  EXPECT_EQ(0u, q.stats().pushes);
+}
+
+TEST(BoundedQueue, StatsCountTraffic) {
+  BoundedQueue<int> q(4);
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(1, *q.Pop());
+  EXPECT_EQ(2, *q.TryPop());
+  const auto stats = q.stats();
+  EXPECT_EQ(3u, stats.pushes);
+  EXPECT_EQ(2u, stats.pops);  // Pop and TryPop both count
+  EXPECT_EQ(3u, stats.depth_highwater);
+  // Nothing ever blocked: the stall clock must not have started.
+  EXPECT_EQ(0u, stats.push_stalls);
+  EXPECT_EQ(0u, stats.pop_stalls);
+  EXPECT_EQ(0u, stats.push_stall_nanos);
+  EXPECT_EQ(0u, stats.pop_stall_nanos);
+}
+
+TEST(BoundedQueue, PushStallAccountedUnderBackpressure) {
+  BoundedQueue<int> q(1);
+  q.Push(1);  // queue now full
+
+  std::thread producer([&] { ASSERT_TRUE(q.Push(2)); });
+  // Hold the producer blocked long enough to accumulate measurable time.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(1, *q.Pop());
+  producer.join();
+
+  const auto stats = q.stats();
+  EXPECT_EQ(1u, stats.push_stalls);
+  EXPECT_GE(stats.push_stall_nanos, 10u * 1000 * 1000);  // >= 10ms blocked
+  EXPECT_EQ(0u, stats.pop_stalls);  // consumer never waited
+}
+
+TEST(BoundedQueue, PopStallAccountedUnderStarvation) {
+  BoundedQueue<int> q(4);
+
+  std::thread consumer([&] { EXPECT_EQ(5, *q.Pop()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Push(5);
+  consumer.join();
+
+  const auto stats = q.stats();
+  EXPECT_EQ(1u, stats.pop_stalls);
+  EXPECT_GE(stats.pop_stall_nanos, 10u * 1000 * 1000);
+  EXPECT_EQ(0u, stats.push_stalls);
+}
+
+TEST(BoundedQueue, DepthHighwaterTracksPeakNotCurrent) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; i++) q.Push(i);
+  for (int i = 0; i < 5; i++) q.Pop();
+  EXPECT_EQ(0u, q.size());
+  EXPECT_EQ(5u, q.stats().depth_highwater);
+  q.Push(99);
+  EXPECT_EQ(5u, q.stats().depth_highwater);  // 1 < 5: peak unchanged
+}
+
 TEST(ThreadPool, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> count{0};

@@ -18,6 +18,8 @@
 //   compact      CompactRange over everything
 //   wait         drain background compactions
 //   stats        print the DB's internal stats + compaction profile
+//   metrics      print the pipeline metrics registry as JSON
+//                (GetProperty "pipelsm.metrics" — see docs/OBSERVABILITY.md)
 //
 // Key flags:
 //   --db=PATH                DB directory (default /tmp/pipelsm_bench)
@@ -30,6 +32,10 @@
 //   --bloom_bits=N           per-key bloom bits (0 = no filters)
 //   --dilation=X             compaction slow-motion factor
 //   --histogram              print full latency histograms
+//   --trace_path=PATH        write a Chrome trace_event JSON of every
+//                            compaction/flush pipeline (load the file in
+//                            chrome://tracing or https://ui.perfetto.dev)
+//   --metrics_json=PATH      dump the final metrics registry JSON to PATH
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -69,6 +75,8 @@ struct Flags {
   double dilation = 1.0;
   bool histogram = false;
   uint32_t seed = 301;
+  std::string trace_path;
+  std::string metrics_json;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -140,6 +148,7 @@ class Benchmark {
     options_.io_parallelism = flags_.io_parallelism;
     options_.pipeline_queue_depth = flags_.queue_depth;
     options_.compaction_time_dilation = flags_.dilation;
+    options_.trace_path = flags_.trace_path;
     if (flags_.bloom_bits > 0) {
       filter_policy_.reset(NewBloomFilterPolicy(flags_.bloom_bits));
       options_.filter_policy = filter_policy_.get();
@@ -319,12 +328,55 @@ class Benchmark {
       if (db_->GetProperty("pipelsm.stats", &stats)) {
         std::printf("%s\n", stats.c_str());
       }
+    } else if (name == "metrics") {
+      std::string json;
+      if (db_->GetProperty("pipelsm.metrics", &json)) {
+        std::printf("%s\n", json.c_str());
+      }
     } else {
       std::fprintf(stderr, "unknown benchmark '%s'\n", name.c_str());
       std::exit(2);
     }
   }
 
+ public:
+  // Dumps the metrics blob, closes the DB (which flushes the trace file),
+  // and reports where the artifacts went. Call once, after Run().
+  void Finish() {
+    if (!flags_.metrics_json.empty()) {
+      std::string json;
+      if (db_->GetProperty("pipelsm.metrics", &json)) {
+        std::FILE* f = std::fopen(flags_.metrics_json.c_str(), "w");
+        if (f == nullptr) {
+          std::fprintf(stderr, "cannot open %s\n",
+                       flags_.metrics_json.c_str());
+          std::exit(1);
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::printf("metrics JSON written to %s\n",
+                    flags_.metrics_json.c_str());
+      }
+    }
+    db_.reset();  // the DB writes Options::trace_path on close
+    if (!flags_.trace_path.empty()) {
+      // The DB only logs a write failure (into its own, possibly
+      // simulated, log); confirm the file actually landed on the host.
+      std::FILE* f = std::fopen(flags_.trace_path.c_str(), "r");
+      if (f == nullptr) {
+        std::fprintf(stderr, "trace was NOT written to %s (unwritable?)\n",
+                     flags_.trace_path.c_str());
+        std::exit(1);
+      }
+      std::fclose(f);
+      std::printf("trace written to %s (load in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  flags_.trace_path.c_str());
+    }
+  }
+
+ private:
   [[noreturn]] void Fail(const std::string& name, const Status& s) {
     std::fprintf(stderr, "%s failed: %s\n", name.c_str(),
                  s.ToString().c_str());
@@ -366,7 +418,9 @@ int main(int argc, char** argv) {
         ParseNumFlag(argv[i], "io_parallelism", &flags.io_parallelism) ||
         ParseNumFlag(argv[i], "queue_depth", &flags.queue_depth) ||
         ParseNumFlag(argv[i], "bloom_bits", &flags.bloom_bits) ||
-        ParseNumFlag(argv[i], "seed", &flags.seed)) {
+        ParseNumFlag(argv[i], "seed", &flags.seed) ||
+        ParseFlag(argv[i], "trace_path", &flags.trace_path) ||
+        ParseFlag(argv[i], "metrics_json", &flags.metrics_json)) {
       continue;
     }
     std::string v;
@@ -384,5 +438,6 @@ int main(int argc, char** argv) {
 
   pipelsm::Benchmark bench(flags);
   bench.Run();
+  bench.Finish();
   return 0;
 }
