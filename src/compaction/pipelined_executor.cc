@@ -25,6 +25,7 @@
 #include "src/compaction/planner.h"
 #include "src/compaction/steps.h"
 #include "src/compaction/write_stage.h"
+#include "src/obs/event_listener.h"
 #include "src/obs/pipeline_metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/bounded_queue.h"
@@ -92,6 +93,17 @@ class PipelinedExecutor final : public CompactionExecutor {
       }
     }
     const uint32_t pid = job.trace_pid;
+
+    obs::CompactionJobInfo* const info = job.job_info;
+    if (info != nullptr) {
+      info->executor = name_;
+      info->subtasks = plans.size();
+      if (job.listeners != nullptr) {
+        for (obs::EventListener* l : *job.listeners) {
+          l->OnCompactionBegin(*info);
+        }
+      }
+    }
 
     obs::HistogramMetric* read_hist = nullptr;
     obs::HistogramMetric* compute_hist = nullptr;
@@ -233,21 +245,23 @@ class PipelinedExecutor final : public CompactionExecutor {
 
     {
       std::lock_guard<std::mutex> lock(error_mu);
-      if (!first_error.ok()) return first_error;
+      s = first_error;
     }
     // On a clean shutdown every queue must be empty: readers closed
     // read_q only after the last plan, computers drained it before
     // closing write_q, and this thread drained write_q. Anything left
     // means a stage dropped out early without recording an error.
-    if (read_q.size() != 0 || write_q.size() != 0) {
-      return Status::Corruption("pipeline queues not drained at shutdown");
+    if (s.ok() && (read_q.size() != 0 || write_q.size() != 0)) {
+      s = Status::Corruption("pipeline queues not drained at shutdown");
     }
-    s = write_stage.Close();
-    if (!s.ok()) return s;
+    if (s.ok()) {
+      s = write_stage.Close();
+    }
 
     // Assemble this run's profile separately so the published metrics
     // cover exactly this compaction even if the caller's *profile is an
-    // accumulator.
+    // accumulator. Assembled on failures too: the Completed event below
+    // reports whatever was measured before the run broke.
     StepProfile run_profile;
     for (const StepProfile& p : reader_profiles) run_profile.Merge(p);
     for (const StepProfile& p : computer_profiles) run_profile.Merge(p);
@@ -257,6 +271,18 @@ class PipelinedExecutor final : public CompactionExecutor {
     run_profile.input_bytes += input_bytes;
     run_profile.output_bytes += output_bytes;
     run_profile.wall_nanos += wall.ElapsedNanos();
+    if (info != nullptr) {
+      info->output_bytes = run_profile.output_bytes;
+      info->profile = run_profile;
+      info->wall_micros = run_profile.wall_nanos / 1000;
+      info->status = s;
+      if (job.listeners != nullptr) {
+        for (obs::EventListener* l : *job.listeners) {
+          l->OnCompactionCompleted(*info);
+        }
+      }
+    }
+    if (!s.ok()) return s;
     obs::AddStepMetrics(job.metrics, run_profile);
     profile->Merge(run_profile);
     return Status::OK();

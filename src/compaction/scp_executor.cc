@@ -11,6 +11,7 @@
 #include "src/compaction/planner.h"
 #include "src/compaction/steps.h"
 #include "src/compaction/write_stage.h"
+#include "src/obs/event_listener.h"
 #include "src/obs/pipeline_metrics.h"
 #include "src/obs/trace.h"
 
@@ -31,6 +32,16 @@ class ScpExecutor final : public CompactionExecutor {
     if (!s.ok()) return s;
 
     CompactionJobOptions job = options;
+    obs::CompactionJobInfo* const info = job.job_info;
+    if (info != nullptr) {
+      info->executor = name();
+      info->subtasks = plans.size();
+      if (job.listeners != nullptr) {
+        for (obs::EventListener* l : *job.listeners) {
+          l->OnCompactionBegin(*info);
+        }
+      }
+    }
     obs::TraceCollector* const trace = job.trace;
     if (trace != nullptr) {
       job.trace_pid = trace->BeginJob("SCP compaction (" +
@@ -84,12 +95,23 @@ class ScpExecutor final : public CompactionExecutor {
     if (s.ok()) {
       s = write_stage.Close();
     }
-    if (!s.ok()) return s;
 
     const StepProfile& wp = write_stage.profile();
     run_profile.nanos[kStepWrite] += wp.nanos[kStepWrite];
     run_profile.bytes[kStepWrite] += wp.bytes[kStepWrite];
     run_profile.wall_nanos += wall.ElapsedNanos();
+    if (info != nullptr) {
+      info->output_bytes = run_profile.output_bytes;
+      info->profile = run_profile;
+      info->wall_micros = run_profile.wall_nanos / 1000;
+      info->status = s;
+      if (job.listeners != nullptr) {
+        for (obs::EventListener* l : *job.listeners) {
+          l->OnCompactionCompleted(*info);
+        }
+      }
+    }
+    if (!s.ok()) return s;
     obs::AddStepMetrics(job.metrics, run_profile);
     profile->Merge(run_profile);
     return Status::OK();

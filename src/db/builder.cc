@@ -12,23 +12,67 @@
 #include "src/table/table_builder.h"
 #include "src/util/bounded_queue.h"
 #include "src/util/crc32c.h"
+#include "src/util/stopwatch.h"
 #include "src/version/version_edit.h"
 
 namespace pipelsm {
 
+namespace {
+
+// Fires OnFlushBegin (when info != nullptr) and, through Finish(), the
+// matching OnFlushCompleted on whatever path the build exits.
+class FlushEvents {
+ public:
+  FlushEvents(const obs::EventListeners* listeners, obs::FlushJobInfo* info,
+              const FileMetaData* meta, bool pipelined)
+      : listeners_(listeners), info_(info), meta_(meta) {
+    if (info_ == nullptr) return;
+    info_->file_number = meta->number;
+    info_->pipelined = pipelined;
+    if (listeners_ != nullptr) {
+      for (obs::EventListener* l : *listeners_) l->OnFlushBegin(*info_);
+    }
+  }
+
+  Status Finish(const Status& s, uint64_t entries) {
+    if (info_ != nullptr) {
+      info_->output_bytes = meta_->file_size;
+      info_->entries = entries;
+      info_->micros = wall_.ElapsedNanos() / 1000;
+      info_->status = s;
+      if (listeners_ != nullptr) {
+        for (obs::EventListener* l : *listeners_) l->OnFlushCompleted(*info_);
+      }
+    }
+    return s;
+  }
+
+ private:
+  const obs::EventListeners* const listeners_;
+  obs::FlushJobInfo* const info_;
+  const FileMetaData* const meta_;
+  Stopwatch wall_;
+};
+
+}  // namespace
+
 Status BuildTable(const std::string& dbname, Env* env,
                   const TableOptions& table_options, TableCache* table_cache,
-                  Iterator* iter, FileMetaData* meta) {
+                  Iterator* iter, FileMetaData* meta,
+                  const obs::EventListeners* listeners,
+                  obs::FlushJobInfo* info) {
   Status s;
   meta->file_size = 0;
   iter->SeekToFirst();
+  FlushEvents events(listeners, info, meta, /*pipelined=*/false);
+  uint64_t entries = 0;
 
   std::string fname = TableFileName(dbname, meta->number);
   if (iter->Valid()) {
     std::unique_ptr<WritableFile> file;
     s = env->NewWritableFile(fname, &file);
     if (!s.ok()) {
-      return s;
+      return events.Finish(s, entries);
     }
 
     TableBuilder builder(table_options, file.get());
@@ -37,6 +81,7 @@ Status BuildTable(const std::string& dbname, Env* env,
     for (; iter->Valid(); iter->Next()) {
       key = iter->key();
       builder.Add(key, iter->value());
+      entries++;
     }
     if (!key.empty()) {
       meta->largest.DecodeFrom(key);
@@ -76,24 +121,28 @@ Status BuildTable(const std::string& dbname, Env* env,
   } else {
     env->RemoveFile(fname);
   }
-  return s;
+  return events.Finish(s, entries);
 }
 
 
 Status BuildTablePipelined(const std::string& dbname, Env* env,
                            const TableOptions& table_options,
                            TableCache* table_cache, Iterator* iter,
-                           FileMetaData* meta, size_t queue_depth) {
+                           FileMetaData* meta, size_t queue_depth,
+                           const obs::EventListeners* listeners,
+                           obs::FlushJobInfo* info) {
   meta->file_size = 0;
   iter->SeekToFirst();
+  FlushEvents events(listeners, info, meta, /*pipelined=*/true);
+  uint64_t entries = 0;
   const std::string fname = TableFileName(dbname, meta->number);
   if (!iter->Valid()) {
-    return iter->status();
+    return events.Finish(iter->status(), entries);
   }
 
   std::unique_ptr<WritableFile> file;
   Status s = env->NewWritableFile(fname, &file);
-  if (!s.ok()) return s;
+  if (!s.ok()) return events.Finish(s, entries);
 
   // The write stage reuses the compaction machinery: a RawTableWriter
   // consuming fully encoded blocks. Derive its job knobs from the table
@@ -180,6 +229,7 @@ Status BuildTablePipelined(const std::string& dbname, Env* env,
       current.first_key.assign(key.data(), key.size());
     }
     builder.Add(key, iter->value());
+    entries++;
     last_key.assign(key.data(), key.size());
     if (table_options.filter_policy != nullptr) {
       block_keys.emplace_back(key.data(), key.size());
@@ -212,7 +262,7 @@ Status BuildTablePipelined(const std::string& dbname, Env* env,
   if (!s.ok() || meta->file_size == 0) {
     env->RemoveFile(fname);
   }
-  return s;
+  return events.Finish(s, entries);
 }
 
 }  // namespace pipelsm

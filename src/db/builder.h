@@ -5,6 +5,7 @@
 #include <string>
 
 #include "src/db/options.h"
+#include "src/obs/event_listener.h"
 #include "src/util/status.h"
 
 namespace pipelsm {
@@ -18,9 +19,16 @@ class TableOptions;
 // Builds a table file from *iter (which yields internal keys). On success
 // (non-empty input) fills *meta and leaves the file in the table cache;
 // on empty input or error the file is removed.
+//
+// When `info` is non-null, OnFlushBegin fires on `listeners` before the
+// first block is built and OnFlushCompleted after the dump finished (or
+// failed), with output size / entry count / wall micros / status filled
+// in. The caller pre-fills info->job_id; the builder sets the rest.
 Status BuildTable(const std::string& dbname, Env* env,
                   const TableOptions& table_options, TableCache* table_cache,
-                  Iterator* iter, FileMetaData* meta);
+                  Iterator* iter, FileMetaData* meta,
+                  const obs::EventListeners* listeners = nullptr,
+                  obs::FlushJobInfo* info = nullptr);
 
 // Pipelined variant (extension beyond the paper, which notes that only
 // major compactions are pipelined "by now"): block building, compression
@@ -32,6 +40,8 @@ Status BuildTable(const std::string& dbname, Env* env,
 Status BuildTablePipelined(const std::string& dbname, Env* env,
                            const TableOptions& table_options,
                            TableCache* table_cache, Iterator* iter,
-                           FileMetaData* meta, size_t queue_depth = 4);
+                           FileMetaData* meta, size_t queue_depth = 4,
+                           const obs::EventListeners* listeners = nullptr,
+                           obs::FlushJobInfo* info = nullptr);
 
 }  // namespace pipelsm

@@ -83,12 +83,18 @@ class DB {
   // DB implementations can export properties about their state via this
   // method. Recognized (reference: docs/OBSERVABILITY.md):
   //   "pipelsm.num-files-at-level<N>"    file count at level N
-  //   "pipelsm.stats"                    human-readable compaction summary
+  //   "pipelsm.stats"                    full stats report: compaction
+  //                                      summary + metrics registry +
+  //                                      advisor (also what the periodic
+  //                                      stats dump logs)
   //   "pipelsm.sstables"                 per-level table listing
   //   "pipelsm.approximate-memory-usage" memtable bytes
   //   "pipelsm.metrics"                  JSON snapshot of the metrics
   //                                      registry (queue stalls, step
-  //                                      times, sub-task histograms)
+  //                                      times, sub-task histograms,
+  //                                      Get/Write latency)
+  //   "pipelsm.advisor"                  JSON verdict of the online
+  //                                      Eq. 1-7 bottleneck advisor
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
 
   // For each i in [0,n-1], store in "sizes[i]" the approximate file

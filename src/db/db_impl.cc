@@ -1,6 +1,7 @@
 #include "src/db/db_impl.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -78,6 +79,71 @@ class DBImpl::CompactionSinkImpl final : public CompactionSink {
   std::vector<OutputMeta> outputs_;
 };
 
+// Internal listener, always first on the dispatch list: renders every
+// event as one grep-able `EVENT` line in the info log and feeds each
+// successful compaction's StepProfile to the bottleneck advisor.
+class DBImpl::EventLogger final : public obs::EventListener {
+ public:
+  explicit EventLogger(DBImpl* db) : db_(db) {}
+
+  void OnFlushBegin(const obs::FlushJobInfo& info) override {
+    obs::Log(db_->info_log_,
+             "EVENT flush_begin job=%llu file=%llu pipelined=%d",
+             static_cast<unsigned long long>(info.job_id),
+             static_cast<unsigned long long>(info.file_number),
+             info.pipelined ? 1 : 0);
+  }
+
+  void OnFlushCompleted(const obs::FlushJobInfo& info) override {
+    obs::Log(db_->info_log_,
+             "EVENT flush_end job=%llu file=%llu bytes=%llu entries=%llu "
+             "micros=%llu status=%s",
+             static_cast<unsigned long long>(info.job_id),
+             static_cast<unsigned long long>(info.file_number),
+             static_cast<unsigned long long>(info.output_bytes),
+             static_cast<unsigned long long>(info.entries),
+             static_cast<unsigned long long>(info.micros),
+             info.status.ok() ? "ok" : info.status.ToString().c_str());
+  }
+
+  void OnCompactionBegin(const obs::CompactionJobInfo& info) override {
+    obs::Log(db_->info_log_,
+             "EVENT compaction_begin job=%llu level=%d executor=%s "
+             "inputs=%d input_bytes=%llu subtasks=%llu",
+             static_cast<unsigned long long>(info.job_id), info.level,
+             info.executor, info.input_files,
+             static_cast<unsigned long long>(info.input_bytes),
+             static_cast<unsigned long long>(info.subtasks));
+  }
+
+  void OnCompactionCompleted(const obs::CompactionJobInfo& info) override {
+    const StepProfile& p = info.profile;
+    obs::Log(db_->info_log_,
+             "EVENT compaction_end job=%llu level=%d executor=%s "
+             "output_bytes=%llu read_ms=%.1f compute_ms=%.1f write_ms=%.1f "
+             "wall_ms=%.1f status=%s",
+             static_cast<unsigned long long>(info.job_id), info.level,
+             info.executor,
+             static_cast<unsigned long long>(info.output_bytes),
+             p.nanos[kStepRead] / 1e6, p.ComputeNanos() / 1e6,
+             p.nanos[kStepWrite] / 1e6, info.wall_micros / 1e3,
+             info.status.ok() ? "ok" : info.status.ToString().c_str());
+    if (info.status.ok()) {
+      db_->advisor_.AddJob(info.profile);
+    }
+  }
+
+  void OnWriteStallChange(const obs::WriteStallInfo& info) override {
+    // Called with mutex_ held — one formatted append, nothing blocking.
+    obs::Log(db_->info_log_, "EVENT write_stall %s->%s",
+             obs::WriteStallConditionName(info.previous),
+             obs::WriteStallConditionName(info.condition));
+  }
+
+ private:
+  DBImpl* const db_;
+};
+
 DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
     : env_(SanitizeOptions(raw_options).env),
       internal_comparator_(raw_options.comparator != nullptr
@@ -118,16 +184,50 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       "writer time fully paused on memtable/L0 backpressure");
   flush_runs_counter_ =
       metrics_registry_.RegisterCounter("flush.runs", "memtable flushes");
+  get_micros_hist_ = metrics_registry_.RegisterHistogram(
+      "db.get_micros", "foreground Get latency");
+  write_micros_hist_ = metrics_registry_.RegisterHistogram(
+      "db.write_micros", "foreground Write latency incl. queueing/stalls");
+
+  // Info log: caller-supplied sink, or a LOG file in the DB directory
+  // (rotate the previous run's; the dir may not exist yet — Recover has
+  // not run — so create it here, idempotently).
+  if (options_.info_log != nullptr) {
+    info_log_ = options_.info_log;
+  } else {
+    env_->CreateDir(dbname_);
+    env_->RenameFile(InfoLogFileName(dbname_), OldInfoLogFileName(dbname_));
+    Status ls = obs::NewFileLogger(env_, InfoLogFileName(dbname_),
+                                   &owned_info_log_);
+    if (ls.ok()) {
+      info_log_ = owned_info_log_.get();
+    } else {
+      PIPELSM_LOG_WARN("info log creation failed: %s",
+                       ls.ToString().c_str());
+    }
+  }
+  obs::Log(info_log_, "opening DB %s (mode=%s, subtask=%zu KB)",
+           dbname_.c_str(), CompactionModeName(options_.compaction_mode),
+           options_.subtask_bytes >> 10);
+
+  event_logger_ = std::make_unique<EventLogger>(this);
+  listeners_.push_back(event_logger_.get());
+  listeners_.insert(listeners_.end(), options_.listeners.begin(),
+                    options_.listeners.end());
 
   background_thread_ = std::thread([this] { BackgroundThreadMain(); });
+  if (options_.stats_dump_period_sec > 0) {
+    stats_thread_ = std::thread([this] { StatsThreadMain(); });
+  }
 }
 
 DBImpl::~DBImpl() {
-  // Wait for background work to finish, then stop the thread.
+  // Wait for background work to finish, then stop the threads.
   {
     std::unique_lock<std::mutex> lock(mutex_);
     shutting_down_.store(true, std::memory_order_release);
     background_work_signal_.notify_all();
+    stats_cv_.notify_all();
     while (background_work_active_) {
       background_done_signal_.wait(lock);
     }
@@ -136,18 +236,44 @@ DBImpl::~DBImpl() {
   if (background_thread_.joinable()) {
     background_thread_.join();
   }
+  if (stats_thread_.joinable()) {
+    stats_thread_.join();
+  }
 
   if (mem_ != nullptr) mem_->Unref();
   if (imm_ != nullptr) imm_->Unref();
 
-  if (trace_ != nullptr) {
-    Status ts = trace_->WriteFile(options_.trace_path);
-    if (!ts.ok()) {
-      PIPELSM_LOG_WARN("trace export failed: %s", ts.ToString().c_str());
-    } else {
-      PIPELSM_LOG_INFO("wrote %zu trace spans to %s", trace_->span_count(),
-                       options_.trace_path.c_str());
-    }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    obs::Log(info_log_, "closing DB\n%s", StatsReport().c_str());
+  }
+  FlushTraceBestEffort();
+}
+
+void DBImpl::FlushTraceBestEffort() {
+  if (trace_ == nullptr) return;
+  Status ts = trace_->WriteFile(options_.trace_path);
+  if (!ts.ok()) {
+    PIPELSM_LOG_WARN("trace export failed: %s", ts.ToString().c_str());
+  } else {
+    PIPELSM_LOG_INFO("wrote %zu trace spans to %s", trace_->span_count(),
+                     options_.trace_path.c_str());
+  }
+}
+
+void DBImpl::StatsThreadMain() {
+  const auto period = std::chrono::seconds(options_.stats_dump_period_sec);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    stats_cv_.wait_for(lock, period);
+    if (shutting_down_.load(std::memory_order_acquire)) break;
+    std::string report = StatsReport();
+    lock.unlock();
+    obs::Log(info_log_, "---- periodic stats ----\n%s", report.c_str());
+    // Keep the on-disk trace current so a crashed/killed run still
+    // leaves a loadable file instead of nothing.
+    FlushTraceBestEffort();
+    lock.lock();
   }
 }
 
@@ -346,6 +472,8 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
                     static_cast<unsigned long long>(meta.number));
 
   Status s;
+  obs::FlushJobInfo flush_info;
+  flush_info.job_id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
   {
     // Unlock while doing the actual dump.
     mutex_.unlock();
@@ -365,10 +493,11 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
       s = BuildTablePipelined(dbname_, env_, table_options_,
                               table_cache_.get(), iter.get(), &meta,
                               std::max<size_t>(64,
-                                               options_.pipeline_queue_depth));
+                                               options_.pipeline_queue_depth),
+                              &listeners_, &flush_info);
     } else {
       s = BuildTable(dbname_, env_, table_options_, table_cache_.get(),
-                     iter.get(), &meta);
+                     iter.get(), &meta, &listeners_, &flush_info);
     }
     mutex_.lock();
   }
@@ -502,7 +631,48 @@ void DBImpl::RecordBackgroundError(const Status& s) {
   if (bg_error_.ok()) {
     bg_error_ = s;
     background_done_signal_.notify_all();
+    obs::Log(info_log_, "EVENT background_error status=%s",
+             s.ToString().c_str());
+    // First (and only) transition into the error state: export the trace
+    // now, while the spans leading up to the failure are still in memory
+    // — the clean-close path may never run.
+    FlushTraceBestEffort();
   }
+}
+
+void DBImpl::SetStallCondition(obs::WriteStallCondition condition) {
+  if (condition == stall_condition_) return;
+  obs::WriteStallInfo info;
+  info.previous = stall_condition_;
+  info.condition = condition;
+  stall_condition_ = condition;
+  for (obs::EventListener* l : listeners_) {
+    l->OnWriteStallChange(info);
+  }
+}
+
+std::string DBImpl::StatsReport() {
+  std::string out;
+  char buf[300];
+  std::snprintf(buf, sizeof(buf),
+                "compactions=%llu flushes=%llu read=%.1fMB written=%.1fMB "
+                "stalls=%.1fs %s\n",
+                static_cast<unsigned long long>(metrics_.compactions),
+                static_cast<unsigned long long>(metrics_.memtable_flushes),
+                metrics_.bytes_read / 1048576.0,
+                metrics_.bytes_written / 1048576.0,
+                metrics_.stall_micros / 1e6,
+                versions_->LevelSummary().c_str());
+  out.append(buf);
+  out.append(metrics_.profile.ToString());
+  // Both registries below carry their own locks; holding mutex_ across
+  // the snapshots is safe (neither ever takes mutex_).
+  out.append("metrics ");
+  out.append(metrics_registry_.ToJson());
+  out.append("\nadvisor ");
+  out.append(advisor_.ToJson());
+  out.push_back('\n');
+  return out;
 }
 
 void DBImpl::MaybeScheduleCompaction() {
@@ -637,6 +807,13 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
   job.metrics = &metrics_registry_;
   job.trace = trace_.get();
 
+  obs::CompactionJobInfo job_info;
+  job_info.job_id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  job_info.level = c->level();
+  job_info.input_files = c->num_input_files(0) + c->num_input_files(1);
+  job.listeners = &listeners_;
+  job.job_info = &job_info;
+
   if (snapshots_.empty()) {
     job.smallest_snapshot = versions_->LastSequence();
   } else {
@@ -670,7 +847,10 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
   CompactionSinkImpl sink(this);
   StepProfile profile;
   if (status.ok()) {
+    job_info.input_bytes = input_bytes;
     // Release the mutex while the executor runs (the expensive part).
+    // The executor fires OnCompactionBegin/Completed on listeners_ from
+    // this (unlocked) thread.
     lock.unlock();
     status = executor_->Run(job, inputs, &sink, &profile);
     lock.lock();
@@ -746,6 +926,7 @@ Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
 
 Status DBImpl::Get(const ReadOptions& options, const Slice& key,
                    std::string* value) {
+  Stopwatch op_sw;
   Status s;
   std::unique_lock<std::mutex> lock(mutex_);
   SequenceNumber snapshot;
@@ -784,6 +965,8 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   mem->Unref();
   if (imm != nullptr) imm->Unref();
   current->Unref();
+  lock.unlock();
+  get_micros_hist_->Observe(op_sw.ElapsedNanos() / 1e3);
   return s;
 }
 
@@ -827,6 +1010,7 @@ Status DBImpl::Delete(const WriteOptions& o, const Slice& key) {
 }
 
 Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
+  Stopwatch op_sw;
   Writer w(&mutex_);
   w.batch = updates;
   w.sync = options.sync;
@@ -838,6 +1022,8 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     w.cv.wait(lock);
   }
   if (w.done) {
+    lock.unlock();
+    write_micros_hist_->Observe(op_sw.ElapsedNanos() / 1e3);
     return w.status;
   }
 
@@ -886,6 +1072,8 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     writers_.front()->cv.notify_one();
   }
 
+  lock.unlock();
+  write_micros_hist_->Observe(op_sw.ElapsedNanos() / 1e3);
   return status;
 }
 
@@ -957,6 +1145,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
       // by 1ms to reduce latency variance. This delay hands over some CPU
       // to the compaction thread in case it is sharing the same core as
       // the writer.
+      SetStallCondition(obs::WriteStallCondition::kDelayed);
       Stopwatch sw;
       lock.unlock();
       env_->SleepForMicroseconds(1000);
@@ -973,6 +1162,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
       // We have filled up the current memtable, but the previous one is
       // still being compacted, so we wait (the paper's "write pause").
       PIPELSM_LOG_DEBUG("current memtable full; waiting...");
+      SetStallCondition(obs::WriteStallCondition::kStopped);
       Stopwatch sw;
       MaybeScheduleCompaction();
       background_done_signal_.wait(lock);
@@ -981,6 +1171,7 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
     } else if (versions_->NumLevelFiles(0) >= config::kL0_StopWritesTrigger) {
       // There are too many level-0 files ("write pause").
       PIPELSM_LOG_DEBUG("too many L0 files; waiting...");
+      SetStallCondition(obs::WriteStallCondition::kStopped);
       Stopwatch sw;
       MaybeScheduleCompaction();
       background_done_signal_.wait(lock);
@@ -1009,6 +1200,8 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
       MaybeScheduleCompaction();
     }
   }
+  // Whatever path ended the loop, backpressure on this writer is over.
+  SetStallCondition(obs::WriteStallCondition::kNormal);
   return s;
 }
 
@@ -1033,18 +1226,11 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     *value = buf;
     return true;
   } else if (in == Slice("stats")) {
-    char buf[300];
-    std::snprintf(buf, sizeof(buf),
-                  "compactions=%llu flushes=%llu read=%.1fMB written=%.1fMB "
-                  "stalls=%.1fs %s\n",
-                  static_cast<unsigned long long>(metrics_.compactions),
-                  static_cast<unsigned long long>(metrics_.memtable_flushes),
-                  metrics_.bytes_read / 1048576.0,
-                  metrics_.bytes_written / 1048576.0,
-                  metrics_.stall_micros / 1e6,
-                  versions_->LevelSummary().c_str());
-    value->append(buf);
-    value->append(metrics_.profile.ToString());
+    *value = StatsReport();
+    return true;
+  } else if (in == Slice("advisor")) {
+    // Advisor has its own lock; JSON per docs/OBSERVABILITY.md.
+    *value = advisor_.ToJson();
     return true;
   } else if (in == Slice("sstables")) {
     *value = versions_->current()->DebugString();
@@ -1243,6 +1429,10 @@ Status DestroyDB(const std::string& dbname, const Options& options) {
       }
     }
   }
+  // Info logs don't parse as numbered DB files; remove them explicitly
+  // (errors ignored — they may simply not exist).
+  env->RemoveFile(InfoLogFileName(dbname));
+  env->RemoveFile(OldInfoLogFileName(dbname));
   env->RemoveDir(dbname);  // Ignore error in case dir contains other files
   return result;
 }

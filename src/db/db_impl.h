@@ -20,6 +20,9 @@
 #include "src/db/table_cache.h"
 #include "src/db/write_batch.h"
 #include "src/memtable/memtable.h"
+#include "src/obs/advisor.h"
+#include "src/obs/event_listener.h"
+#include "src/obs/logger.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/table/block_cache.h"
@@ -71,6 +74,7 @@ class DBImpl final : public DB {
  private:
   friend class DB;
   class CompactionSinkImpl;
+  class EventLogger;
 
   Status NewDB();
 
@@ -117,6 +121,23 @@ class DBImpl final : public DB {
                                 SequenceNumber* latest_snapshot);
 
   void RecordBackgroundError(const Status& s);
+
+  // Fires OnWriteStallChange on every listener iff the condition changed.
+  void SetStallCondition(obs::WriteStallCondition condition)
+      /* REQUIRES: holding mutex_ */;
+
+  // The GetProperty("pipelsm.stats") payload: counters, level summary,
+  // accumulated step profile, the metrics registry snapshot (which holds
+  // the foreground latency histograms) and the advisor verdict.
+  std::string StatsReport() /* REQUIRES: holding mutex_ */;
+
+  // Re-exports the chrome trace to Options::trace_path (no-op without a
+  // collector); failures are logged, never surfaced. Called on close, on
+  // every stats-dump tick and on the first background error, so a crashed
+  // or wedged run still leaves a loadable trace.
+  void FlushTraceBestEffort();
+
+  void StatsThreadMain();
 
   // Compact the in-memory range [begin,end] at the given level (used by
   // CompactRange).
@@ -182,6 +203,33 @@ class DBImpl final : public DB {
   obs::Counter* slowdown_micros_counter_ = nullptr;
   obs::Counter* pause_micros_counter_ = nullptr;
   obs::Counter* flush_runs_counter_ = nullptr;
+  obs::HistogramMetric* get_micros_hist_ = nullptr;
+  obs::HistogramMetric* write_micros_hist_ = nullptr;
+
+  // Info log: Options::info_log, or a LOG file the DB creates in its own
+  // directory (previous run rotated to LOG.old). Null only if creation
+  // failed — obs::Log() tolerates that.
+  std::unique_ptr<obs::Logger> owned_info_log_;
+  obs::Logger* info_log_ = nullptr;
+
+  // Event stream: one internal listener (EVENT log lines + advisor feed)
+  // followed by Options::listeners, dispatched in that order. Job ids for
+  // flushes and compactions come from one monotone sequence.
+  std::unique_ptr<EventLogger> event_logger_;
+  obs::EventListeners listeners_;
+  std::atomic<uint64_t> next_job_id_{1};
+
+  // Online Eq. 1-7 bottleneck advisor, fed the StepProfile of every
+  // successful compaction; behind GetProperty("pipelsm.advisor").
+  obs::BottleneckAdvisor advisor_;
+
+  obs::WriteStallCondition stall_condition_ =
+      obs::WriteStallCondition::kNormal;  // guarded by mutex_
+
+  // Periodic stats dumper (Options::stats_dump_period_sec); shares
+  // mutex_, woken early at shutdown via stats_cv_.
+  std::thread stats_thread_;
+  std::condition_variable stats_cv_;
 };
 
 }  // namespace pipelsm

@@ -4,6 +4,7 @@
 //   <dbname>/MANIFEST-<number> — version log
 //   <dbname>/CURRENT           — points at the live MANIFEST
 //   <dbname>/<number>.dbtmp    — temporary files
+//   <dbname>/LOG, LOG.old      — info log (current and previous run)
 #pragma once
 
 #include <cstdint>
@@ -29,6 +30,8 @@ std::string TableFileName(const std::string& dbname, uint64_t number);
 std::string DescriptorFileName(const std::string& dbname, uint64_t number);
 std::string CurrentFileName(const std::string& dbname);
 std::string TempFileName(const std::string& dbname, uint64_t number);
+std::string InfoLogFileName(const std::string& dbname);
+std::string OldInfoLogFileName(const std::string& dbname);
 
 // If filename is a pipelsm file, store its type in *type, its number in
 // *number (0 for CURRENT), and return true.

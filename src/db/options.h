@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/compress/codec.h"
 
@@ -14,6 +15,11 @@ class Comparator;
 class Env;
 class FilterPolicy;
 class Snapshot;
+
+namespace obs {
+class EventListener;
+class Logger;
+}  // namespace obs
 
 // Which compaction executor drives major compactions (paper §III):
 //   kSCP   — Sequential Compaction Procedure (the LevelDB baseline),
@@ -105,8 +111,27 @@ struct Options {
   // JSON to this *host filesystem* path when the DB is closed (the trace
   // always lands on the real FS so chrome://tracing or Perfetto can load
   // it, even when the DB itself runs on a SimEnv). Pipeline metrics via
-  // GetProperty("pipelsm.metrics") are collected unconditionally.
+  // GetProperty("pipelsm.metrics") are collected unconditionally. The
+  // trace is rewritten on every stats-dump tick (and on the first
+  // background error) so a crashed run still leaves a usable file.
   std::string trace_path;
+
+  // Event callbacks (src/obs/event_listener.h): flush and compaction
+  // Begin/Completed plus write-stall transitions, fired synchronously
+  // from the DB's background and writer threads. Listeners must be
+  // thread-safe, outlive the DB, and never call back into it.
+  std::vector<obs::EventListener*> listeners;
+
+  // Info log sink. nullptr = the DB creates a LOG file in the DB
+  // directory through its Env (rotating any previous one to LOG.old).
+  // Structured one-line events and periodic stats reports land here.
+  obs::Logger* info_log = nullptr;
+
+  // When > 0, a background thread appends the full stats report (the
+  // GetProperty("pipelsm.stats") payload: counters, foreground latency
+  // histograms, the metrics registry, the advisor verdict) to the info
+  // log every this-many seconds, and re-exports trace_path. 0 = off.
+  unsigned int stats_dump_period_sec = 0;
 };
 
 // Options that control read operations.

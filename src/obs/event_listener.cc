@@ -1,0 +1,19 @@
+#include "src/obs/event_listener.h"
+
+namespace pipelsm::obs {
+
+EventListener::~EventListener() = default;
+
+const char* WriteStallConditionName(WriteStallCondition condition) {
+  switch (condition) {
+    case WriteStallCondition::kNormal:
+      return "normal";
+    case WriteStallCondition::kDelayed:
+      return "delayed";
+    case WriteStallCondition::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+}  // namespace pipelsm::obs

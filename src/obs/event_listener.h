@@ -1,0 +1,89 @@
+// EventListener: push-based observability (RocksDB-style callbacks).
+//
+// Where PR 1's metrics registry and trace collector are *pull* surfaces —
+// somebody has to ask for a snapshot — listeners are *pushed* to as the
+// pipeline runs: the builder announces every memtable dump, the
+// compaction executors announce every job (with the measured per-step
+// S1–S7 times the paper's Eqs. 1–7 consume), and the write path announces
+// every backpressure transition. The DB itself installs one internal
+// listener that turns the stream into info-log lines and feeds the online
+// bottleneck advisor (src/obs/advisor.h); user listeners on
+// Options::listeners ride the same dispatch.
+//
+// Threading contract: callbacks fire synchronously on whichever thread
+// produced the event — the background compaction thread for flush and
+// compaction events, a writer thread for stall events (with the DB mutex
+// HELD). Listeners must therefore be fast, must tolerate concurrent
+// invocation, and must never call back into the DB. Begin always precedes
+// Completed for the same job_id, and job ids are allocated monotonically
+// per DB instance (flushes and compactions draw from one sequence).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+#include "src/util/stopwatch.h"
+
+namespace pipelsm::obs {
+
+// One memtable dump (minor compaction). Fired from BuildTable /
+// BuildTablePipelined: Begin before the first block is built (only
+// job_id / file_number / pipelined are meaningful), Completed after the
+// output file is finished and verified.
+struct FlushJobInfo {
+  uint64_t job_id = 0;
+  uint64_t file_number = 0;  // table file the memtable dumps into
+  bool pipelined = false;    // Options::pipelined_flush path
+  uint64_t output_bytes = 0; // final file size (Completed only)
+  uint64_t entries = 0;      // internal keys written (Completed only)
+  uint64_t micros = 0;       // wall time of the dump (Completed only)
+  Status status;             // Completed only
+};
+
+// One major compaction. Fired from the executors (all four procedures):
+// Begin after planning — so subtasks is already the sub-task count —
+// and Completed after the write stage closed, with the measured
+// StepProfile (per-step S1–S7 nanos and bytes) and the final status.
+struct CompactionJobInfo {
+  uint64_t job_id = 0;
+  int level = 0;             // input level (output is level + 1)
+  const char* executor = ""; // "SCP" / "PCP" / "S-PPCP" / "C-PPCP"
+  int input_files = 0;
+  uint64_t input_bytes = 0;  // compressed bytes across input tables
+  uint64_t subtasks = 0;
+  uint64_t output_bytes = 0; // raw bytes produced (Completed only)
+  StepProfile profile;       // measured S1..S7 nanos/bytes (Completed only)
+  uint64_t wall_micros = 0;  // end-to-end run time (Completed only)
+  Status status;             // Completed only
+};
+
+// Write-path backpressure state (MakeRoomForWrite). kDelayed is the 1 ms
+// L0 slowdown; kStopped is a full pause on memtable/L0 limits.
+enum class WriteStallCondition { kNormal = 0, kDelayed = 1, kStopped = 2 };
+
+const char* WriteStallConditionName(WriteStallCondition condition);
+
+struct WriteStallInfo {
+  WriteStallCondition condition = WriteStallCondition::kNormal;
+  WriteStallCondition previous = WriteStallCondition::kNormal;
+};
+
+// Base class with no-op defaults: override only the hooks you need.
+class EventListener {
+ public:
+  virtual ~EventListener();
+
+  virtual void OnFlushBegin(const FlushJobInfo& /*info*/) {}
+  virtual void OnFlushCompleted(const FlushJobInfo& /*info*/) {}
+  virtual void OnCompactionBegin(const CompactionJobInfo& /*info*/) {}
+  virtual void OnCompactionCompleted(const CompactionJobInfo& /*info*/) {}
+  // Fired on every transition; called with the DB mutex held, so this one
+  // in particular must not block.
+  virtual void OnWriteStallChange(const WriteStallInfo& /*info*/) {}
+};
+
+using EventListeners = std::vector<EventListener*>;
+
+}  // namespace pipelsm::obs

@@ -1,0 +1,87 @@
+#include "src/obs/logger.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+namespace pipelsm::obs {
+
+Logger::~Logger() = default;
+
+void Log(Logger* logger, const char* format, ...) {
+  if (logger == nullptr) return;
+  std::va_list ap;
+  va_start(ap, format);
+  logger->Logv(format, ap);
+  va_end(ap);
+}
+
+namespace {
+
+class FileLogger final : public Logger {
+ public:
+  FileLogger(Env* env, std::unique_ptr<WritableFile> file)
+      : env_(env), file_(std::move(file)), epoch_micros_(env->NowMicros()) {}
+
+  ~FileLogger() override { file_->Close(); }
+
+  void Logv(const char* format, std::va_list ap) override {
+    // Format outside the lock; only the Append is serialized.
+    char stack_buf[512];
+    std::vector<char> heap_buf;
+    char* buf = stack_buf;
+    size_t cap = sizeof(stack_buf);
+
+    char header[32];
+    const uint64_t t = env_->NowMicros() - epoch_micros_;
+    const int header_len =
+        std::snprintf(header, sizeof(header), "%" PRIu64 ".%06u ",
+                      t / 1000000, static_cast<unsigned>(t % 1000000));
+
+    std::va_list backup;
+    va_copy(backup, ap);
+    int len = std::vsnprintf(buf, cap, format, ap);
+    if (len < 0) {
+      va_end(backup);
+      return;
+    }
+    if (static_cast<size_t>(len) >= cap) {
+      heap_buf.resize(len + 1);
+      buf = heap_buf.data();
+      cap = heap_buf.size();
+      len = std::vsnprintf(buf, cap, format, backup);
+    }
+    va_end(backup);
+    if (len < 0) return;
+
+    std::string line;
+    line.reserve(header_len + len + 1);
+    line.append(header, header_len);
+    line.append(buf, len);
+    if (line.empty() || line.back() != '\n') line.push_back('\n');
+
+    std::lock_guard<std::mutex> lock(mu_);
+    file_->Append(line);
+    file_->Flush();
+  }
+
+ private:
+  Env* const env_;
+  std::unique_ptr<WritableFile> file_;
+  const uint64_t epoch_micros_;
+  std::mutex mu_;
+};
+
+}  // namespace
+
+Status NewFileLogger(Env* env, const std::string& fname,
+                     std::unique_ptr<Logger>* result) {
+  result->reset();
+  std::unique_ptr<WritableFile> file;
+  Status s = env->NewWritableFile(fname, &file);
+  if (!s.ok()) return s;
+  result->reset(new FileLogger(env, std::move(file)));
+  return Status::OK();
+}
+
+}  // namespace pipelsm::obs

@@ -38,12 +38,6 @@ void AppendJsonString(const std::string& s, std::string* out) {
   out->push_back('"');
 }
 
-void AppendDouble(double v, std::string* out) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  out->append(buf);
-}
-
 }  // namespace
 
 Counter* MetricsRegistry::RegisterCounter(const std::string& name,
@@ -140,20 +134,10 @@ std::string MetricsRegistry::ToJson() const {
         if (!histograms.empty()) histograms.push_back(',');
         const Histogram h = histograms_[entry.index].Snapshot();
         AppendJsonString(name, &histograms);
-        histograms.append(":{\"count\":");
-        std::snprintf(buf, sizeof(buf), "%.0f", h.Num());
-        histograms.append(buf);
-        histograms.append(",\"avg\":");
-        AppendDouble(h.Average(), &histograms);
-        histograms.append(",\"p50\":");
-        AppendDouble(h.Median(), &histograms);
-        histograms.append(",\"p95\":");
-        AppendDouble(h.Percentile(95), &histograms);
-        histograms.append(",\"p99\":");
-        AppendDouble(h.Percentile(99), &histograms);
-        histograms.append(",\"max\":");
-        AppendDouble(h.Num() > 0 ? h.Max() : 0, &histograms);
-        histograms.push_back('}');
+        histograms.push_back(':');
+        // Summary format and percentile math live in util::Histogram, so
+        // the registry and the bench reports can never disagree.
+        h.SummaryToJson(&histograms);
         break;
       }
     }

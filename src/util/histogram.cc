@@ -96,6 +96,26 @@ double Histogram::StandardDeviation() const {
   return std::sqrt(variance > 0 ? variance : 0);
 }
 
+void Histogram::SummaryToJson(std::string* out) const {
+  char buf[200];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%.0f,\"avg\":%.3f,\"p50\":%.3f,\"p95\":%.3f,"
+                "\"p99\":%.3f,\"max\":%.3f}",
+                num_, Average(), Median(), Percentile(95), Percentile(99),
+                num_ > 0 ? max_ : 0.0);
+  out->append(buf);
+}
+
+std::vector<std::pair<double, uint64_t>> Histogram::NonzeroBuckets() const {
+  std::vector<std::pair<double, uint64_t>> out;
+  for (int b = 0; b < kNumBuckets_; b++) {
+    if (buckets_[b] > 0) {
+      out.emplace_back(kTable.limits[b], static_cast<uint64_t>(buckets_[b]));
+    }
+  }
+  return out;
+}
+
 std::string Histogram::ToString() const {
   std::string r;
   char buf[200];

@@ -1,9 +1,13 @@
 // Histogram: latency/throughput distribution with exponential buckets,
-// used by the workload driver and benches to report median/percentiles.
+// used by the workload driver, the benches and the metrics registry to
+// report median/percentiles — one implementation, so every percentile
+// printed anywhere in the system agrees.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace pipelsm {
 
@@ -25,6 +29,16 @@ class Histogram {
   double Max() const { return max_; }
   double Num() const { return num_; }
   std::string ToString() const;
+
+  // Appends the summary object the metrics registry exports for every
+  // histogram instrument (the `pipelsm.metrics` payload format):
+  //   {"count":N,"avg":A,"p50":..,"p95":..,"p99":..,"max":M}
+  void SummaryToJson(std::string* out) const;
+
+  // The populated buckets as (inclusive upper limit, count) pairs, in
+  // ascending order — the raw distribution for exporters that want more
+  // than the summary percentiles.
+  std::vector<std::pair<double, uint64_t>> NonzeroBuckets() const;
 
  private:
   double min_;

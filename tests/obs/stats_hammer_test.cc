@@ -1,0 +1,113 @@
+// Property-hammer test: GetProperty("pipelsm.metrics" | "pipelsm.stats" |
+// "pipelsm.advisor") is documented safe to call from any thread at any
+// time. Several reader threads hammer all three while a writer drives
+// flushes and compactions; every JSON payload must parse mid-flight.
+// Run under TSan this doubles as the data-race proof for the snapshot
+// paths (registry, advisor, stats report under mutex_).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/db/db.h"
+#include "src/env/sim_env.h"
+#include "src/workload/generator.h"
+#include "tests/obs/json_check.h"
+
+namespace pipelsm {
+namespace {
+
+TEST(StatsHammerTest, ConcurrentPropertyReadsStayConsistent) {
+  SimEnv env;
+  Options options;
+  options.env = &env;
+  options.create_if_missing = true;
+  options.compaction_mode = CompactionMode::kPCP;
+  options.write_buffer_size = 64 << 10;
+  options.max_file_size = 64 << 10;
+  options.subtask_bytes = 16 << 10;
+
+  DB* raw = nullptr;
+  ASSERT_TRUE(DB::Open(options, "/hammer", &raw).ok());
+  std::unique_ptr<DB> db(raw);
+
+  // Failures are collected, not asserted, in the reader threads: gtest
+  // fatal assertions only work on the thread running the test body.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<int> failures{0};
+  std::mutex first_failure_mu;
+  std::string first_failure;
+  auto record_failure = [&](const std::string& what) {
+    failures.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(first_failure_mu);
+    if (first_failure.empty()) first_failure = what;
+  };
+
+  constexpr int kReaders = 3;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; t++) {
+    readers.emplace_back([&] {
+      const char* json_props[] = {"pipelsm.metrics", "pipelsm.advisor"};
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (const char* prop : json_props) {
+          std::string value;
+          if (!db->GetProperty(prop, &value)) {
+            record_failure(std::string("GetProperty failed: ") + prop);
+            continue;
+          }
+          testjson::JsonValue parsed;
+          std::string err;
+          if (!testjson::ParseJson(value, &parsed, &err)) {
+            record_failure(std::string(prop) + ": " + err + "\n" + value);
+          }
+        }
+        std::string stats;
+        if (!db->GetProperty("pipelsm.stats", &stats) || stats.empty()) {
+          record_failure("pipelsm.stats empty or missing");
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Enough volume for many flushes and several major compactions while
+  // the readers run.
+  WorkloadGenerator gen(6000, 16, 100, KeyOrder::kRandom);
+  for (uint64_t i = 0; i < gen.num_entries(); i++) {
+    ASSERT_TRUE(db->Put(WriteOptions(), gen.Key(i), gen.Value(i)).ok());
+  }
+  ASSERT_TRUE(db->WaitForCompactions().ok());
+  ASSERT_GT(db->GetCompactionMetrics().compactions, 0u);
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(0, failures.load()) << first_failure;
+  EXPECT_GT(reads.load(), 0u);
+
+  // After the dust settles the advisor has digested real compactions.
+  std::string advisor_json;
+  ASSERT_TRUE(db->GetProperty("pipelsm.advisor", &advisor_json));
+  testjson::JsonValue verdict;
+  std::string err;
+  ASSERT_TRUE(testjson::ParseJson(advisor_json, &verdict, &err))
+      << err << "\n" << advisor_json;
+  const testjson::JsonValue* jobs = verdict.Find("jobs");
+  ASSERT_NE(nullptr, jobs);
+  EXPECT_GT(jobs->number_value, 0);
+  EXPECT_NE(nullptr, verdict.Find("recommendation"));
+
+  // The full stats report embeds both machine sections.
+  std::string stats;
+  ASSERT_TRUE(db->GetProperty("pipelsm.stats", &stats));
+  EXPECT_NE(std::string::npos, stats.find("metrics {"));
+  EXPECT_NE(std::string::npos, stats.find("advisor {"));
+}
+
+}  // namespace
+}  // namespace pipelsm

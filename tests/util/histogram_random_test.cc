@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "src/util/histogram.h"
 #include "src/util/random.h"
+#include "tests/obs/json_check.h"
 
 namespace pipelsm {
 namespace {
@@ -55,6 +57,63 @@ TEST(Histogram, ClearResets) {
   h.Clear();
   EXPECT_EQ(0u, h.Num());
   EXPECT_EQ(0, h.Average());
+}
+
+TEST(Histogram, SummaryToJsonParsesAndMatchesAccessors) {
+  Histogram h;
+  for (int i = 1; i <= 1000; i++) h.Add(i);
+  std::string json;
+  h.SummaryToJson(&json);
+
+  testjson::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(testjson::ParseJson(json, &v, &err)) << err << "\n" << json;
+  ASSERT_NE(nullptr, v.Find("count"));
+  EXPECT_EQ(1000, v.Find("count")->number_value);
+  EXPECT_NEAR(h.Average(), v.Find("avg")->number_value, 0.01);
+  EXPECT_NEAR(h.Median(), v.Find("p50")->number_value,
+              h.Median() * 0.01 + 0.01);
+  EXPECT_NEAR(h.Percentile(95), v.Find("p95")->number_value,
+              h.Percentile(95) * 0.01 + 0.01);
+  EXPECT_NEAR(h.Percentile(99), v.Find("p99")->number_value,
+              h.Percentile(99) * 0.01 + 0.01);
+  EXPECT_EQ(h.Max(), v.Find("max")->number_value);
+}
+
+TEST(Histogram, EmptySummaryToJsonIsStillValid) {
+  Histogram h;
+  std::string json;
+  h.SummaryToJson(&json);
+  testjson::JsonValue v;
+  std::string err;
+  ASSERT_TRUE(testjson::ParseJson(json, &v, &err)) << err << "\n" << json;
+  EXPECT_EQ(0, v.Find("count")->number_value);
+}
+
+TEST(Histogram, NonzeroBucketsCoverEverySampleInOrder) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(1.0);
+  h.Add(1000.0);
+  const auto buckets = h.NonzeroBuckets();
+  ASSERT_FALSE(buckets.empty());
+  uint64_t total = 0;
+  double prev_limit = 0;
+  for (const auto& [limit, count] : buckets) {
+    EXPECT_GT(limit, prev_limit);  // ascending, no duplicates
+    EXPECT_GT(count, 0u);          // "nonzero" means nonzero
+    prev_limit = limit;
+    total += count;
+  }
+  EXPECT_EQ(3u, total);
+  // The two distinct magnitudes land in distinct buckets.
+  EXPECT_GE(buckets.size(), 2u);
+  EXPECT_TRUE(h.NonzeroBuckets().front().first >= 1.0);
+}
+
+TEST(Histogram, NonzeroBucketsEmptyHistogram) {
+  Histogram h;
+  EXPECT_TRUE(h.NonzeroBuckets().empty());
 }
 
 TEST(Random, UniformInRange) {

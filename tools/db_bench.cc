@@ -36,11 +36,22 @@
 //                            compaction/flush pipeline (load the file in
 //                            chrome://tracing or https://ui.perfetto.dev)
 //   --metrics_json=PATH      dump the final metrics registry JSON to PATH
+//   --stats_interval_seconds=N
+//                            print pipelsm.stats to stdout every N seconds
+//                            while workloads run, and turn on the DB's own
+//                            periodic stats dump (Options::
+//                            stats_dump_period_sec) so LOG gets them too
+//   --advisor                print `ADVISOR <json>` (the pipelsm.advisor
+//                            bottleneck verdict) after every workload
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/db/db.h"
@@ -77,6 +88,8 @@ struct Flags {
   uint32_t seed = 301;
   std::string trace_path;
   std::string metrics_json;
+  uint64_t stats_interval_seconds = 0;
+  bool advisor = false;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -149,6 +162,8 @@ class Benchmark {
     options_.pipeline_queue_depth = flags_.queue_depth;
     options_.compaction_time_dilation = flags_.dilation;
     options_.trace_path = flags_.trace_path;
+    options_.stats_dump_period_sec =
+        static_cast<unsigned int>(flags_.stats_interval_seconds);
     if (flags_.bloom_bits > 0) {
       filter_policy_.reset(NewBloomFilterPolicy(flags_.bloom_bits));
       options_.filter_policy = filter_policy_.get();
@@ -163,6 +178,10 @@ class Benchmark {
       std::exit(1);
     }
     db_.reset(raw);
+
+    if (flags_.stats_interval_seconds > 0) {
+      stats_printer_ = std::thread([this] { StatsPrinterMain(); });
+    }
 
     std::printf("pipelsm db_bench\n");
     std::printf("  db=%s device=%s compaction=%s\n", flags_.db.c_str(),
@@ -188,6 +207,12 @@ class Benchmark {
       pos = comma + 1;
       if (!name.empty()) {
         RunOne(name);
+        if (flags_.advisor) {
+          std::string json;
+          if (db_->GetProperty("pipelsm.advisor", &json)) {
+            std::printf("ADVISOR %s\n", json.c_str());
+          }
+        }
       }
     }
   }
@@ -343,6 +368,14 @@ class Benchmark {
   // Dumps the metrics blob, closes the DB (which flushes the trace file),
   // and reports where the artifacts went. Call once, after Run().
   void Finish() {
+    if (stats_printer_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_stop_ = true;
+      }
+      stats_cv_.notify_all();
+      stats_printer_.join();
+    }
     if (!flags_.metrics_json.empty()) {
       std::string json;
       if (db_->GetProperty("pipelsm.metrics", &json)) {
@@ -383,12 +416,34 @@ class Benchmark {
     std::exit(1);
   }
 
+  // Prints pipelsm.stats to stdout every --stats_interval_seconds while
+  // the workloads run (the DB's own dump goes to its LOG file; operators
+  // watching a long fill want it on the console).
+  void StatsPrinterMain() {
+    const auto period = std::chrono::seconds(flags_.stats_interval_seconds);
+    std::unique_lock<std::mutex> lock(stats_mu_);
+    while (!stats_stop_) {
+      if (stats_cv_.wait_for(lock, period, [this] { return stats_stop_; })) {
+        break;
+      }
+      std::string stats;
+      if (db_->GetProperty("pipelsm.stats", &stats)) {
+        std::printf("---- stats @interval ----\n%s", stats.c_str());
+        std::fflush(stdout);
+      }
+    }
+  }
+
   const Flags flags_;
   std::unique_ptr<SimEnv> sim_env_;
   Env* env_ = nullptr;
   std::unique_ptr<const FilterPolicy> filter_policy_;
   Options options_;
   std::unique_ptr<DB> db_;
+  std::thread stats_printer_;
+  std::mutex stats_mu_;
+  std::condition_variable stats_cv_;
+  bool stats_stop_ = false;
 };
 
 }  // namespace
@@ -420,7 +475,13 @@ int main(int argc, char** argv) {
         ParseNumFlag(argv[i], "bloom_bits", &flags.bloom_bits) ||
         ParseNumFlag(argv[i], "seed", &flags.seed) ||
         ParseFlag(argv[i], "trace_path", &flags.trace_path) ||
-        ParseFlag(argv[i], "metrics_json", &flags.metrics_json)) {
+        ParseFlag(argv[i], "metrics_json", &flags.metrics_json) ||
+        ParseNumFlag(argv[i], "stats_interval_seconds",
+                     &flags.stats_interval_seconds)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--advisor") == 0) {
+      flags.advisor = true;
       continue;
     }
     std::string v;
