@@ -95,6 +95,9 @@ class DB {
   //                                      Get/Write latency)
   //   "pipelsm.advisor"                  JSON verdict of the online
   //                                      Eq. 1-7 bottleneck advisor
+  //   "pipelsm.background-error"         "OK", or the sticky background
+  //                                      error freezing writes (clear it
+  //                                      with Resume())
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
 
   // For each i in [0,n-1], store in "sizes[i]" the approximate file
@@ -109,6 +112,16 @@ class DB {
 
   // Block until every queued background compaction has finished.
   virtual Status WaitForCompactions() = 0;
+
+  // Recover from the sticky background-error state without reopening the
+  // DB (docs/FAULT_INJECTION.md). After transient-error retries are
+  // exhausted — or after a WAL sync failure — the DB freezes writes and
+  // serves reads only; once the underlying cause is fixed, Resume()
+  // clears the error, drains any stuck immutable memtable, rolls the WAL
+  // (the old log may carry a torn tail) and flushes the live memtable so
+  // the durability chain is clean again. Returns OK when the DB is
+  // writable; the error if recovery failed. A no-op when healthy.
+  virtual Status Resume() = 0;
 
   // Aggregate compaction step timings + counters since Open.
   virtual CompactionMetrics GetCompactionMetrics() = 0;

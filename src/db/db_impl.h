@@ -69,6 +69,7 @@ class DBImpl final : public DB {
                            uint64_t* sizes) override;
   void CompactRange(const Slice* begin, const Slice* end) override;
   Status WaitForCompactions() override;
+  Status Resume() override;
   CompactionMetrics GetCompactionMetrics() override;
 
  private:
@@ -94,8 +95,8 @@ class DBImpl final : public DB {
 
   void MaybeScheduleCompaction() /* REQUIRES: holding mutex_ */;
   void BackgroundThreadMain();
-  void BackgroundCompaction(std::unique_lock<std::mutex>& lock);
-  void CompactMemTable(std::unique_lock<std::mutex>& lock);
+  Status BackgroundCompaction(std::unique_lock<std::mutex>& lock);
+  Status CompactMemTable(std::unique_lock<std::mutex>& lock);
   Status DoCompactionWork(std::unique_lock<std::mutex>& lock, Compaction* c);
 
   // Flush a pending immutable memtable from the compaction write stage
@@ -120,7 +121,17 @@ class DBImpl final : public DB {
   Iterator* NewInternalIterator(const ReadOptions&,
                                 SequenceNumber* latest_snapshot);
 
-  void RecordBackgroundError(const Status& s);
+  // Sticky error: freezes background work and writes until Resume().
+  void RecordBackgroundError(const Status& s, const char* source = "db");
+
+  // Classifies a background failure: transient I/O errors consume one of
+  // Options::max_background_retries (the background loop re-runs the work
+  // after exponential backoff); exhausted retries and non-retryable
+  // errors (corruption) become the sticky bg_error_.
+  void HandleBackgroundFailure(const Status& s, const char* source)
+      /* REQUIRES: holding mutex_ */;
+
+  uint64_t BackoffMicros(int attempt) const;
 
   // Fires OnWriteStallChange on every listener iff the condition changed.
   void SetStallCondition(obs::WriteStallCondition condition)
@@ -192,6 +203,8 @@ class DBImpl final : public DB {
   std::unique_ptr<VersionSet> versions_;
 
   Status bg_error_;
+  int bg_retry_attempts_ = 0;     // transient failures since last success
+  bool bg_retry_pending_ = false; // background loop owes a backoff+retry
   CompactionMetrics metrics_;
 
   // Observability (docs/OBSERVABILITY.md): instrument registry behind

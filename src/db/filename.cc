@@ -90,7 +90,10 @@ bool ParseFileName(const std::string& filename, uint64_t* number,
 
 Status SetCurrentFile(Env* env, const std::string& dbname,
                       uint64_t descriptor_number) {
-  // Remove leading "dbname/" and add newline to manifest file name.
+  // Crash-atomic install: write the pointer into a synced temp file,
+  // rename it over CURRENT, then fsync the directory so the rename
+  // itself survives power loss. A crash at any point leaves either the
+  // old or the new CURRENT — never a torn one.
   std::string manifest = DescriptorFileName(dbname, descriptor_number);
   Slice contents = manifest;
   assert(contents.starts_with(dbname + "/"));
@@ -99,6 +102,9 @@ Status SetCurrentFile(Env* env, const std::string& dbname,
   Status s = WriteStringToFile(env, contents.ToString() + "\n", tmp, true);
   if (s.ok()) {
     s = env->RenameFile(tmp, CurrentFileName(dbname));
+  }
+  if (s.ok()) {
+    s = env->SyncDir(dbname);
   }
   if (!s.ok()) {
     env->RemoveFile(tmp);

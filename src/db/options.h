@@ -105,6 +105,19 @@ struct Options {
   // Verify block checksums (S2) on every read path.
   bool verify_checksums = true;
 
+  // -------- fault handling (docs/FAULT_INJECTION.md) --------
+  // Transient background I/O errors (failed flush or compaction) are
+  // retried with bounded exponential backoff before the DB gives up and
+  // enters the sticky background-error state (writes fail, reads keep
+  // working, DB::Resume() recovers without a reopen). 0 = no retries:
+  // the first background failure is sticky. Corruption is never retried.
+  int max_background_retries = 5;
+
+  // Backoff before retry r is background_retry_backoff_micros * 2^(r-1),
+  // capped at background_retry_backoff_max_micros.
+  uint64_t background_retry_backoff_micros = 1000;
+  uint64_t background_retry_backoff_max_micros = 256 * 1000;
+
   // -------- observability (docs/OBSERVABILITY.md) --------
   // When non-empty, the DB records per-sub-task pipeline stage spans for
   // every compaction and flush, and writes them as Chrome trace_event

@@ -77,6 +77,16 @@ class Env {
   virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;
 
+  // Durably persist directory metadata (file creations/renames) — on
+  // POSIX, fsync of the directory fd. Crash-atomic install sequences
+  // (write temp, Sync, rename, SyncDir) need this final step or the
+  // rename itself may not survive power loss. Default: no-op for
+  // environments whose metadata is always durable (SimEnv).
+  virtual Status SyncDir(const std::string& dirname) {
+    (void)dirname;
+    return Status::OK();
+  }
+
   virtual uint64_t NowMicros() = 0;
   virtual void SleepForMicroseconds(int micros) = 0;
 };

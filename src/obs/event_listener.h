@@ -70,6 +70,25 @@ struct WriteStallInfo {
   WriteStallCondition previous = WriteStallCondition::kNormal;
 };
 
+// Background failure lifecycle (docs/FAULT_INJECTION.md). Fired with the
+// DB mutex HELD, so handlers must not block or call back into the DB.
+// A non-sticky event means the failure consumed one retry and the work
+// will be re-attempted after backoff; a sticky event means retries are
+// exhausted (or the error is not retryable) and the DB is read-only
+// until Resume().
+struct BackgroundErrorInfo {
+  Status status;
+  const char* source = "";  // "flush" | "compaction" | "wal" | "resume"
+  int attempt = 0;          // retries consumed so far, including this one
+  int max_attempts = 0;     // Options::max_background_retries
+  bool sticky = false;      // true: DB entered the background-error state
+};
+
+// Fired by a successful DB::Resume() with the error it cleared.
+struct ErrorRecoveryInfo {
+  Status old_error;
+};
+
 // Base class with no-op defaults: override only the hooks you need.
 class EventListener {
  public:
@@ -82,6 +101,9 @@ class EventListener {
   // Fired on every transition; called with the DB mutex held, so this one
   // in particular must not block.
   virtual void OnWriteStallChange(const WriteStallInfo& /*info*/) {}
+  // Both fired with the DB mutex held (see BackgroundErrorInfo above).
+  virtual void OnBackgroundError(const BackgroundErrorInfo& /*info*/) {}
+  virtual void OnErrorRecovered(const ErrorRecoveryInfo& /*info*/) {}
 };
 
 using EventListeners = std::vector<EventListener*>;

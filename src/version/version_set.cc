@@ -666,9 +666,15 @@ Status VersionSet::LogAndApply(VersionEdit* edit, std::mutex* mu) {
     log_number_ = edit->log_number_;
   } else {
     delete v;
+    // The manifest is now suspect: a failed AddRecord/Sync may have left
+    // a torn record that would shadow every later append. Abandon it and
+    // force the next LogAndApply to start a fresh manifest (full
+    // snapshot + CURRENT switch). Until then ManifestFileNumber() == 0
+    // keeps RemoveObsoleteFiles from collecting any descriptor.
+    descriptor_log_.reset();
+    descriptor_file_.reset();
+    manifest_file_number_ = 0;
     if (!new_manifest_file.empty()) {
-      descriptor_log_.reset();
-      descriptor_file_.reset();
       options_->env->RemoveFile(new_manifest_file);
     }
   }

@@ -2,12 +2,18 @@
 // pre-crash state, including torn WAL tails.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/db/db.h"
 #include "src/db/filename.h"
+#include "src/db/options.h"
+#include "src/env/fault_env.h"
 #include "src/env/sim_env.h"
+#include "src/util/random.h"
 #include "src/workload/generator.h"
 
 namespace pipelsm {
@@ -182,6 +188,332 @@ TEST_F(RecoveryTest, RepeatedReopenCycles) {
     ASSERT_EQ(v, Get(k));
   }
 }
+
+// Fault-injection recovery: transient errors heal via retry, exhausted
+// retries go sticky and heal via Resume(), and crash points at any Env op
+// never lose a synced write or resurrect a delete.
+class FaultRecoveryTest : public ::testing::Test {
+ protected:
+  FaultRecoveryTest() : fault_(&env_) {
+    options_.env = &fault_;
+    options_.create_if_missing = true;
+    // 64 KiB is the SanitizeOptions floor; FillPastFlush overshoots it.
+    options_.write_buffer_size = 64 << 10;
+    options_.max_file_size = 64 << 10;
+    // Keep retry latency test-friendly.
+    options_.max_background_retries = 2;
+    options_.background_retry_backoff_micros = 100;
+    options_.background_retry_backoff_max_micros = 400;
+  }
+
+  ~FaultRecoveryTest() override { Close(); }
+
+  void Open() {
+    Close();
+    DB* db = nullptr;
+    Status s = DB::Open(options_, "/db", &db);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    db_.reset(db);
+  }
+
+  void Close() { db_.reset(); }
+
+  std::string Get(const std::string& k) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), k, &value);
+    if (s.IsNotFound()) return "NOT_FOUND";
+    if (!s.ok()) return "ERROR";
+    return value;
+  }
+
+  std::string BackgroundError() {
+    std::string value;
+    EXPECT_TRUE(db_->GetProperty("pipelsm.background-error", &value));
+    return value;
+  }
+
+  // Writes enough sequential entries to force at least one memtable flush.
+  void FillPastFlush(const std::string& tag, int n = 900) {
+    for (int i = 0; i < n; i++) {
+      ASSERT_TRUE(db_->Put(WriteOptions(), tag + "-" + std::to_string(i),
+                           std::string(100, 'x'))
+                      .ok());
+    }
+  }
+
+  // Same volume, but tolerates rejected writes (e.g. once a background
+  // error goes sticky mid-fill). Returns the number of acked writes.
+  int FillBestEffort(const std::string& tag, int n = 900) {
+    int acked = 0;
+    for (int i = 0; i < n; i++) {
+      if (db_->Put(WriteOptions(), tag + "-" + std::to_string(i),
+                   std::string(100, 'x'))
+              .ok()) {
+        acked++;
+      }
+    }
+    return acked;
+  }
+
+  SimEnv env_;
+  FaultInjectionEnv fault_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(FaultRecoveryTest, TransientFlushErrorRetriesWithoutGoingSticky) {
+  Open();
+  // The first table-file creation fails once; the retry must succeed and
+  // the error must never become sticky.
+  fault_.SetPathFilter(FaultOp::kNewWritableFile, ".pst");
+  fault_.FailAfter(FaultOp::kNewWritableFile, 1,
+                   Status::IOError("transient disk hiccup"));
+  FillPastFlush("t");
+  ASSERT_TRUE(db_->WaitForCompactions().ok()) << BackgroundError();
+  EXPECT_EQ("OK", BackgroundError());
+  EXPECT_GE(fault_.injected_failures(), 1u);
+  EXPECT_EQ(std::string(100, 'x'), Get("t-0"));
+}
+
+TEST_F(FaultRecoveryTest, ExhaustedRetriesGoStickyAndResumeRecovers) {
+  Open();
+  // Every table-file creation fails: the retry budget (2) runs out and
+  // the error sticks.
+  fault_.SetPathFilter(FaultOp::kNewWritableFile, ".pst");
+  fault_.FailAfter(FaultOp::kNewWritableFile, 1,
+                   Status::IOError("disk still broken"), /*sticky=*/true);
+  ASSERT_GT(FillBestEffort("s"), 0);
+  EXPECT_FALSE(db_->WaitForCompactions().ok());
+  EXPECT_NE("OK", BackgroundError());
+
+  // Reads still work while degraded; Resume() without fixing the disk
+  // must fail and stay degraded.
+  EXPECT_EQ(std::string(100, 'x'), Get("s-0"));
+  EXPECT_FALSE(db_->Resume().ok());
+
+  // Fix the disk; Resume() clears the error and flushes the backlog.
+  fault_.ClearFaults();
+  ASSERT_TRUE(db_->Resume().ok()) << BackgroundError();
+  EXPECT_EQ("OK", BackgroundError());
+  ASSERT_TRUE(db_->Put(WriteOptions(), "after", "resume").ok());
+  ASSERT_TRUE(db_->WaitForCompactions().ok());
+  EXPECT_EQ("resume", Get("after"));
+  EXPECT_EQ(std::string(100, 'x'), Get("s-0"));
+}
+
+TEST_F(FaultRecoveryTest, WalSyncFailureFreezesWritesUntilResume) {
+  Open();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "before", "ok").ok());
+
+  // A failed WAL sync leaves the tail of the log indeterminate: the write
+  // must be rejected and all further writes refused until Resume() rolls
+  // the WAL.
+  fault_.SetPathFilter(FaultOp::kSync, ".log");
+  fault_.FailAfter(FaultOp::kSync, 1, Status::IOError("lost the WAL"),
+                   /*sticky=*/true);
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  EXPECT_FALSE(db_->Put(sync_wo, "torn", "no").ok());
+  EXPECT_NE("OK", BackgroundError());
+  EXPECT_FALSE(db_->Put(WriteOptions(), "frozen", "no").ok());
+
+  fault_.ClearFaults();
+  ASSERT_TRUE(db_->Resume().ok()) << BackgroundError();
+  ASSERT_TRUE(db_->Put(WriteOptions(), "thawed", "yes").ok());
+  EXPECT_EQ("ok", Get("before"));
+  EXPECT_EQ("yes", Get("thawed"));
+
+  // The pre-freeze state must also survive a reopen (the WAL was rolled).
+  Close();
+  Open();
+  EXPECT_EQ("ok", Get("before"));
+  EXPECT_EQ("yes", Get("thawed"));
+  EXPECT_EQ("NOT_FOUND", Get("torn"));
+  EXPECT_EQ("NOT_FOUND", Get("frozen"));
+}
+
+TEST_F(FaultRecoveryTest, FailedCompactionLeaksNoTableFiles) {
+  Open();
+  FillPastFlush("seed");
+  ASSERT_TRUE(db_->WaitForCompactions().ok());
+
+  // Break every new table file, then force background work until the
+  // error sticks. Partially written outputs must be swept, not leaked.
+  fault_.SetPathFilter(FaultOp::kNewWritableFile, ".pst");
+  fault_.FailAfter(FaultOp::kNewWritableFile, 1,
+                   Status::IOError("no space"), /*sticky=*/true);
+  ASSERT_GT(FillBestEffort("more"), 0);
+  EXPECT_FALSE(db_->WaitForCompactions().ok());
+
+  fault_.ClearFaults();
+  ASSERT_TRUE(db_->Resume().ok()) << BackgroundError();
+  ASSERT_TRUE(db_->WaitForCompactions().ok());
+
+  // Every .pst on disk must be referenced by the live version.
+  std::string sstables;
+  ASSERT_TRUE(db_->GetProperty("pipelsm.sstables", &sstables));
+  std::vector<std::string> children;
+  ASSERT_TRUE(fault_.GetChildren("/db", &children).ok());
+  uint64_t number;
+  FileType type;
+  for (const auto& c : children) {
+    if (ParseFileName(c, &number, &type) && type == kTableFile) {
+      std::string tag = std::to_string(number) + ":";
+      EXPECT_NE(std::string::npos, sstables.find(tag))
+          << "leaked table file " << c;
+    }
+  }
+}
+
+TEST_F(FaultRecoveryTest, CrashDuringCurrentInstallKeepsDbOpenable) {
+  Open();
+  FillPastFlush("a");
+  // Make everything durable: the trailing sync persists every earlier
+  // WAL record, so the whole fill must survive any later power loss.
+  WriteOptions sync_wo;
+  sync_wo.sync = true;
+  ASSERT_TRUE(db_->Put(sync_wo, "a-final", "synced").ok());
+  ASSERT_TRUE(db_->WaitForCompactions().ok());
+  Close();
+
+  // Power fails exactly at the CURRENT rename of the next reopen. The
+  // install sequence (synced tmp, rename, SyncDir) must leave either the
+  // old or the new CURRENT fully intact — never a torn one.
+  fault_.CrashAfter(FaultOp::kRenameFile, 1);
+  DB* raw = nullptr;
+  Status s = DB::Open(options_, "/db", &raw);
+  delete raw;
+  ASSERT_TRUE(fault_.crashed());
+  ASSERT_TRUE(fault_.DropUnsyncedAndReset().ok());
+  fault_.ClearFaults();
+
+  Open();
+  EXPECT_EQ(std::string(100, 'x'), Get("a-0"));
+  EXPECT_EQ(std::string(100, 'x'), Get("a-899"));
+  EXPECT_EQ("synced", Get("a-final"));
+}
+
+// Deterministic mini-matrix of the tools/crash_test harness: for every
+// executor mode, crash at randomized Env ops, power-cycle, reopen, and
+// check that synced writes survive and deletes stay dead.
+class CrashMatrixTest : public ::testing::TestWithParam<CompactionMode> {};
+
+TEST_P(CrashMatrixTest, SyncedWritesSurviveRandomCrashPoints) {
+  SimEnv base;
+  FaultInjectionEnv fault(&base);
+  Options options;
+  options.env = &fault;
+  options.create_if_missing = true;
+  options.write_buffer_size = 8 << 10;
+  options.max_file_size = 16 << 10;
+  options.compaction_mode = GetParam();
+  options.max_background_retries = 1;
+  options.background_retry_backoff_micros = 100;
+  options.background_retry_backoff_max_micros = 100;
+
+  // Per key: the durable floor ("" = deleted) plus every later acked but
+  // un-synced value. After a crash the key may read as the floor or as
+  // any of the later acked values (a background flush may have persisted
+  // them even without an explicit user sync) — but never anything else.
+  struct KeyModel {
+    bool has_base = false;
+    std::string base;                // "" = delete
+    std::vector<std::string> pend;   // acked since the last sync
+    bool Allows(bool exists, const std::string& got) const {
+      if (has_base && (exists ? got == base : base.empty())) return true;
+      for (const std::string& p : pend) {
+        if (exists ? got == p : p.empty()) return true;
+      }
+      // Never synced and nothing pending survived.
+      return !has_base && !exists;
+    }
+  };
+  Random rng(811 + static_cast<int>(GetParam()));
+  std::map<std::string, KeyModel> model;
+  const FaultOp kOps[] = {FaultOp::kAppend, FaultOp::kSync, FaultOp::kClose,
+                          FaultOp::kNewWritableFile, FaultOp::kRenameFile};
+
+  for (int iter = 0; iter < 8; iter++) {
+    const FaultOp crash_op = kOps[rng.Uniform(5)];
+    const int crash_countdown = 1 + rng.Uniform(40);
+    fault.CrashAfter(crash_op, crash_countdown);
+
+    DB* raw = nullptr;
+    Status s = DB::Open(options, "/db", &raw);
+    std::unique_ptr<DB> db(raw);
+    if (s.ok()) {
+      for (int op = 0; op < 300 && !fault.crashed(); op++) {
+        const std::string key = "k" + std::to_string(rng.Uniform(60));
+        const bool del = rng.OneIn(8);
+        // Values are padded so each iteration overflows the (64 KiB
+        // floor) write buffer and exercises flush + compaction paths.
+        const std::string value =
+            del ? ""
+                : "i" + std::to_string(iter) + "-" + std::to_string(op) +
+                      std::string(250, 'v');
+        WriteOptions wo;
+        wo.sync = (op % 19) == 18;
+        Status ws = del ? db->Delete(wo, key) : db->Put(wo, key, value);
+        if (!ws.ok()) continue;  // not acked: free to vanish
+        model[key].pend.push_back(value);
+        if (wo.sync) {
+          // A successful sync persists every record before it.
+          for (auto& [k, km] : model) {
+            if (km.pend.empty()) continue;
+            km.has_base = true;
+            km.base = km.pend.back();
+            km.pend.clear();
+          }
+        }
+      }
+    }
+    db.reset();
+    const bool fired = fault.crashed();
+    SCOPED_TRACE(std::string("crash after ") +
+                 std::to_string(crash_countdown) + " x " +
+                 FaultOpName(crash_op) + (fired ? " (fired)" : " (idle)"));
+    fault.ClearFaults();
+    ASSERT_TRUE(fault.DropUnsyncedAndReset().ok());
+
+    // Clean reopen: every synced write must still be visible (or shadowed
+    // only by a later acked value), and synced deletes must not
+    // resurrect older data.
+    DB* rraw = nullptr;
+    ASSERT_TRUE(DB::Open(options, "/db", &rraw).ok()) << "iter " << iter;
+    std::unique_ptr<DB> rdb(rraw);
+    for (auto& [k, km] : model) {
+      std::string got;
+      Status gs = rdb->Get(ReadOptions(), k, &got);
+      ASSERT_TRUE(gs.ok() || gs.IsNotFound()) << gs.ToString();
+      const bool exists = gs.ok();
+      std::string allowed = km.has_base ? "base=\"" + km.base + "\"" : "";
+      for (const std::string& p : km.pend) allowed += " pend=\"" + p + "\"";
+      EXPECT_TRUE(km.Allows(exists, got))
+          << "iter " << iter << " key " << k << " read "
+          << (exists ? "\"" + got.substr(0, 12) + "\"" : "<absent>")
+          << "; allowed: " << allowed.substr(0, 200);
+      // The recovered state is durable (recovery re-persists it); fold
+      // it into the floor for the next round.
+      km.has_base = true;
+      km.base = exists ? got : "";
+      km.pend.clear();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, CrashMatrixTest,
+                         ::testing::Values(CompactionMode::kSCP,
+                                           CompactionMode::kPCP,
+                                           CompactionMode::kSPPCP,
+                                           CompactionMode::kCPPCP),
+                         [](const ::testing::TestParamInfo<CompactionMode>&
+                                info) {
+                           std::string name = CompactionModeName(info.param);
+                           name.erase(std::remove(name.begin(), name.end(),
+                                                  '-'),
+                                      name.end());
+                           return name;
+                         });
 
 }  // namespace
 }  // namespace pipelsm

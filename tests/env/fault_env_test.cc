@@ -1,0 +1,191 @@
+// FaultInjectionEnv: rules fire where aimed, power loss keeps exactly
+// the synced prefix, and crash points freeze the env until reset.
+#include "src/env/fault_env.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/env/sim_env.h"
+
+namespace pipelsm {
+namespace {
+
+class FaultEnvTest : public ::testing::Test {
+ protected:
+  FaultEnvTest() : fault_(&sim_) { sim_.CreateDir("/db"); }
+
+  Status WriteFile(const std::string& fname, const std::string& data,
+                   bool sync) {
+    std::unique_ptr<WritableFile> f;
+    Status s = fault_.NewWritableFile(fname, &f);
+    if (!s.ok()) return s;
+    s = f->Append(data);
+    if (s.ok() && sync) s = f->Sync();
+    if (s.ok()) s = f->Close();
+    return s;
+  }
+
+  std::string ReadFile(const std::string& fname) {
+    std::string data;
+    Status s = ReadFileToString(&fault_, fname, &data);
+    return s.ok() ? data : "<" + s.ToString() + ">";
+  }
+
+  SimEnv sim_;
+  FaultInjectionEnv fault_;
+};
+
+TEST_F(FaultEnvTest, OpNamesRoundTrip) {
+  for (int i = 0; i < static_cast<int>(FaultOp::kNumOps); i++) {
+    FaultOp op = static_cast<FaultOp>(i);
+    FaultOp parsed;
+    ASSERT_TRUE(ParseFaultOp(FaultOpName(op), &parsed)) << FaultOpName(op);
+    EXPECT_EQ(op, parsed);
+  }
+  FaultOp op;
+  EXPECT_FALSE(ParseFaultOp("no_such_op", &op));
+}
+
+TEST_F(FaultEnvTest, PassThroughWhenNoRules) {
+  ASSERT_TRUE(WriteFile("/db/a", "hello", true).ok());
+  EXPECT_EQ("hello", ReadFile("/db/a"));
+  EXPECT_TRUE(fault_.FileExists("/db/a"));
+  EXPECT_EQ(0u, fault_.injected_failures());
+}
+
+TEST_F(FaultEnvTest, FailAfterFiresExactlyOnce) {
+  fault_.FailAfter(FaultOp::kSync, 2, Status::IOError("boom"));
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fault_.NewWritableFile("/db/a", &f).ok());
+  ASSERT_TRUE(f->Append("x").ok());
+  EXPECT_TRUE(f->Sync().ok());    // 1st sync: countdown 2 -> 1
+  EXPECT_FALSE(f->Sync().ok());   // 2nd sync fires
+  EXPECT_TRUE(f->Sync().ok());    // not sticky: healthy again
+  EXPECT_EQ(1u, fault_.injected_failures());
+}
+
+TEST_F(FaultEnvTest, StickyFailAfterKeepsFailing) {
+  fault_.FailAfter(FaultOp::kAppend, 1, Status::IOError("boom"),
+                   /*sticky=*/true);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fault_.NewWritableFile("/db/a", &f).ok());
+  EXPECT_FALSE(f->Append("x").ok());
+  EXPECT_FALSE(f->Append("x").ok());
+  fault_.ClearFaults();
+  EXPECT_TRUE(f->Append("x").ok());
+}
+
+TEST_F(FaultEnvTest, PathFilterRestrictsRuleAndCounter) {
+  fault_.FailAfter(FaultOp::kNewWritableFile, 1);
+  fault_.SetPathFilter(FaultOp::kNewWritableFile, ".pst");
+  std::unique_ptr<WritableFile> f;
+  EXPECT_TRUE(fault_.NewWritableFile("/db/000001.log", &f).ok());
+  EXPECT_EQ(0u, fault_.counter(FaultOp::kNewWritableFile));
+  EXPECT_FALSE(fault_.NewWritableFile("/db/000002.pst", &f).ok());
+  EXPECT_EQ(1u, fault_.counter(FaultOp::kNewWritableFile));
+}
+
+TEST_F(FaultEnvTest, ErrorProbabilityInjectsRoughlyAtRate) {
+  fault_.SetErrorProbability(FaultOp::kAppend, 0.5);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fault_.NewWritableFile("/db/a", &f).ok());
+  int failures = 0;
+  for (int i = 0; i < 1000; i++) {
+    if (!f->Append("x").ok()) failures++;
+  }
+  EXPECT_GT(failures, 350);
+  EXPECT_LT(failures, 650);
+}
+
+TEST_F(FaultEnvTest, NeverSyncedFileVanishesOnPowerLoss) {
+  ASSERT_TRUE(WriteFile("/db/a", "data", /*sync=*/false).ok());
+  ASSERT_TRUE(fault_.FileExists("/db/a"));
+  ASSERT_TRUE(fault_.DropUnsyncedAndReset().ok());
+  EXPECT_FALSE(fault_.FileExists("/db/a"));
+}
+
+TEST_F(FaultEnvTest, UnsyncedTailDroppedOnPowerLoss) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fault_.NewWritableFile("/db/a", &f).ok());
+  ASSERT_TRUE(f->Append("durable").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  ASSERT_TRUE(f->Append("-volatile").ok());
+  EXPECT_EQ(9u, fault_.UnsyncedBytes());
+  ASSERT_TRUE(f->Close().ok());
+  f.reset();
+
+  ASSERT_TRUE(fault_.DropUnsyncedAndReset().ok());
+  EXPECT_EQ("durable", ReadFile("/db/a"));
+  EXPECT_EQ(0u, fault_.UnsyncedBytes());
+}
+
+TEST_F(FaultEnvTest, FullySyncedFileSurvivesPowerLossIntact) {
+  ASSERT_TRUE(WriteFile("/db/a", "all-of-it", /*sync=*/true).ok());
+  ASSERT_TRUE(fault_.DropUnsyncedAndReset().ok());
+  EXPECT_EQ("all-of-it", ReadFile("/db/a"));
+}
+
+TEST_F(FaultEnvTest, RenameMakesTargetDurable) {
+  // The CURRENT install sequence: synced temp file, then rename.
+  ASSERT_TRUE(WriteFile("/db/000005.dbtmp", "MANIFEST-000004\n", true).ok());
+  ASSERT_TRUE(fault_.RenameFile("/db/000005.dbtmp", "/db/CURRENT").ok());
+  ASSERT_TRUE(fault_.DropUnsyncedAndReset().ok());
+  EXPECT_EQ("MANIFEST-000004\n", ReadFile("/db/CURRENT"));
+  EXPECT_FALSE(fault_.FileExists("/db/000005.dbtmp"));
+}
+
+TEST_F(FaultEnvTest, SyncDirMakesCreationsDurable) {
+  ASSERT_TRUE(WriteFile("/db/a", "x", /*sync=*/false).ok());
+  ASSERT_TRUE(fault_.SyncDir("/db").ok());
+  ASSERT_TRUE(fault_.DropUnsyncedAndReset().ok());
+  // Entry survives; its unsynced bytes still don't.
+  EXPECT_TRUE(fault_.FileExists("/db/a"));
+  EXPECT_EQ("", ReadFile("/db/a"));
+}
+
+TEST_F(FaultEnvTest, CrashFreezesEveryOpUntilReset) {
+  fault_.CrashAfter(FaultOp::kAppend, 2);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fault_.NewWritableFile("/db/a", &f).ok());
+  ASSERT_TRUE(f->Append("synced").ok());
+  ASSERT_TRUE(f->Sync().ok());
+  EXPECT_FALSE(f->Append("never").ok());  // 2nd append: crash point
+  EXPECT_TRUE(fault_.crashed());
+
+  // Everything fails while "down" — even unrelated ops.
+  std::unique_ptr<WritableFile> g;
+  EXPECT_FALSE(fault_.NewWritableFile("/db/b", &g).ok());
+  std::vector<std::string> children;
+  EXPECT_FALSE(fault_.GetChildren("/db", &children).ok());
+
+  ASSERT_TRUE(fault_.DropUnsyncedAndReset().ok());
+  EXPECT_FALSE(fault_.crashed());
+  fault_.ClearFaults();
+  EXPECT_EQ("synced", ReadFile("/db/a"));
+}
+
+TEST_F(FaultEnvTest, RemoveFileForgetsTrackingState) {
+  ASSERT_TRUE(WriteFile("/db/a", "x", /*sync=*/false).ok());
+  ASSERT_TRUE(fault_.RemoveFile("/db/a").ok());
+  EXPECT_EQ(0u, fault_.UnsyncedBytes());
+  ASSERT_TRUE(fault_.DropUnsyncedAndReset().ok());
+  EXPECT_FALSE(fault_.FileExists("/db/a"));
+}
+
+TEST_F(FaultEnvTest, AppendableFileTreatsExistingBytesAsDurable) {
+  ASSERT_TRUE(WriteFile("/db/a", "old", /*sync=*/true).ok());
+  ASSERT_TRUE(fault_.DropUnsyncedAndReset().ok());
+
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(fault_.NewAppendableFile("/db/a", &f).ok());
+  ASSERT_TRUE(f->Append("+new").ok());
+  ASSERT_TRUE(f->Close().ok());
+  f.reset();
+  ASSERT_TRUE(fault_.DropUnsyncedAndReset().ok());
+  EXPECT_EQ("old", ReadFile("/db/a"));
+}
+
+}  // namespace
+}  // namespace pipelsm
