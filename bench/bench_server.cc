@@ -1,0 +1,275 @@
+// bench_server: loopback throughput of the network service layer vs the
+// same workload in-process (the ISSUE 4 acceptance gate: served fills
+// with group commit should hold >= 50% of in-process fillrandom).
+//
+// Phase 1 fills a fresh DB in-process (the db_bench fillrandom loop).
+// Phase 2 starts a Server on an ephemeral loopback port and drives the
+// same number of PUTs through the pipelined client: --connections pooled
+// sockets shared by --threads driver threads, each keeping --window
+// async requests in flight. Group commit folds the concurrent PUTs into
+// leader batches, so the server amortizes WAL work the in-process
+// single-writer loop cannot — that, plus pipelining, is what keeps the
+// served number close to the in-process one despite the framing + TCP
+// tax. A final report prints both rates, the served/in-process ratio,
+// and the group-commit batch-size histogram.
+//
+// Flags:
+//   --num=N          PUTs per phase (default 200000)
+//   --connections=N  pooled sockets (default 64)
+//   --threads=N      driver threads (default 8)
+//   --window=N       async requests in flight per driver (default 128)
+//   --key_size=N --value_size=N (defaults 16/100)
+//   --read_ratio=N   percent of served ops that are GETs (default 0,
+//                    i.e. pure fill; use 50 for a mixed comparison
+//                    against db_bench mixedwhilewriting)
+//   --sync           sync WAL on every group commit (default off, to
+//                    match the in-process fillrandom baseline)
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/client/client.h"
+#include "src/db/db.h"
+#include "src/db/write_batch.h"
+#include "src/env/env.h"
+#include "src/server/server.h"
+#include "src/util/histogram.h"
+#include "src/util/stopwatch.h"
+#include "src/workload/generator.h"
+
+namespace pipelsm {
+namespace {
+
+struct Flags {
+  uint64_t num = 200000;
+  int connections = 64;
+  int threads = 8;
+  size_t window = 128;
+  size_t key_size = 16;
+  size_t value_size = 100;
+  int read_ratio = 0;
+  bool sync = false;
+  uint32_t seed = 301;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+template <typename T>
+bool ParseNumFlag(const char* arg, const char* name, T* out) {
+  std::string v;
+  if (!ParseFlag(arg, name, &v)) return false;
+  *out = static_cast<T>(std::strtoull(v.c_str(), nullptr, 10));
+  return true;
+}
+
+Options MakeDbOptions() {
+  Options options;
+  options.env = Env::Posix();
+  options.create_if_missing = true;
+  options.compaction_mode = CompactionMode::kPCP;
+  return options;
+}
+
+std::unique_ptr<DB> OpenFresh(const std::string& path,
+                              const Options& options) {
+  DestroyDB(path, options);
+  DB* raw = nullptr;
+  Status s = DB::Open(options, path, &raw);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", path.c_str(), s.ToString().c_str());
+    std::exit(1);
+  }
+  return std::unique_ptr<DB>(raw);
+}
+
+// Phase 1: the db_bench fillrandom loop, verbatim shape.
+double InProcessFill(const Flags& flags, const std::string& path) {
+  Options options = MakeDbOptions();
+  std::unique_ptr<DB> db = OpenFresh(path, options);
+  WorkloadGenerator gen(flags.num, flags.key_size, flags.value_size,
+                        KeyOrder::kRandom, flags.seed);
+  Stopwatch total;
+  WriteOptions wo;
+  wo.sync = flags.sync;
+  for (uint64_t i = 0; i < flags.num; i++) {
+    Status s = db->Put(wo, gen.Key(i), gen.Value(i));
+    if (!s.ok()) {
+      std::fprintf(stderr, "in-process put: %s\n", s.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const double seconds = total.ElapsedSeconds();
+  db->WaitForCompactions();
+  return flags.num / seconds;
+}
+
+// One driver thread: pushes its slice of the key space through the
+// shared client, keeping `window` futures in flight.
+void DriveSlice(client::Client* cli, const WorkloadGenerator& gen,
+                uint64_t begin, uint64_t end, const Flags& flags,
+                uint32_t thread_seed, std::atomic<uint64_t>* errors) {
+  std::deque<std::future<client::Result>> inflight;
+  Random rnd(thread_seed);
+  auto reap = [&](size_t keep) {
+    cli->Flush();  // buffered frames must hit the wire before we block
+    while (inflight.size() > keep) {
+      client::Result r = inflight.front().get();
+      inflight.pop_front();
+      if (!r.status.ok() && !r.status.IsNotFound()) {
+        errors->fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  for (uint64_t i = begin; i < end; i++) {
+    const bool is_get =
+        flags.read_ratio > 0 &&
+        static_cast<int>(rnd.Next() % 100) < flags.read_ratio;
+    if (is_get) {
+      inflight.push_back(cli->AsyncGet(gen.Key(rnd.Next() % flags.num)));
+    } else {
+      inflight.push_back(cli->AsyncPut(gen.Key(i), gen.Value(i)));
+    }
+    // Reap half the window at once: the first get() blocks until the
+    // server's coalesced reply burst lands, after which the rest are
+    // already fulfilled — one driver block/wake cycle per ~window/2 ops
+    // instead of one per op.
+    if (inflight.size() >= flags.window) reap(flags.window / 2);
+  }
+  reap(0);
+}
+
+// Phase 2: the same workload through the loopback server.
+double ServedFill(const Flags& flags, const std::string& path,
+                  std::string* batch_histogram) {
+  Options options = MakeDbOptions();
+  server::WriteStallGate gate;
+  options.listeners.push_back(&gate);
+  std::unique_ptr<DB> db = OpenFresh(path, options);
+
+  server::ServerOptions sopts;
+  sopts.host = "127.0.0.1";
+  sopts.port = 0;  // ephemeral
+  sopts.sync_writes = flags.sync;
+  sopts.stall_gate = &gate;
+  // Throughput-tuned: deep leader batches amortize both the DB write and
+  // the per-connection reply send (more frames coalesced per send()).
+  sopts.group_commit_max_requests = 1024;
+  sopts.request_queue_depth = 4096;
+  sopts.num_io_threads = 1;
+  server::Server srv(db.get(), sopts);
+  Status s = srv.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "server start: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+
+  client::ClientOptions copts;
+  copts.host = "127.0.0.1";
+  copts.port = srv.port();
+  copts.num_connections = flags.connections;
+  // Coalesce async sends: 16 consecutive submissions share a socket and
+  // ride one send() (drivers Flush before blocking on futures).
+  copts.connection_stride = 16;
+  copts.pipeline_buffer_bytes = 16 * 1024;
+  client::Client cli(copts);
+
+  WorkloadGenerator gen(flags.num, flags.key_size, flags.value_size,
+                        KeyOrder::kRandom, flags.seed);
+  std::atomic<uint64_t> errors{0};
+  const int threads = flags.threads > 0 ? flags.threads : 1;
+  Stopwatch total;
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < threads; t++) {
+    const uint64_t begin = flags.num * t / threads;
+    const uint64_t end = flags.num * (t + 1) / threads;
+    drivers.emplace_back(DriveSlice, &cli, std::cref(gen), begin, end,
+                         std::cref(flags), flags.seed + 31 * (t + 1),
+                         &errors);
+  }
+  for (auto& d : drivers) d.join();
+  const double seconds = total.ElapsedSeconds();
+
+  if (errors.load() > 0) {
+    std::fprintf(stderr, "served phase: %llu request errors\n",
+                 static_cast<unsigned long long>(errors.load()));
+    std::exit(1);
+  }
+
+  // Pull the group-commit histogram straight from the server's registry
+  // (also visible via GetProperty("pipelsm.metrics") since the server
+  // registers into the DB's registry).
+  const obs::HistogramMetric* h = srv.metrics_registry()->RegisterHistogram(
+      "server.group_commit.batch_size", "");
+  const Histogram snap = h->Snapshot();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "group-commit batch size: count=%llu avg=%.1f p95=%.0f "
+                "max=%.0f",
+                static_cast<unsigned long long>(snap.Num()), snap.Average(),
+                snap.Percentile(95), snap.Max());
+  *batch_histogram = buf;
+
+  srv.Drain();
+  db->WaitForCompactions();
+  return flags.num / seconds;
+}
+
+}  // namespace
+}  // namespace pipelsm
+
+int main(int argc, char** argv) {
+  pipelsm::Flags flags;
+  for (int i = 1; i < argc; i++) {
+    if (pipelsm::ParseNumFlag(argv[i], "num", &flags.num) ||
+        pipelsm::ParseNumFlag(argv[i], "connections", &flags.connections) ||
+        pipelsm::ParseNumFlag(argv[i], "threads", &flags.threads) ||
+        pipelsm::ParseNumFlag(argv[i], "window", &flags.window) ||
+        pipelsm::ParseNumFlag(argv[i], "key_size", &flags.key_size) ||
+        pipelsm::ParseNumFlag(argv[i], "value_size", &flags.value_size) ||
+        pipelsm::ParseNumFlag(argv[i], "read_ratio", &flags.read_ratio) ||
+        pipelsm::ParseNumFlag(argv[i], "seed", &flags.seed)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--sync") == 0) {
+      flags.sync = true;
+      continue;
+    }
+    std::fprintf(stderr, "unrecognized flag: %s\n", argv[i]);
+    return 2;
+  }
+
+  std::printf("bench_server: %llu ops, %d connections, %d threads, "
+              "window %zu, read_ratio %d%%, sync=%d\n",
+              static_cast<unsigned long long>(flags.num), flags.connections,
+              flags.threads, flags.window, flags.read_ratio,
+              flags.sync ? 1 : 0);
+
+  const double local =
+      pipelsm::InProcessFill(flags, "/tmp/pipelsm_bench_server_local");
+  std::printf("in-process fill: %10.0f ops/s\n", local);
+
+  std::string batch_histogram;
+  const double served = pipelsm::ServedFill(
+      flags, "/tmp/pipelsm_bench_server_net", &batch_histogram);
+  std::printf("served fill:     %10.0f ops/s  (loopback, pipelined)\n",
+              served);
+  std::printf("%s\n", batch_histogram.c_str());
+  const double ratio = local > 0 ? served / local : 0;
+  std::printf("served/in-process ratio: %.2f  (acceptance floor 0.50)\n",
+              ratio);
+  return ratio >= 0.5 ? 0 : 1;
+}

@@ -1,0 +1,429 @@
+#include "src/client/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "src/util/coding.h"
+
+namespace pipelsm::client {
+
+using server::DecodedFrame;
+using server::FrameDecoder;
+using server::MessageType;
+
+struct Client::Connection {
+  std::mutex mu;  // guards fd, pending, reader bookkeeping
+  // Serializes frame bytes onto the socket. Never held together with mu
+  // except in the order mu -> send_mu; the fd is only closed while both
+  // are held, so a sender holding send_mu alone can trust its fd.
+  std::mutex send_mu;
+  std::condition_variable window_cv;
+  int fd = -1;
+  bool broken = false;  // reconnect on next use
+  std::atomic<uint64_t> generation{0};
+  std::unordered_map<uint64_t, std::promise<Result>> pending;
+  std::thread reader;
+
+  // Guarded by send_mu: duplicate fd/generation so Flush() can operate
+  // without mu, plus frames held back for coalescing. The buffer is
+  // cleared whenever the fd changes (close and connect both hold
+  // send_mu), so buffered bytes always belong to the current socket.
+  int send_fd = -1;
+  uint64_t send_generation = 0;
+  std::string sendbuf;
+};
+
+namespace {
+
+Status SysError(const char* context) {
+  return Status::IOError(context, std::strerror(errno));
+}
+
+// Writes the whole buffer, retrying EINTR and partial sends. The socket is
+// blocking, so "short" writes only happen on signals.
+Status SendAll(int fd, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    if (w > 0) {
+      done += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return SysError("send");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Client::Client(const ClientOptions& options) : options_(options) {
+  const int n = options_.num_connections > 0 ? options_.num_connections : 1;
+  for (int i = 0; i < n; i++) {
+    pool_.push_back(std::make_unique<Connection>());
+  }
+}
+
+Client::~Client() {
+  for (auto& conn : pool_) {
+    std::thread reader;
+    {
+      std::lock_guard<std::mutex> l(conn->mu);
+      if (conn->fd >= 0) {
+        ::shutdown(conn->fd, SHUT_RDWR);  // unblocks the reader's recv
+      }
+      reader = std::move(conn->reader);
+    }
+    if (reader.joinable()) reader.join();
+    std::lock_guard<std::mutex> l(conn->mu);
+    if (conn->fd >= 0) {
+      std::lock_guard<std::mutex> sl(conn->send_mu);
+      ::close(conn->fd);
+      conn->fd = -1;
+      conn->send_fd = -1;
+      conn->sendbuf.clear();
+    }
+    FailAllPending(*conn, Status::IOError("client destroyed"));
+  }
+}
+
+void Client::FailAllPending(Connection& conn, const Status& status) {
+  // REQUIRES: conn.mu held.
+  for (auto& [seq, promise] : conn.pending) {
+    Result r;
+    r.status = status;
+    promise.set_value(std::move(r));
+  }
+  conn.pending.clear();
+  conn.window_cv.notify_all();
+}
+
+Client::Connection* Client::PickConnection() {
+  const size_t t = next_conn_.fetch_add(1, std::memory_order_relaxed);
+  const size_t stride =
+      options_.connection_stride > 0 ? options_.connection_stride : 1;
+  return pool_[(t / stride) % pool_.size()].get();
+}
+
+Status Client::EnsureConnected(Connection& conn) {
+  // REQUIRES: conn.mu held.
+  if (conn.fd >= 0 && !conn.broken) return Status::OK();
+  if (conn.fd >= 0) {
+    // Broken: the reader already exited (or will, on seeing the closed
+    // fd). Reap it before starting a fresh one.
+    ::shutdown(conn.fd, SHUT_RDWR);
+    std::thread reader = std::move(conn.reader);
+    if (reader.joinable()) {
+      conn.mu.unlock();
+      reader.join();
+      conn.mu.lock();
+    }
+    {
+      std::lock_guard<std::mutex> sl(conn.send_mu);
+      ::close(conn.fd);
+      conn.fd = -1;
+      conn.send_fd = -1;
+      conn.sendbuf.clear();
+    }
+    FailAllPending(conn, Status::IOError("connection reset"));
+  }
+  conn.broken = false;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return SysError("socket");
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host", options_.host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const Status s = SysError("connect");
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  conn.fd = fd;
+  const uint64_t gen =
+      conn.generation.fetch_add(1, std::memory_order_release) + 1;
+  {
+    std::lock_guard<std::mutex> sl(conn.send_mu);
+    conn.send_fd = fd;
+    conn.send_generation = gen;
+    conn.sendbuf.clear();
+  }
+  conn.reader = std::thread([this, c = &conn] { ReaderLoop(c); });
+  return Status::OK();
+}
+
+void Client::ReaderLoop(Connection* conn) {
+  int fd;
+  uint64_t generation;
+  {
+    std::lock_guard<std::mutex> l(conn->mu);
+    fd = conn->fd;
+    generation = conn->generation.load(std::memory_order_acquire);
+  }
+  FrameDecoder decoder(options_.max_body_bytes);
+  char buf[64 * 1024];
+  Status exit_status = Status::IOError("connection closed");
+  while (true) {
+    const ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    decoder.Append(buf, static_cast<size_t>(r));
+    DecodedFrame frame;
+    bool fatal = false;
+    while (true) {
+      const FrameDecoder::Result res = decoder.Next(&frame);
+      if (res == FrameDecoder::Result::kNeedMore) break;
+      if (res == FrameDecoder::Result::kError) {
+        exit_status = Status::Corruption("protocol error", decoder.error());
+        fatal = true;
+        break;
+      }
+      Result result;
+      Slice payload;
+      if (!frame.reply ||
+          !server::ParseReply(Slice(frame.body), &result.status, &payload)) {
+        exit_status = Status::Corruption("malformed reply");
+        fatal = true;
+        break;
+      }
+      if (result.status.ok()) {
+        if (frame.type == MessageType::kScan) {
+          if (!server::ParseScanPayload(payload, &result.entries)) {
+            result.status = Status::Corruption("malformed scan payload");
+          }
+        } else {
+          result.value.assign(payload.data(), payload.size());
+        }
+      }
+      std::promise<Result> promise;
+      bool found = false;
+      {
+        std::lock_guard<std::mutex> l(conn->mu);
+        auto it = conn->pending.find(frame.seq);
+        if (it != conn->pending.end()) {
+          promise = std::move(it->second);
+          conn->pending.erase(it);
+          found = true;
+          conn->window_cv.notify_one();
+        }
+      }
+      if (found) promise.set_value(std::move(result));
+    }
+    if (fatal) break;
+  }
+  std::lock_guard<std::mutex> l(conn->mu);
+  if (conn->generation.load(std::memory_order_acquire) == generation) {
+    conn->broken = true;
+    FailAllPending(*conn, exit_status);
+  }
+}
+
+std::future<Result> Client::FailedFuture(const Status& status) {
+  std::promise<Result> promise;
+  Result r;
+  r.status = status;
+  promise.set_value(std::move(r));
+  return promise.get_future();
+}
+
+std::future<Result> Client::Submit(MessageType type, const std::string& body) {
+  Connection& conn = *PickConnection();
+  const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::string wire;
+  server::EncodeFrame(type, false, seq, body, &wire);
+
+  int fd;
+  uint64_t generation;
+  std::future<Result> future;
+  {
+    std::unique_lock<std::mutex> lock(conn.mu);
+    const Status cs = EnsureConnected(conn);
+    if (!cs.ok()) return FailedFuture(cs);
+    // Bounded in-flight window: block until the reader drains some
+    // replies (or the connection dies under us).
+    conn.window_cv.wait(lock, [&] {
+      return conn.broken ||
+             conn.pending.size() < options_.max_inflight_per_connection;
+    });
+    if (conn.broken) return FailedFuture(Status::IOError("connection reset"));
+    fd = conn.fd;
+    generation = conn.generation.load(std::memory_order_acquire);
+    std::promise<Result> promise;
+    future = promise.get_future();
+    conn.pending.emplace(seq, std::move(promise));
+  }
+
+  // Send outside conn.mu so the reader keeps draining replies while we
+  // block in send() — otherwise a full socket buffer deadlocks the pair.
+  Status ws;
+  {
+    std::lock_guard<std::mutex> sl(conn.send_mu);
+    if (conn.generation.load(std::memory_order_acquire) != generation) {
+      ws = Status::IOError("connection reset");  // reconnected under us
+    } else {
+      conn.sendbuf.append(wire);
+      if (conn.sendbuf.size() >= options_.pipeline_buffer_bytes) {
+        ws = SendAll(fd, conn.sendbuf.data(), conn.sendbuf.size());
+        conn.sendbuf.clear();
+      }
+    }
+  }
+  if (!ws.ok()) {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.generation.load(std::memory_order_acquire) == generation) {
+      conn.pending.erase(seq);
+      conn.broken = true;
+      if (conn.fd >= 0) ::shutdown(conn.fd, SHUT_RDWR);
+      conn.window_cv.notify_all();
+    }
+    return FailedFuture(ws);
+  }
+  return future;
+}
+
+void Client::Flush() {
+  for (auto& c : pool_) {
+    Status ws;
+    uint64_t generation = 0;
+    {
+      std::lock_guard<std::mutex> sl(c->send_mu);
+      if (c->send_fd < 0 || c->sendbuf.empty()) continue;
+      generation = c->send_generation;
+      ws = SendAll(c->send_fd, c->sendbuf.data(), c->sendbuf.size());
+      c->sendbuf.clear();
+    }
+    if (!ws.ok()) {
+      std::lock_guard<std::mutex> l(c->mu);
+      if (c->generation.load(std::memory_order_acquire) == generation &&
+          !c->broken) {
+        c->broken = true;
+        if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+        c->window_cv.notify_all();
+      }
+    }
+  }
+}
+
+Result Client::SyncWait(std::future<Result> future) {
+  Flush();
+  return Wait(future);
+}
+
+Result Client::Wait(std::future<Result>& future) {
+  if (options_.request_timeout_micros > 0) {
+    const auto deadline = std::chrono::microseconds(
+        options_.request_timeout_micros);
+    if (future.wait_for(deadline) != std::future_status::ready) {
+      Result r;
+      r.status = Status::Busy("request timed out");
+      return r;
+    }
+  }
+  return future.get();
+}
+
+// ---- async entry points ----
+
+std::future<Result> Client::AsyncPing() {
+  return Submit(MessageType::kPing, std::string());
+}
+
+std::future<Result> Client::AsyncPut(const Slice& key, const Slice& value) {
+  std::string body;
+  PutLengthPrefixedSlice(&body, key);
+  PutLengthPrefixedSlice(&body, value);
+  return Submit(MessageType::kPut, body);
+}
+
+std::future<Result> Client::AsyncDelete(const Slice& key) {
+  std::string body;
+  PutLengthPrefixedSlice(&body, key);
+  return Submit(MessageType::kDelete, body);
+}
+
+std::future<Result> Client::AsyncWriteBatch(
+    const std::vector<server::BatchOp>& ops) {
+  std::string body;
+  PutVarint32(&body, static_cast<uint32_t>(ops.size()));
+  for (const server::BatchOp& op : ops) {
+    body.push_back(op.is_delete ? '\1' : '\0');
+    PutLengthPrefixedSlice(&body, op.key);
+    if (!op.is_delete) PutLengthPrefixedSlice(&body, op.value);
+  }
+  return Submit(MessageType::kWriteBatch, body);
+}
+
+std::future<Result> Client::AsyncGet(const Slice& key) {
+  std::string body;
+  PutLengthPrefixedSlice(&body, key);
+  return Submit(MessageType::kGet, body);
+}
+
+std::future<Result> Client::AsyncScan(const Slice& start_key, uint32_t limit) {
+  std::string body;
+  PutLengthPrefixedSlice(&body, start_key);
+  PutVarint32(&body, limit);
+  return Submit(MessageType::kScan, body);
+}
+
+std::future<Result> Client::AsyncStats(const Slice& property) {
+  std::string body;
+  PutLengthPrefixedSlice(&body, property);
+  return Submit(MessageType::kStats, body);
+}
+
+// ---- sync wrappers ----
+
+Status Client::Ping() { return SyncWait(AsyncPing()).status; }
+
+Status Client::Put(const Slice& key, const Slice& value) {
+  return SyncWait(AsyncPut(key, value)).status;
+}
+
+Status Client::Delete(const Slice& key) {
+  return SyncWait(AsyncDelete(key)).status;
+}
+
+Status Client::WriteBatch(const std::vector<server::BatchOp>& ops) {
+  return SyncWait(AsyncWriteBatch(ops)).status;
+}
+
+Status Client::Get(const Slice& key, std::string* value) {
+  Result r = SyncWait(AsyncGet(key));
+  if (r.status.ok()) *value = std::move(r.value);
+  return r.status;
+}
+
+Status Client::Scan(const Slice& start_key, uint32_t limit,
+                    std::vector<std::pair<std::string, std::string>>* entries) {
+  Result r = SyncWait(AsyncScan(start_key, limit));
+  if (r.status.ok()) *entries = std::move(r.entries);
+  return r.status;
+}
+
+Status Client::Stats(const Slice& property, std::string* value) {
+  Result r = SyncWait(AsyncStats(property));
+  if (r.status.ok()) *value = std::move(r.value);
+  return r.status;
+}
+
+}  // namespace pipelsm::client

@@ -1,0 +1,137 @@
+// Pipelined client for the pipelsm server (wire format in
+// src/server/protocol.h, semantics in docs/SERVER.md).
+//
+// Each pooled connection keeps ONE TCP stream busy with many requests in
+// flight: senders frame-and-send under a small lock, a per-connection
+// reader thread matches replies to callers by sequence number. The
+// in-flight window is bounded (backpressure mirrors the server's), so a
+// burst of async calls blocks in Submit instead of buffering unboundedly.
+//
+// Two call styles over the same engine:
+//   * sync  — Put/Get/... block for the reply (with per-request timeout);
+//   * async — AsyncPut/... return std::future<Result> immediately, letting
+//     one thread keep the pipeline full (this is what bench_server uses).
+//
+// Connections are established lazily and re-established on next use after
+// an error; in-flight requests on a broken connection fail with IOError.
+// Thread-safe: any number of threads may share one Client.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/server/protocol.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace pipelsm::client {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 7380;
+
+  // Pooled TCP connections; requests round-robin across them.
+  int num_connections = 1;
+
+  // Per-request reply deadline for the sync API and for future waits done
+  // through Client::Wait. 0 = wait forever.
+  uint64_t request_timeout_micros = 10 * 1000 * 1000;
+
+  // Max unanswered requests per connection; Submit blocks above this.
+  size_t max_inflight_per_connection = 128;
+
+  // Frame ceiling for replies (must be >= the server's).
+  size_t max_body_bytes = server::kDefaultMaxBodyBytes;
+
+  // Send coalescing for the async API. 0 (default) sends every frame
+  // immediately. When > 0, async submissions are buffered per connection
+  // and written out once the buffer reaches this many bytes, a sync call
+  // lands on the pool, or Flush() is called. Callers that enable this
+  // MUST Flush() before blocking on a future, or the buffered requests
+  // may never reach the server. Sync calls always flush, so they are
+  // safe either way.
+  size_t pipeline_buffer_bytes = 0;
+
+  // How many consecutive submissions share one pooled connection before
+  // round-robin advances. > 1 concentrates bursts so coalesced sends
+  // (both this buffer and the server's batched replies) carry more
+  // frames per syscall. 1 = classic per-request round-robin.
+  size_t connection_stride = 1;
+};
+
+// Outcome of one request. `value` holds GET/STATS payloads; `entries`
+// holds SCAN results.
+struct Result {
+  Status status;
+  std::string value;
+  std::vector<std::pair<std::string, std::string>> entries;
+};
+
+class Client {
+ public:
+  explicit Client(const ClientOptions& options);
+  ~Client();  // fails outstanding futures, joins reader threads
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // ---- sync API (async + bounded wait) ----
+  Status Ping();
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+  Status WriteBatch(const std::vector<server::BatchOp>& ops);
+  Status Get(const Slice& key, std::string* value);
+  Status Scan(const Slice& start_key, uint32_t limit,
+              std::vector<std::pair<std::string, std::string>>* entries);
+  Status Stats(const Slice& property, std::string* value);
+
+  // ---- async API ----
+  std::future<Result> AsyncPing();
+  std::future<Result> AsyncPut(const Slice& key, const Slice& value);
+  std::future<Result> AsyncDelete(const Slice& key);
+  std::future<Result> AsyncWriteBatch(const std::vector<server::BatchOp>& ops);
+  std::future<Result> AsyncGet(const Slice& key);
+  std::future<Result> AsyncScan(const Slice& start_key, uint32_t limit);
+  std::future<Result> AsyncStats(const Slice& property);
+
+  // Waits for `future` within the configured request timeout; a timeout
+  // yields Status::Busy without invalidating the future.
+  Result Wait(std::future<Result>& future);
+
+  // Writes out any requests held back by pipeline_buffer_bytes. Required
+  // before blocking on async futures when buffering is enabled; a no-op
+  // otherwise. Send failures surface through the affected futures.
+  void Flush();
+
+ private:
+  struct Connection;
+
+  // Allocates a sequence number, frames `body` onto a pooled connection
+  // and registers a pending slot; the reader thread completes the future.
+  // The frame goes out immediately unless pipeline_buffer_bytes holds it
+  // back for coalescing.
+  std::future<Result> Submit(server::MessageType type, const std::string& body);
+  // Flush() + Wait(): the sync API lands here so buffered frames always
+  // reach the wire before the caller blocks.
+  Result SyncWait(std::future<Result> future);
+  std::future<Result> FailedFuture(const Status& status);
+  Connection* PickConnection();
+  Status EnsureConnected(Connection& conn);
+  void ReaderLoop(Connection* conn);
+  static void FailAllPending(Connection& conn, const Status& status);
+
+  const ClientOptions options_;
+  std::atomic<uint64_t> next_seq_{1};
+  std::atomic<size_t> next_conn_{0};
+  std::vector<std::unique_ptr<Connection>> pool_;
+};
+
+}  // namespace pipelsm::client

@@ -25,6 +25,11 @@ namespace pipelsm {
 
 class WriteBatch;
 
+namespace obs {
+class Logger;
+class MetricsRegistry;
+}  // namespace obs
+
 // Abstract handle to particular state of a DB. A Snapshot is an immutable
 // object and can therefore be safely accessed from multiple threads.
 class Snapshot {
@@ -125,6 +130,15 @@ class DB {
 
   // Aggregate compaction step timings + counters since Open.
   virtual CompactionMetrics GetCompactionMetrics() = 0;
+
+  // The DB's metrics registry, so embedding layers (the network server)
+  // can publish their instruments through the same
+  // GetProperty("pipelsm.metrics") snapshot. nullptr if unsupported.
+  virtual obs::MetricsRegistry* MetricsHandle() { return nullptr; }
+
+  // The DB's info log, so embedding layers can interleave their EVENT
+  // lines with the DB's. nullptr if the DB has no log.
+  virtual obs::Logger* InfoLogHandle() { return nullptr; }
 };
 
 // Destroy the contents of the specified database. Be very careful.

@@ -72,6 +72,9 @@ class DBImpl final : public DB {
   Status Resume() override;
   CompactionMetrics GetCompactionMetrics() override;
 
+  obs::MetricsRegistry* MetricsHandle() override { return &metrics_registry_; }
+  obs::Logger* InfoLogHandle() override { return info_log_; }
+
  private:
   friend class DB;
   class CompactionSinkImpl;

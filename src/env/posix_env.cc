@@ -61,11 +61,21 @@ class PosixRandomAccessFile final : public RandomAccessFile {
 
   Status Read(uint64_t offset, size_t n, Slice* result,
               char* scratch) const override {
-    ::ssize_t r = ::pread(fd_, scratch, n, static_cast<off_t>(offset));
-    if (r < 0) {
-      return PosixError(fname_, errno);
+    // pread may return short on signals (and is allowed to return less
+    // than n in general); accumulate until n bytes or EOF so callers can
+    // treat a short *result* as end-of-file, not a transient hiccup.
+    size_t done = 0;
+    while (done < n) {
+      ::ssize_t r = ::pread(fd_, scratch + done, n - done,
+                            static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      if (r == 0) break;  // EOF
+      done += static_cast<size_t>(r);
     }
-    *result = Slice(scratch, r);
+    *result = Slice(scratch, done);
     return Status::OK();
   }
 
@@ -109,7 +119,11 @@ class PosixWritableFile final : public WritableFile {
   Status Flush() override { return Status::OK(); }
 
   Status Sync() override {
-    if (::fdatasync(fd_) < 0) {
+    int rc;
+    do {
+      rc = ::fdatasync(fd_);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
       return PosixError(fname_, errno);
     }
     return Status::OK();
@@ -236,7 +250,11 @@ class PosixEnv final : public Env {
       return PosixError(dirname, errno);
     }
     Status s;
-    if (::fsync(fd) < 0) {
+    int rc;
+    do {
+      rc = ::fsync(fd);
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
       s = PosixError(dirname, errno);
     }
     ::close(fd);

@@ -1,0 +1,807 @@
+#include "src/server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+
+#include "src/table/iterator.h"
+#include "src/util/coding.h"
+#include "src/util/stopwatch.h"
+
+namespace pipelsm::server {
+
+namespace {
+
+Status Errno(const char* context) {
+  return Status::IOError(context, std::strerror(errno));
+}
+
+size_t TypeIndex(MessageType type) { return static_cast<size_t>(type); }
+
+}  // namespace
+
+// One accepted connection. The owning I/O loop is the only thread that
+// reads the socket and the only one that closes the fd; response writers
+// (workers, the commit thread) share the fd for send() under mu.
+struct Server::Conn {
+  explicit Conn(size_t max_body_bytes) : decoder(max_body_bytes) {}
+
+  uint64_t id = 0;
+  size_t loop_index = 0;
+  int epfd = -1;  // owning loop's epoll instance (for interest updates)
+
+  FrameDecoder decoder;  // touched only by the owning loop
+
+  std::mutex mu;  // guards everything below
+  int fd = -1;    // -1 once closed
+  std::string outbox;
+  size_t out_pos = 0;
+  uint32_t armed = 0;  // epoll interest currently installed
+  size_t in_flight = 0;
+  bool paused_inflight = false;
+  bool paused_outbox = false;
+  bool error = false;  // response write failed; owner loop must close
+  bool closed = false;
+};
+
+struct Server::IoLoop {
+  size_t index = 0;
+  int epfd = -1;
+  int wake_rd = -1;
+  int wake_wr = -1;
+  std::thread thread;
+
+  std::mutex mu;  // guards conns + incoming
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+  std::vector<std::shared_ptr<Conn>> incoming;
+};
+
+struct Server::ReadTask {
+  std::shared_ptr<Conn> conn;
+  MessageType type = MessageType::kPing;
+  uint64_t seq = 0;
+  std::string body;
+  Stopwatch queued;  // starts at dispatch; latency includes queue wait
+};
+
+struct Server::WriteTask {
+  std::shared_ptr<Conn> conn;
+  MessageType type = MessageType::kPut;
+  uint64_t seq = 0;
+  WriteBatch batch;
+  Stopwatch queued;
+};
+
+Server::Server(DB* db, const ServerOptions& options)
+    : db_(db), options_(options) {
+  gate_ = options_.stall_gate ? options_.stall_gate : &own_gate_;
+}
+
+Server::~Server() { Drain(); }
+
+size_t Server::active_connections() const {
+  const int64_t n = active_conns_.load(std::memory_order_relaxed);
+  return n > 0 ? static_cast<size_t>(n) : 0;
+}
+
+Status Server::Start() {
+  info_log_ = options_.info_log ? options_.info_log : db_->InfoLogHandle();
+  metrics_ = options_.metrics ? options_.metrics : db_->MetricsHandle();
+  if (metrics_ == nullptr) metrics_ = &own_metrics_;
+
+  conns_active_ =
+      metrics_->RegisterGauge("server.conns_active", "open connections");
+  conns_total_ =
+      metrics_->RegisterCounter("server.conns_total", "connections accepted");
+  bytes_in_ =
+      metrics_->RegisterCounter("server.bytes_in", "request bytes read");
+  bytes_out_ =
+      metrics_->RegisterCounter("server.bytes_out", "response bytes written");
+  protocol_errors_ = metrics_->RegisterCounter(
+      "server.protocol_errors", "connections dropped on malformed frames");
+  read_pauses_ = metrics_->RegisterCounter(
+      "server.read_pauses", "times a connection's reads were parked");
+  gc_commits_ = metrics_->RegisterCounter("server.group_commit.commits",
+                                          "leader batches committed");
+  gc_batch_size_ = metrics_->RegisterHistogram(
+      "server.group_commit.batch_size", "write requests folded per commit");
+  static const char* kNames[8] = {"",     "ping", "get",  "put",
+                                  "del",  "batch", "scan", "stats"};
+  for (uint8_t t = 1; t <= 7; t++) {
+    req_counters_[t] = metrics_->RegisterCounter(
+        std::string("server.req.") + kNames[t], "requests served");
+    req_micros_[t] = metrics_->RegisterHistogram(
+        std::string("server.req_micros.") + kNames[t],
+        "request latency (dispatch to reply), micros");
+  }
+
+  Status s = Listen();
+  if (!s.ok()) return s;
+
+  read_queue_ =
+      std::make_unique<BoundedQueue<ReadTask>>(options_.request_queue_depth);
+  write_queue_ =
+      std::make_unique<BoundedQueue<WriteTask>>(options_.request_queue_depth);
+
+  const int num_loops = options_.num_io_threads > 0 ? options_.num_io_threads
+                                                    : 1;
+  for (int i = 0; i < num_loops; i++) {
+    auto loop = std::make_unique<IoLoop>();
+    loop->index = static_cast<size_t>(i);
+    loop->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (loop->epfd < 0) return Errno("epoll_create1");
+    int pipefd[2];
+    if (::pipe2(pipefd, O_NONBLOCK | O_CLOEXEC) != 0) return Errno("pipe2");
+    loop->wake_rd = pipefd[0];
+    loop->wake_wr = pipefd[1];
+    struct epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_rd;
+    if (::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wake_rd, &ev) != 0) {
+      return Errno("epoll_ctl(wake)");
+    }
+    if (i == 0) {
+      struct epoll_event lev{};
+      lev.events = EPOLLIN;
+      lev.data.fd = listen_fd_;
+      if (::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, listen_fd_, &lev) != 0) {
+        return Errno("epoll_ctl(listen)");
+      }
+    }
+    loops_.push_back(std::move(loop));
+  }
+
+  // Stall transitions must poke the loops so parked/unparked interest is
+  // re-derived promptly (the notifier is a non-blocking pipe write; see
+  // WriteStallGate on why that is all it may do).
+  gate_->SetNotifier([this] { WakeAllLoops(); });
+
+  running_.store(true, std::memory_order_release);
+  for (size_t i = 0; i < loops_.size(); i++) {
+    loops_[i]->thread = std::thread([this, i] { IoLoopMain(i); });
+  }
+  const int num_workers = options_.num_workers > 0 ? options_.num_workers : 1;
+  workers_ = std::make_unique<ThreadPool>(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; i++) {
+    workers_->Submit([this] { WorkerPump(); });
+  }
+  commit_thread_ = std::thread([this] { GroupCommitLoop(); });
+
+  obs::Log(info_log_,
+           "EVENT server_start host=%s port=%d io_threads=%zu workers=%d "
+           "sync_writes=%d group_window_micros=%llu",
+           options_.host.c_str(), port_, loops_.size(), num_workers,
+           options_.sync_writes ? 1 : 0,
+           static_cast<unsigned long long>(options_.group_commit_window_micros));
+  return Status::OK();
+}
+
+Status Server::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen host", options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind");
+  }
+  if (::listen(listen_fd_, 511) != 0) return Errno("listen");
+  if (options_.port == 0) {
+    struct sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                      &len) != 0) {
+      return Errno("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+  return Status::OK();
+}
+
+void Server::WakeAllLoops() {
+  for (auto& loop : loops_) {
+    if (loop->wake_wr >= 0) {
+      const char b = 'w';
+      [[maybe_unused]] ssize_t r = ::write(loop->wake_wr, &b, 1);
+    }
+  }
+}
+
+void Server::IoLoopMain(size_t index) {
+  IoLoop& loop = *loops_[index];
+  std::vector<struct epoll_event> events(128);
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(loop.epfd, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool refresh_interest = false;
+    for (int i = 0; i < n; i++) {
+      const int fd = events[i].data.fd;
+      if (fd == loop.wake_rd) {
+        char buf[256];
+        while (::read(loop.wake_rd, buf, sizeof(buf)) > 0) {
+        }
+        if (index == 0 && draining_.load(std::memory_order_acquire) &&
+            listen_fd_ >= 0) {
+          // The listen fd belongs to loop 0, so only loop 0 closes it —
+          // no cross-thread fd-reuse races.
+          ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+          ::close(listen_fd_);
+          listen_fd_ = -1;
+        }
+        RegisterIncoming(loop);
+        refresh_interest = true;
+        continue;
+      }
+      if (index == 0 && fd == listen_fd_ && listen_fd_ >= 0) {
+        AcceptNewConnections();
+        continue;
+      }
+      std::shared_ptr<Conn> conn;
+      {
+        std::lock_guard<std::mutex> l(loop.mu);
+        auto it = loop.conns.find(fd);
+        if (it != loop.conns.end()) conn = it->second;
+      }
+      if (!conn) continue;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        CloseConn(loop, conn, "hangup");
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) HandleWritable(conn);
+      bool write_error;
+      {
+        std::lock_guard<std::mutex> l(conn->mu);
+        write_error = conn->error && !conn->closed;
+      }
+      if (write_error) {
+        CloseConn(loop, conn, "write_error");
+        continue;
+      }
+      if (events[i].events & EPOLLIN) HandleReadable(loop, conn);
+    }
+    if (refresh_interest) {
+      std::vector<std::shared_ptr<Conn>> snapshot;
+      {
+        std::lock_guard<std::mutex> l(loop.mu);
+        snapshot.reserve(loop.conns.size());
+        for (auto& [cfd, c] : loop.conns) snapshot.push_back(c);
+      }
+      for (auto& c : snapshot) {
+        std::lock_guard<std::mutex> l(c->mu);
+        UpdateInterestLocked(*c);
+      }
+    }
+  }
+  // Shutdown: close whatever is left on this loop.
+  std::vector<std::shared_ptr<Conn>> remaining;
+  {
+    std::lock_guard<std::mutex> l(loop.mu);
+    for (auto& [cfd, c] : loop.conns) remaining.push_back(c);
+    for (auto& c : loop.incoming) remaining.push_back(c);
+    loop.incoming.clear();
+  }
+  for (auto& c : remaining) CloseConn(loop, c, "drain");
+  if (index == 0 && listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::AcceptNewConnections() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN, or the listen socket went away mid-drain
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>(options_.max_body_bytes);
+    conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    conn->fd = fd;
+    conn->loop_index =
+        next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+    IoLoop& target = *loops_[conn->loop_index];
+    conn->epfd = target.epfd;
+    {
+      std::lock_guard<std::mutex> l(target.mu);
+      target.incoming.push_back(conn);
+    }
+    conns_total_->Add();
+    conns_active_->Set(active_conns_.fetch_add(1, std::memory_order_relaxed) +
+                       1);
+    obs::Log(info_log_, "EVENT conn_open id=%llu loop=%zu",
+             static_cast<unsigned long long>(conn->id), conn->loop_index);
+    if (conn->loop_index == 0) {
+      RegisterIncoming(target);  // already on loop 0's thread
+    } else {
+      const char b = 'w';
+      [[maybe_unused]] ssize_t r = ::write(target.wake_wr, &b, 1);
+    }
+  }
+}
+
+void Server::RegisterIncoming(IoLoop& loop) {
+  std::vector<std::shared_ptr<Conn>> fresh;
+  {
+    std::lock_guard<std::mutex> l(loop.mu);
+    fresh.swap(loop.incoming);
+  }
+  for (auto& conn : fresh) {
+    std::lock_guard<std::mutex> l(conn->mu);
+    struct epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    if (::epoll_ctl(loop.epfd, EPOLL_CTL_ADD, conn->fd, &ev) != 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+      conn->closed = true;
+      conns_active_->Set(active_conns_.fetch_sub(1, std::memory_order_relaxed) -
+                         1);
+      continue;
+    }
+    conn->armed = EPOLLIN;
+    {
+      std::lock_guard<std::mutex> lm(loop.mu);
+      loop.conns.emplace(conn->fd, conn);
+    }
+    UpdateInterestLocked(*conn);  // honor a stall/drain already in effect
+  }
+}
+
+void Server::HandleReadable(IoLoop& loop, const std::shared_ptr<Conn>& conn) {
+  char buf[64 * 1024];
+  while (true) {
+    {
+      std::lock_guard<std::mutex> l(conn->mu);
+      if (conn->closed || conn->fd < 0 || conn->paused_inflight ||
+          conn->paused_outbox || draining_.load(std::memory_order_acquire)) {
+        return;
+      }
+      if (gate_->state() == obs::WriteStallCondition::kStopped) {
+        // Park right here, not just on the next wake: an EPOLLIN that
+        // raced the stall notification must not slip a request through
+        // (and leaving interest armed would spin the level-triggered
+        // loop until the wake lands).
+        UpdateInterestLocked(*conn);
+        return;
+      }
+    }
+    const ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (r > 0) {
+      bytes_in_->Add(static_cast<uint64_t>(r));
+      conn->decoder.Append(buf, static_cast<size_t>(r));
+      DecodedFrame frame;
+      while (true) {
+        const FrameDecoder::Result res = conn->decoder.Next(&frame);
+        if (res == FrameDecoder::Result::kNeedMore) break;
+        if (res == FrameDecoder::Result::kError) {
+          protocol_errors_->Add();
+          obs::Log(info_log_, "EVENT conn_protocol_error id=%llu err=\"%s\"",
+                   static_cast<unsigned long long>(conn->id),
+                   conn->decoder.error().c_str());
+          CloseConn(loop, conn, "protocol_error");
+          return;
+        }
+        if (frame.reply) {
+          // A client must never send the reply bit; treat as garbage.
+          protocol_errors_->Add();
+          CloseConn(loop, conn, "protocol_error");
+          return;
+        }
+        DispatchFrame(conn, std::move(frame));
+      }
+      if (static_cast<size_t>(r) < sizeof(buf)) return;
+      continue;
+    }
+    if (r == 0) {
+      CloseConn(loop, conn, "eof");
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    CloseConn(loop, conn, "read_error");
+    return;
+  }
+}
+
+void Server::DispatchFrame(const std::shared_ptr<Conn>& conn,
+                           DecodedFrame&& frame) {
+  req_counters_[TypeIndex(frame.type)]->Add();
+  {
+    std::lock_guard<std::mutex> l(conn->mu);
+    conn->in_flight++;
+    if (conn->in_flight >= options_.max_inflight_per_conn &&
+        !conn->paused_inflight) {
+      conn->paused_inflight = true;
+      read_pauses_->Add();
+      UpdateInterestLocked(*conn);
+    }
+  }
+  switch (frame.type) {
+    case MessageType::kPing:
+      SendReply(conn, frame.type, frame.seq, Status::OK(), Slice());
+      return;
+    case MessageType::kPut:
+    case MessageType::kDelete:
+    case MessageType::kWriteBatch: {
+      WriteTask task;
+      task.conn = conn;
+      task.type = frame.type;
+      task.seq = frame.seq;
+      Slice body(frame.body);
+      bool ok = false;
+      if (frame.type == MessageType::kPut) {
+        Slice key, value;
+        if ((ok = ParsePutRequest(body, &key, &value))) {
+          task.batch.Put(key, value);
+        }
+      } else if (frame.type == MessageType::kDelete) {
+        Slice key;
+        if ((ok = ParseDeleteRequest(body, &key))) {
+          task.batch.Delete(key);
+        }
+      } else {
+        std::vector<BatchOp> ops;
+        if ((ok = ParseWriteBatchRequest(body, &ops))) {
+          for (const BatchOp& op : ops) {
+            if (op.is_delete) {
+              task.batch.Delete(op.key);
+            } else {
+              task.batch.Put(op.key, op.value);
+            }
+          }
+        }
+      }
+      if (!ok) {
+        SendReply(conn, frame.type, frame.seq,
+                  Status::InvalidArgument("malformed request body"), Slice());
+        return;
+      }
+      if (!write_queue_->Push(std::move(task))) {
+        SendReply(conn, frame.type, frame.seq,
+                  Status::Busy("server draining"), Slice());
+      }
+      return;
+    }
+    case MessageType::kGet:
+    case MessageType::kScan:
+    case MessageType::kStats: {
+      ReadTask task;
+      task.conn = conn;
+      task.type = frame.type;
+      task.seq = frame.seq;
+      task.body = std::move(frame.body);
+      if (!read_queue_->Push(std::move(task))) {
+        SendReply(conn, frame.type, frame.seq,
+                  Status::Busy("server draining"), Slice());
+      }
+      return;
+    }
+  }
+}
+
+void Server::WorkerPump() {
+  while (true) {
+    std::optional<ReadTask> task = read_queue_->Pop();
+    if (!task.has_value()) return;  // closed and drained
+    HandleReadTask(*task);
+  }
+}
+
+void Server::HandleReadTask(ReadTask& task) {
+  Slice body(task.body);
+  Status s;
+  std::string payload;
+  switch (task.type) {
+    case MessageType::kGet: {
+      Slice key;
+      if (!ParseGetRequest(body, &key)) {
+        s = Status::InvalidArgument("malformed request body");
+        break;
+      }
+      s = db_->Get(ReadOptions(), key, &payload);
+      break;
+    }
+    case MessageType::kScan: {
+      Slice start;
+      uint32_t limit = 0;
+      if (!ParseScanRequest(body, &start, &limit)) {
+        s = Status::InvalidArgument("malformed request body");
+        break;
+      }
+      if (limit == 0 || limit > options_.max_scan_entries) {
+        limit = options_.max_scan_entries;
+      }
+      std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+      std::vector<std::pair<std::string, std::string>> entries;
+      for (start.empty() ? it->SeekToFirst() : it->Seek(start);
+           it->Valid() && entries.size() < limit; it->Next()) {
+        entries.emplace_back(it->key().ToString(), it->value().ToString());
+      }
+      s = it->status();
+      if (s.ok()) {
+        PutVarint32(&payload, static_cast<uint32_t>(entries.size()));
+        for (const auto& [k, v] : entries) {
+          PutLengthPrefixedSlice(&payload, k);
+          PutLengthPrefixedSlice(&payload, v);
+        }
+      }
+      break;
+    }
+    case MessageType::kStats: {
+      Slice property;
+      if (!ParseStatsRequest(body, &property)) {
+        s = Status::InvalidArgument("malformed request body");
+        break;
+      }
+      const std::string name =
+          property.empty() ? "pipelsm.stats" : property.ToString();
+      if (!db_->GetProperty(name, &payload)) {
+        s = Status::InvalidArgument("unknown property", name);
+      }
+      break;
+    }
+    default:
+      s = Status::NotSupported("unexpected read task");
+      break;
+  }
+  ObserveLatency(task.type, task.queued.ElapsedNanos() / 1000);
+  SendReply(task.conn, task.type, task.seq, s, payload);
+}
+
+void Server::GroupCommitLoop() {
+  std::vector<WriteTask> group;
+  WriteBatch leader;
+  // Reply frames coalesced per connection, so a saturated batch fanned
+  // over many sockets costs one send() per socket, not per request.
+  struct ConnReplies {
+    std::shared_ptr<Conn> conn;
+    std::string frames;
+    size_t count = 0;
+  };
+  std::vector<ConnReplies> replies;
+  std::unordered_map<Conn*, size_t> reply_index;
+  while (true) {
+    std::optional<WriteTask> first = write_queue_->Pop();
+    if (!first.has_value()) return;  // closed and drained
+    group.clear();
+    size_t bytes = first->batch.ApproximateSize();
+    group.push_back(std::move(*first));
+    auto gather = [&] {
+      while (group.size() < options_.group_commit_max_requests &&
+             bytes < options_.group_commit_max_bytes) {
+        std::optional<WriteTask> t = write_queue_->TryPop();
+        if (!t.has_value()) return;
+        bytes += t->batch.ApproximateSize();
+        group.push_back(std::move(*t));
+      }
+    };
+    gather();
+    if (group.size() == 1 && options_.group_commit_window_micros > 0 &&
+        !draining_.load(std::memory_order_acquire)) {
+      // Solo leader: hold the commit open one window so concurrent
+      // writers share the WAL sync instead of paying one each.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.group_commit_window_micros));
+      gather();
+    }
+    leader.Clear();
+    for (const WriteTask& t : group) leader.Append(t.batch);
+    WriteOptions wo;
+    wo.sync = options_.sync_writes;
+    const Status s = db_->Write(wo, &leader);
+    gc_commits_->Add();
+    gc_batch_size_->Observe(static_cast<double>(group.size()));
+    replies.clear();
+    reply_index.clear();
+    for (WriteTask& t : group) {
+      ObserveLatency(t.type, t.queued.ElapsedNanos() / 1000);
+      auto ins = reply_index.emplace(t.conn.get(), replies.size());
+      if (ins.second) replies.push_back(ConnReplies{t.conn, {}, 0});
+      ConnReplies& r = replies[ins.first->second];
+      EncodeReply(t.type, t.seq, s, Slice(), &r.frames);
+      r.count++;
+    }
+    for (ConnReplies& r : replies) DeliverReplies(r.conn, r.frames, r.count);
+  }
+}
+
+void Server::ObserveLatency(MessageType type, uint64_t micros) {
+  req_micros_[TypeIndex(type)]->Observe(static_cast<double>(micros));
+}
+
+void Server::SendReply(const std::shared_ptr<Conn>& conn, MessageType type,
+                       uint64_t seq, const Status& status,
+                       const Slice& payload) {
+  std::string frame;
+  EncodeReply(type, seq, status, payload, &frame);
+  DeliverReplies(conn, frame, 1);
+}
+
+// Append pre-encoded reply frames to the outbox and flush once,
+// retiring `count` in-flight requests: one lock acquisition and at most
+// one send() no matter how many frames ride along. The group-commit
+// thread answers a whole leader batch per connection through this —
+// paying a syscall per request there caps served throughput.
+void Server::DeliverReplies(const std::shared_ptr<Conn>& conn,
+                            const std::string& frames, size_t count) {
+  std::lock_guard<std::mutex> l(conn->mu);
+  if (!conn->closed && conn->fd >= 0 && !conn->error) {
+    conn->outbox.append(frames);
+    TryFlushLocked(*conn);
+    const size_t pending = conn->outbox.size() - conn->out_pos;
+    if (pending > options_.max_outbox_bytes && !conn->paused_outbox) {
+      conn->paused_outbox = true;
+      read_pauses_->Add();
+    }
+  }
+  conn->in_flight -= std::min(conn->in_flight, count);
+  if (conn->paused_inflight &&
+      conn->in_flight <= options_.max_inflight_per_conn / 2) {
+    conn->paused_inflight = false;
+  }
+  UpdateInterestLocked(*conn);
+}
+
+void Server::TryFlushLocked(Conn& conn) {
+  while (conn.out_pos < conn.outbox.size()) {
+    const ssize_t w =
+        ::send(conn.fd, conn.outbox.data() + conn.out_pos,
+               conn.outbox.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (w > 0) {
+      conn.out_pos += static_cast<size_t>(w);
+      bytes_out_->Add(static_cast<uint64_t>(w));
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // Hard send error: poke the socket shut so the owner loop wakes up
+    // (EPOLLHUP) and performs the actual close.
+    conn.error = true;
+    ::shutdown(conn.fd, SHUT_RDWR);
+    break;
+  }
+  if (conn.out_pos == conn.outbox.size()) {
+    conn.outbox.clear();
+    conn.out_pos = 0;
+    if (conn.paused_outbox) conn.paused_outbox = false;
+  } else if (conn.out_pos > (1u << 20) &&
+             conn.out_pos * 2 > conn.outbox.size()) {
+    conn.outbox.erase(0, conn.out_pos);
+    conn.out_pos = 0;
+  }
+}
+
+void Server::HandleWritable(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard<std::mutex> l(conn->mu);
+  if (conn->closed || conn->fd < 0) return;
+  TryFlushLocked(*conn);
+  UpdateInterestLocked(*conn);
+}
+
+void Server::UpdateInterestLocked(Conn& conn) {
+  if (conn.closed || conn.fd < 0) return;
+  const bool stalled =
+      gate_->state() == obs::WriteStallCondition::kStopped;
+  uint32_t want = 0;
+  if (!draining_.load(std::memory_order_acquire) && !conn.paused_inflight &&
+      !conn.paused_outbox && !stalled && !conn.error) {
+    want |= EPOLLIN;
+  }
+  if (conn.out_pos < conn.outbox.size()) want |= EPOLLOUT;
+  if (want != conn.armed) {
+    struct epoll_event ev{};
+    ev.events = want;
+    ev.data.fd = conn.fd;
+    if (::epoll_ctl(conn.epfd, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
+      conn.armed = want;
+    }
+  }
+}
+
+void Server::CloseConn(IoLoop& loop, const std::shared_ptr<Conn>& conn,
+                       const char* reason) {
+  int fd;
+  {
+    std::lock_guard<std::mutex> l(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+    fd = conn->fd;
+    conn->fd = -1;
+  }
+  if (fd >= 0) {
+    ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    std::lock_guard<std::mutex> l(loop.mu);
+    loop.conns.erase(fd);
+  }
+  conns_active_->Set(active_conns_.fetch_sub(1, std::memory_order_relaxed) - 1);
+  obs::Log(info_log_, "EVENT conn_close id=%llu reason=%s",
+           static_cast<unsigned long long>(conn->id), reason);
+}
+
+void Server::Drain() {
+  if (drained_.exchange(true)) return;
+  gate_->SetNotifier(nullptr);  // no callbacks into a dying server
+  if (!running_.load(std::memory_order_acquire)) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  obs::Log(info_log_, "EVENT drain_begin conns=%lld",
+           static_cast<long long>(active_conns_.load()));
+  draining_.store(true, std::memory_order_release);
+  WakeAllLoops();  // loop 0 closes the listen fd; all loops park reads
+
+  // The queues drain to empty before the consumers exit, so every
+  // accepted request still gets its reply.
+  read_queue_->Close();
+  write_queue_->Close();
+  if (commit_thread_.joinable()) commit_thread_.join();
+  if (workers_) workers_->Shutdown();
+
+  // Give the loops a bounded window to push remaining outboxes onto the
+  // wire (they are still running and servicing EPOLLOUT).
+  const uint64_t deadline_nanos = options_.drain_flush_timeout_micros * 1000;
+  Stopwatch sw;
+  while (sw.ElapsedNanos() < deadline_nanos) {
+    bool pending = false;
+    for (auto& loop : loops_) {
+      std::vector<std::shared_ptr<Conn>> snapshot;
+      {
+        std::lock_guard<std::mutex> l(loop->mu);
+        for (auto& [fd, c] : loop->conns) snapshot.push_back(c);
+      }
+      for (auto& c : snapshot) {
+        std::lock_guard<std::mutex> l(c->mu);
+        if (!c->closed && !c->error && c->out_pos < c->outbox.size()) {
+          pending = true;
+        }
+      }
+    }
+    if (!pending) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  running_.store(false, std::memory_order_release);
+  WakeAllLoops();
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+    if (loop->wake_rd >= 0) ::close(loop->wake_rd);
+    if (loop->wake_wr >= 0) ::close(loop->wake_wr);
+    if (loop->epfd >= 0) ::close(loop->epfd);
+    loop->wake_rd = loop->wake_wr = loop->epfd = -1;
+  }
+  obs::Log(info_log_, "EVENT drain_end");
+}
+
+}  // namespace pipelsm::server

@@ -1,0 +1,244 @@
+// Network service layer: a multithreaded epoll TCP server exposing one DB
+// over the binary protocol in src/server/protocol.h (docs/SERVER.md).
+//
+// The design mirrors the paper's pipeline argument at request scope: the
+// read (socket), compute (DB), and write (socket) stages of every request
+// are independent, so they run on different threads connected by bounded
+// queues, and the slowest stage — not the sum — governs throughput:
+//
+//   I/O threads (epoll, level-triggered, non-blocking)
+//     thread 0 also owns the listen socket and accepts, handing new
+//     connections round-robin to the loops; each loop reads its sockets,
+//     feeds a FrameDecoder, and dispatches complete requests:
+//       PING                      answered inline,
+//       GET / SCAN / STATS        -> read queue   (BoundedQueue)
+//       PUT / DELETE / WRITE_BATCH-> write queue  (BoundedQueue)
+//   Worker pool (util/thread_pool) drains the read queue and executes
+//     against the DB.
+//   Group-commit thread drains the write queue: the first popped request
+//     becomes the leader, everything already queued (plus anything
+//     arriving within group_commit_window_micros) is folded into ONE
+//     WriteBatch and ONE DB::Write — so a WAL sync is amortized over every
+//     connection that wrote in the window.
+//   Responses are written back by whichever thread produced them (under
+//     the connection's lock); what does not fit in the socket buffer lands
+//     in a per-connection outbox flushed by the owning loop via EPOLLOUT.
+//
+// Backpressure (never buffer unboundedly):
+//   * per-connection in-flight cap — a connection with too many
+//     unanswered requests stops being read until half drain;
+//   * per-connection outbox cap — a reader slower than its SCAN results
+//     stops being read until the outbox flushes;
+//   * DB write stalls — wire write_stall_listener() into
+//     Options::listeners and the server parks EPOLLIN on every connection
+//     while the DB reports kStopped, surfacing the stall to clients as
+//     TCP backpressure instead of heap growth.
+//
+// Drain (SIGTERM path): stop accepting, park reads, let the queues run
+// dry (every accepted request is answered), flush outboxes, close
+// connections, join threads. EVENT lines server_start / conn_open /
+// conn_close / drain_begin / drain_end land in the info log.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/db/db.h"
+#include "src/db/write_batch.h"
+#include "src/obs/event_listener.h"
+#include "src/obs/logger.h"
+#include "src/obs/metrics.h"
+#include "src/server/protocol.h"
+#include "src/util/bounded_queue.h"
+#include "src/util/thread_pool.h"
+
+namespace pipelsm::server {
+
+// DB write-stall state shared between the DB's listener callbacks and the
+// server's I/O loops. Create one BEFORE DB::Open, add it to
+// Options::listeners, then hand it to ServerOptions::stall_gate; the
+// server parks every connection's reads while the gate reports kStopped.
+// Safe to fire with the DB mutex held: the update is an atomic store plus
+// a non-blocking notifier (the server's wakeup pipes).
+class WriteStallGate : public obs::EventListener {
+ public:
+  void OnWriteStallChange(const obs::WriteStallInfo& info) override {
+    state_.store(static_cast<int>(info.condition), std::memory_order_release);
+    std::lock_guard<std::mutex> l(mu_);
+    if (notifier_) notifier_();
+  }
+
+  obs::WriteStallCondition state() const {
+    return static_cast<obs::WriteStallCondition>(
+        state_.load(std::memory_order_acquire));
+  }
+
+  // Called on every stall transition; must not block (DB mutex is held).
+  // Pass nullptr to detach (the server does, on Drain).
+  void SetNotifier(std::function<void()> notifier) {
+    std::lock_guard<std::mutex> l(mu_);
+    notifier_ = std::move(notifier);
+  }
+
+ private:
+  std::atomic<int> state_{0};
+  std::mutex mu_;
+  std::function<void()> notifier_;
+};
+
+struct ServerOptions {
+  std::string host = "0.0.0.0";
+  int port = 7380;  // 0 = ephemeral; read the bound port via port()
+
+  int num_io_threads = 2;
+  int num_workers = 4;
+
+  // Depth of the read/write dispatch queues. A full queue blocks the
+  // pushing I/O loop, which stops socket reads — backpressure, not OOM.
+  size_t request_queue_depth = 1024;
+
+  // Frame-size ceiling enforced by the decoder (protocol error above it).
+  size_t max_body_bytes = kDefaultMaxBodyBytes;
+
+  // Reads pause on a connection holding this many unanswered requests.
+  size_t max_inflight_per_conn = 128;
+
+  // Reads pause on a connection whose pending response bytes exceed this.
+  size_t max_outbox_bytes = 8 * 1024 * 1024;
+
+  // Group commit: after the leader pops, wait this long for followers
+  // when the write queue is otherwise empty. 0 = never wait.
+  uint64_t group_commit_window_micros = 100;
+  size_t group_commit_max_requests = 256;
+  size_t group_commit_max_bytes = 1 * 1024 * 1024;
+
+  // WriteOptions::sync for the leader batch — one fsync per group.
+  bool sync_writes = true;
+
+  // Hard cap on SCAN result entries (requests asking for more are
+  // truncated to this).
+  uint32_t max_scan_entries = 10000;
+
+  // How long Drain() waits for outboxes to reach the wire.
+  uint64_t drain_flush_timeout_micros = 5 * 1000 * 1000;
+
+  // EVENT sink; nullptr falls back to the DB's own info log
+  // (DB::InfoLogHandle), then to silence.
+  obs::Logger* info_log = nullptr;
+
+  // Instrument registry for server.* metrics; nullptr falls back to the
+  // DB's registry (DB::MetricsHandle) so GetProperty("pipelsm.metrics")
+  // carries them, then to a private registry.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  // Stall gate wired into the DB's Options::listeners (see
+  // WriteStallGate). nullptr = no DB-stall backpressure (per-connection
+  // caps still apply). Must outlive the server.
+  WriteStallGate* stall_gate = nullptr;
+};
+
+class Server {
+ public:
+  // The DB must outlive the server. To wire stall backpressure, create a
+  // WriteStallGate, put it in Options::listeners before DB::Open, and
+  // pass it in ServerOptions::stall_gate (optional but recommended).
+  Server(DB* db, const ServerOptions& options);
+  ~Server();  // drains if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, spawns I/O loops + workers + the commit thread.
+  Status Start();
+
+  // Graceful shutdown; idempotent. Blocks until every accepted request is
+  // answered (or drain_flush_timeout expires) and all threads joined.
+  void Drain();
+
+  // Bound port (useful with port=0). Valid after Start().
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // The gate the server watches: ServerOptions::stall_gate if set, else a
+  // private one (which tests may fire by hand via OnWriteStallChange).
+  WriteStallGate* stall_gate() { return gate_; }
+
+  // The registry server.* instruments land in (for benches/tests).
+  obs::MetricsRegistry* metrics_registry() { return metrics_; }
+
+  size_t active_connections() const;
+
+ private:
+  struct Conn;
+  struct IoLoop;
+  struct ReadTask;
+  struct WriteTask;
+
+  Status Listen();
+  void IoLoopMain(size_t index);
+  void AcceptNewConnections();
+  void RegisterIncoming(IoLoop& loop);
+  void HandleReadable(IoLoop& loop, const std::shared_ptr<Conn>& conn);
+  void HandleWritable(const std::shared_ptr<Conn>& conn);
+  void DispatchFrame(const std::shared_ptr<Conn>& conn, DecodedFrame&& frame);
+  void WorkerPump();
+  void HandleReadTask(ReadTask& task);
+  void GroupCommitLoop();
+  void SendReply(const std::shared_ptr<Conn>& conn, MessageType type,
+                 uint64_t seq, const Status& status, const Slice& payload);
+  void DeliverReplies(const std::shared_ptr<Conn>& conn,
+                      const std::string& frames, size_t count);
+  void CloseConn(IoLoop& loop, const std::shared_ptr<Conn>& conn,
+                 const char* reason);
+  // REQUIRES: conn->mu held.
+  void UpdateInterestLocked(Conn& conn);
+  void TryFlushLocked(Conn& conn);
+  void WakeAllLoops();
+  void ObserveLatency(MessageType type, uint64_t micros);
+
+  DB* const db_;
+  const ServerOptions options_;
+
+  obs::Logger* info_log_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry own_metrics_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::vector<std::unique_ptr<IoLoop>> loops_;
+  std::unique_ptr<BoundedQueue<ReadTask>> read_queue_;
+  std::unique_ptr<BoundedQueue<WriteTask>> write_queue_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::thread commit_thread_;
+  WriteStallGate own_gate_;
+  WriteStallGate* gate_ = nullptr;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_{false};
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<size_t> next_loop_{0};
+  std::atomic<int64_t> active_conns_{0};
+
+  // server.* instruments (registered in Start()).
+  obs::Gauge* conns_active_ = nullptr;
+  obs::Counter* conns_total_ = nullptr;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
+  obs::Counter* protocol_errors_ = nullptr;
+  obs::Counter* read_pauses_ = nullptr;
+  obs::Counter* gc_commits_ = nullptr;
+  obs::HistogramMetric* gc_batch_size_ = nullptr;
+  obs::Counter* req_counters_[8] = {};
+  obs::HistogramMetric* req_micros_[8] = {};
+};
+
+}  // namespace pipelsm::server

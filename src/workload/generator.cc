@@ -1,5 +1,6 @@
 #include "src/workload/generator.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace pipelsm {
@@ -57,6 +58,49 @@ std::string WorkloadGenerator::Value(uint64_t i) const {
     }
   }
   return value;
+}
+
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; i++) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n == 0 ? 1 : n), theta_(theta), rng_(seed) {
+  zeta_n_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zeta_n_);
+}
+
+uint64_t ZipfianGenerator::NextRank() {
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  const double u =
+      static_cast<double>(rng_.Next() >> 11) * (1.0 / 9007199254740992.0);
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  // Scatter ranks across the key space (stable hash, then mod n) so hot
+  // keys don't all sit at the low end of the key range.
+  uint64_t h = NextRank() * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return h % n_;
 }
 
 }  // namespace pipelsm

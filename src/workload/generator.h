@@ -42,4 +42,31 @@ class WorkloadGenerator {
   const double compressibility_;
 };
 
+// Zipfian-distributed index generator over [0, n) (the YCSB construction:
+// Gray et al.'s rejection-free inverse-CDF with precomputed zeta). With
+// the default theta=0.99 roughly 10% of the items draw ~80% of the
+// accesses. Next() scrambles the raw rank with a fixed hash so the hot
+// items are scattered across the key space instead of clustered at 0.
+// Not thread-safe; give each thread its own instance (distinct seeds).
+class ZipfianGenerator {
+ public:
+  explicit ZipfianGenerator(uint64_t n, double theta = 0.99,
+                            uint64_t seed = 301);
+
+  // A Zipf-distributed item in [0, n), hot items scattered.
+  uint64_t Next();
+
+  // The raw Zipf rank in [0, n): 0 is the hottest item, 1 the next, ...
+  uint64_t NextRank();
+
+ private:
+  const uint64_t n_;
+  const double theta_;
+  double zeta_n_;    // sum_{i=1..n} 1/i^theta
+  double alpha_;
+  double eta_;
+  double zeta2_;     // zeta(2, theta)
+  Xoroshiro128pp rng_;
+};
+
 }  // namespace pipelsm

@@ -15,6 +15,12 @@
 //   readseq      one full forward scan
 //   readreverse  one full backward scan
 //   deleterandom delete --reads random keys
+//   mixedwhilewriting
+//                --reads mixed ops: each op is a Get with probability
+//                --read_ratio% (else a Put), keys drawn per --dist over
+//                the --num key space. The same workload bench_server
+//                drives over the wire, so in-process vs served numbers in
+//                EXPERIMENTS.md are apples to apples.
 //   compact      CompactRange over everything
 //   wait         drain background compactions
 //   stats        print the DB's internal stats + compaction profile
@@ -30,6 +36,10 @@
 //   --write_buffer_kb=N --file_kb=N --subtask_kb=N --block=N
 //   --compute_parallelism=N --io_parallelism=N --queue_depth=N
 //   --bloom_bits=N           per-key bloom bits (0 = no filters)
+//   --read_ratio=N           mixedwhilewriting: percent of ops that are
+//                            Gets (default 50)
+//   --dist=uniform|zipfian   mixedwhilewriting key distribution
+//   --zipf_theta=X           Zipfian skew (default 0.99)
 //   --dilation=X             compaction slow-motion factor
 //   --histogram              print full latency histograms
 //   --trace_path=PATH        write a Chrome trace_event JSON of every
@@ -83,6 +93,9 @@ struct Flags {
   int io_parallelism = 1;
   size_t queue_depth = 4;
   int bloom_bits = 0;
+  int read_ratio = 50;
+  std::string dist = "uniform";
+  double zipf_theta = 0.99;
   double dilation = 1.0;
   bool histogram = false;
   uint32_t seed = 301;
@@ -323,6 +336,55 @@ class Benchmark {
     Report(name, flags_.reads, total.ElapsedSeconds(), latency);
   }
 
+  void MixedWhileWriting(const std::string& name) {
+    WorkloadGenerator gen = Gen(KeyOrder::kRandom);
+    Random rnd(flags_.seed + 23);
+    ZipfianGenerator zipf(flags_.num, flags_.zipf_theta, flags_.seed + 29);
+    const bool zipfian = flags_.dist == "zipfian";
+    if (!zipfian && flags_.dist != "uniform") {
+      std::fprintf(stderr, "unknown --dist=%s\n", flags_.dist.c_str());
+      std::exit(2);
+    }
+    Histogram read_lat, write_lat;
+    Stopwatch total;
+    uint64_t gets = 0, puts = 0, found = 0;
+    std::string value;
+    for (uint64_t i = 0; i < flags_.reads; i++) {
+      const uint64_t idx =
+          zipfian ? zipf.Next() : rnd.Next() % flags_.num;
+      const bool is_get =
+          static_cast<int>(rnd.Next() % 100) < flags_.read_ratio;
+      Stopwatch op;
+      if (is_get) {
+        Status s = db_->Get(ReadOptions(), gen.Key(idx), &value);
+        read_lat.Add(op.ElapsedNanos() / 1000.0);
+        if (s.ok()) {
+          found++;
+        } else if (!s.IsNotFound()) {
+          Fail(name, s);
+        }
+        gets++;
+      } else {
+        Status s = db_->Put(WriteOptions(), gen.Key(idx), gen.Value(idx));
+        write_lat.Add(op.ElapsedNanos() / 1000.0);
+        if (!s.ok()) Fail(name, s);
+        puts++;
+      }
+    }
+    const double seconds = total.ElapsedSeconds();
+    Report(name, flags_.reads, seconds, read_lat);
+    std::printf("              (%llu gets [%llu found], %llu puts, "
+                "dist=%s",
+                static_cast<unsigned long long>(gets),
+                static_cast<unsigned long long>(found),
+                static_cast<unsigned long long>(puts), flags_.dist.c_str());
+    if (write_lat.Num() > 0) {
+      std::printf(", put lat avg=%.1fus p99=%.1fus", write_lat.Average(),
+                  write_lat.Percentile(99));
+    }
+    std::printf(")\n");
+  }
+
   void RunOne(const std::string& name) {
     if (name == "fillseq") {
       Fill(name, KeyOrder::kSequential);
@@ -338,6 +400,8 @@ class Benchmark {
       Scan(name, /*reverse=*/true);
     } else if (name == "deleterandom") {
       DeleteRandom(name);
+    } else if (name == "mixedwhilewriting") {
+      MixedWhileWriting(name);
     } else if (name == "compact") {
       Stopwatch sw;
       db_->CompactRange(nullptr, nullptr);
@@ -473,6 +537,8 @@ int main(int argc, char** argv) {
         ParseNumFlag(argv[i], "io_parallelism", &flags.io_parallelism) ||
         ParseNumFlag(argv[i], "queue_depth", &flags.queue_depth) ||
         ParseNumFlag(argv[i], "bloom_bits", &flags.bloom_bits) ||
+        ParseNumFlag(argv[i], "read_ratio", &flags.read_ratio) ||
+        ParseFlag(argv[i], "dist", &flags.dist) ||
         ParseNumFlag(argv[i], "seed", &flags.seed) ||
         ParseFlag(argv[i], "trace_path", &flags.trace_path) ||
         ParseFlag(argv[i], "metrics_json", &flags.metrics_json) ||
@@ -487,6 +553,10 @@ int main(int argc, char** argv) {
     std::string v;
     if (ParseFlag(argv[i], "dilation", &v)) {
       flags.dilation = std::atof(v.c_str());
+      continue;
+    }
+    if (ParseFlag(argv[i], "zipf_theta", &v)) {
+      flags.zipf_theta = std::atof(v.c_str());
       continue;
     }
     if (std::strcmp(argv[i], "--histogram") == 0) {

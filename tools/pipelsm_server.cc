@@ -1,0 +1,182 @@
+// pipelsm_server: stand-alone network daemon serving one DB over the
+// binary protocol (docs/SERVER.md).
+//
+//   pipelsm_server --db=PATH [--flag=value ...]
+//
+// Flags:
+//   --db=PATH               DB directory (default /tmp/pipelsm_server)
+//   --host=ADDR --port=N    listen address (default 0.0.0.0:7380; port 0
+//                           binds an ephemeral port and prints it)
+//   --io_threads=N          epoll I/O loops (default 2)
+//   --workers=N             read-path worker threads (default 4)
+//   --compaction=scp|pcp|sppcp|cppcp
+//   --write_buffer_kb=N --file_kb=N --subtask_kb=N
+//   --compute_parallelism=N --io_parallelism=N --queue_depth=N
+//   --group_window_micros=N group-commit gather window (default 100)
+//   --nosync                WriteOptions::sync=false for group commits
+//   --create_if_missing=0|1 (default 1)
+//
+// SIGTERM/SIGINT triggers a graceful drain: stop accepting, answer every
+// accepted request, flush sockets, quiesce compactions, close the DB,
+// exit 0. SIGPIPE is ignored process-wide so a peer closing mid-reply
+// surfaces as an EPIPE send error on that connection, not process death.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "src/db/db.h"
+#include "src/server/server.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleShutdownSignal(int sig) {
+  const char b = static_cast<char>(sig);
+  [[maybe_unused]] ssize_t r = ::write(g_signal_pipe[1], &b, 1);
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+template <typename T>
+bool ParseNumFlag(const char* arg, const char* name, T* out) {
+  std::string v;
+  if (!ParseFlag(arg, name, &v)) return false;
+  *out = static_cast<T>(std::strtoull(v.c_str(), nullptr, 10));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string db_path = "/tmp/pipelsm_server";
+  std::string compaction = "pcp";
+  size_t write_buffer_kb = 4096;
+  size_t file_kb = 2048;
+  size_t subtask_kb = 512;
+  int compute_parallelism = 1;
+  int io_parallelism = 1;
+  size_t queue_depth = 4;
+  int create_if_missing = 1;
+  pipelsm::server::ServerOptions sopts;
+
+  for (int i = 1; i < argc; i++) {
+    if (ParseFlag(argv[i], "db", &db_path) ||
+        ParseFlag(argv[i], "host", &sopts.host) ||
+        ParseNumFlag(argv[i], "port", &sopts.port) ||
+        ParseNumFlag(argv[i], "io_threads", &sopts.num_io_threads) ||
+        ParseNumFlag(argv[i], "workers", &sopts.num_workers) ||
+        ParseFlag(argv[i], "compaction", &compaction) ||
+        ParseNumFlag(argv[i], "write_buffer_kb", &write_buffer_kb) ||
+        ParseNumFlag(argv[i], "file_kb", &file_kb) ||
+        ParseNumFlag(argv[i], "subtask_kb", &subtask_kb) ||
+        ParseNumFlag(argv[i], "compute_parallelism", &compute_parallelism) ||
+        ParseNumFlag(argv[i], "io_parallelism", &io_parallelism) ||
+        ParseNumFlag(argv[i], "queue_depth", &queue_depth) ||
+        ParseNumFlag(argv[i], "group_window_micros",
+                     &sopts.group_commit_window_micros) ||
+        ParseNumFlag(argv[i], "create_if_missing", &create_if_missing)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--nosync") == 0) {
+      sopts.sync_writes = false;
+      continue;
+    }
+    std::fprintf(stderr, "unrecognized flag: %s (see header comment)\n",
+                 argv[i]);
+    return 2;
+  }
+
+  // A peer that disappears mid-reply must cost one connection, not the
+  // process.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  pipelsm::Options options;
+  options.create_if_missing = (create_if_missing != 0);
+  options.write_buffer_size = write_buffer_kb << 10;
+  options.max_file_size = file_kb << 10;
+  options.subtask_bytes = subtask_kb << 10;
+  options.compute_parallelism = compute_parallelism;
+  options.io_parallelism = io_parallelism;
+  options.pipeline_queue_depth = queue_depth;
+  if (compaction == "scp") {
+    options.compaction_mode = pipelsm::CompactionMode::kSCP;
+  } else if (compaction == "pcp") {
+    options.compaction_mode = pipelsm::CompactionMode::kPCP;
+  } else if (compaction == "sppcp") {
+    options.compaction_mode = pipelsm::CompactionMode::kSPPCP;
+  } else if (compaction == "cppcp") {
+    options.compaction_mode = pipelsm::CompactionMode::kCPPCP;
+  } else {
+    std::fprintf(stderr, "unknown --compaction=%s\n", compaction.c_str());
+    return 2;
+  }
+
+  // The gate goes into the DB's listeners before Open, so write stalls
+  // reach the server's I/O loops from the first request.
+  pipelsm::server::WriteStallGate stall_gate;
+  options.listeners.push_back(&stall_gate);
+  sopts.stall_gate = &stall_gate;
+
+  pipelsm::DB* raw = nullptr;
+  pipelsm::Status s = pipelsm::DB::Open(options, db_path, &raw);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", db_path.c_str(),
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<pipelsm::DB> db(raw);
+  pipelsm::server::Server server(db.get(), sopts);
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = HandleShutdownSignal;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  s = server.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "server start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("pipelsm_server listening on %s:%d (db=%s)\n",
+              sopts.host.c_str(), server.port(), db_path.c_str());
+  std::fflush(stdout);
+
+  // Block until SIGTERM/SIGINT.
+  char sig = 0;
+  while (true) {
+    const ssize_t r = ::read(g_signal_pipe[0], &sig, 1);
+    if (r == 1) break;
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+  }
+  std::printf("signal %d: draining\n", sig);
+  std::fflush(stdout);
+
+  server.Drain();
+  s = db->WaitForCompactions();
+  if (!s.ok()) {
+    std::fprintf(stderr, "compaction drain: %s\n", s.ToString().c_str());
+  }
+  db.reset();
+  std::printf("clean shutdown\n");
+  return 0;
+}
