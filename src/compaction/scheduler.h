@@ -1,0 +1,136 @@
+// CompactionScheduler: the advisor's verdict, acted on.
+//
+// PR 2's BottleneckAdvisor evaluates the paper's Eqs. 1-7 on a decayed
+// profile of completed compactions and *reports* which procedure §III-C
+// prescribes. This class closes that loop: at every compaction admission
+// the DB asks it which executor (SCP / PCP / S-PPCP / C-PPCP) and which
+// parallelism degree k the *current* profile calls for, so the procedure
+// tracks workload shifts (value size, compressibility, device regime)
+// instead of freezing at DB::Open. The paper's own evaluation is the
+// motivation: the best procedure flips between S-PPCP and C-PPCP as the
+// pipeline moves between I/O- and CPU-bound (Figures 6 and 12).
+//
+// Decision rule per admission, on the advisor's decayed StepTimes t:
+//   1. Before `warmup_jobs` completed compactions (or with adaptive off)
+//      the static Options choice applies verbatim.
+//   2. model::Prescribe(t) picks S-PPCP/C-PPCP at the Eq. 4/6 saturation
+//      k — clamped into [min,max] stripe width / compute workers — or
+//      plain PCP when neither parallel variant's ideal gain reaches
+//      `min_gain`.
+//   3. If even pipelining gains ~nothing (Eq. 3 speedup below
+//      kMinPipelineGain: one stage is essentially the whole job), SCP is
+//      chosen — a pipeline that cannot overlap anything only pays queue
+//      handoff costs.
+//   4. Hysteresis: a choice that differs from the current one must be
+//      prescribed on `hysteresis_jobs` *consecutive* admissions before
+//      the scheduler switches, so one noisy profile cannot flap the
+//      pipeline shape.
+//
+// Thread-safe: Admit (background compaction thread) and ToJson
+// (GetProperty("pipelsm.scheduler"), any thread) may race.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/db/options.h"
+#include "src/model/model.h"
+
+namespace pipelsm {
+
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
+struct SchedulerOptions {
+  bool adaptive = false;
+
+  // The static configuration, used before warmup / with adaptive off.
+  CompactionMode static_mode = CompactionMode::kPCP;
+  int static_read_parallelism = 1;
+  int static_compute_parallelism = 1;
+
+  // Bounds on the k the scheduler may choose (Options::min/max_*).
+  int min_compute_workers = 1;
+  int max_compute_workers = 4;
+  int min_stripe_width = 1;
+  int max_stripe_width = 4;
+
+  int hysteresis_jobs = 3;
+  int warmup_jobs = 2;
+  double min_gain = 1.1;
+
+  static SchedulerOptions FromOptions(const Options& options);
+};
+
+// One per-job verdict. `read_parallelism`/`compute_parallelism` are the
+// values the executor must be handed via CompactionJobOptions — per-job
+// inputs, never read back from mutable shared state mid-run.
+struct SchedulerDecision {
+  CompactionMode mode = CompactionMode::kPCP;
+  int read_parallelism = 1;
+  int compute_parallelism = 1;
+  bool adaptive = false;     // false: static config or warmup fallback
+  std::string rationale;     // one line for EVENT adaptive_decision / info
+};
+
+class CompactionScheduler {
+ public:
+  // `metrics` (nullable) receives scheduler.* counters: decisions,
+  // switches, and per-procedure choice counts.
+  CompactionScheduler(const SchedulerOptions& options,
+                      obs::MetricsRegistry* metrics);
+
+  CompactionScheduler(const CompactionScheduler&) = delete;
+  CompactionScheduler& operator=(const CompactionScheduler&) = delete;
+
+  // Called once per admitted compaction job with the advisor's decayed
+  // profile and how many jobs it has digested. Deterministic given the
+  // same profile sequence.
+  SchedulerDecision Admit(const model::StepTimes& profile,
+                          uint64_t advisor_jobs);
+
+  uint64_t decisions() const;
+  uint64_t switches() const;
+
+  // The GetProperty("pipelsm.scheduler") payload (docs/TUNING.md):
+  // current choice, pending candidate + streak, decision/switch counts.
+  std::string ToJson() const;
+
+ private:
+  struct Choice {
+    CompactionMode mode = CompactionMode::kPCP;
+    int read_parallelism = 1;
+    int compute_parallelism = 1;
+
+    bool operator==(const Choice& o) const {
+      return mode == o.mode && read_parallelism == o.read_parallelism &&
+             compute_parallelism == o.compute_parallelism;
+    }
+    bool operator!=(const Choice& o) const { return !(*this == o); }
+  };
+
+  // The §III-C target for one profile, bounds applied (no hysteresis).
+  Choice Target(const model::StepTimes& t, std::string* why) const;
+
+  SchedulerDecision Render(const Choice& choice, bool adaptive,
+                           std::string rationale) const;
+
+  const SchedulerOptions opts_;
+
+  mutable std::mutex mu_;
+  Choice current_;           // what jobs run as right now
+  Choice candidate_;         // differing target accumulating a streak
+  int candidate_streak_ = 0; // consecutive admissions prescribing it
+  uint64_t decisions_ = 0;
+  uint64_t switches_ = 0;
+  std::string last_rationale_;
+
+  obs::Counter* decisions_counter_ = nullptr;
+  obs::Counter* switches_counter_ = nullptr;
+  obs::Counter* mode_counters_[4] = {nullptr, nullptr, nullptr, nullptr};
+};
+
+}  // namespace pipelsm

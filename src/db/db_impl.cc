@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/compaction/executor.h"
+#include "src/compaction/scheduler.h"
 #include "src/db/builder.h"
 #include "src/db/db_iter.h"
 #include "src/db/filename.h"
@@ -34,6 +35,19 @@ Options SanitizeOptions(const Options& src) {
   if (result.max_open_files < 16) result.max_open_files = 16;
   if (result.compute_parallelism < 1) result.compute_parallelism = 1;
   if (result.io_parallelism < 1) result.io_parallelism = 1;
+  if (result.min_compute_workers < 1) result.min_compute_workers = 1;
+  if (result.max_compute_workers < result.min_compute_workers) {
+    result.max_compute_workers = result.min_compute_workers;
+  }
+  if (result.min_stripe_width < 1) result.min_stripe_width = 1;
+  if (result.max_stripe_width < result.min_stripe_width) {
+    result.max_stripe_width = result.min_stripe_width;
+  }
+  if (result.scheduler_hysteresis_jobs < 1) {
+    result.scheduler_hysteresis_jobs = 1;
+  }
+  if (result.scheduler_warmup_jobs < 0) result.scheduler_warmup_jobs = 0;
+  if (result.scheduler_min_gain < 1.0) result.scheduler_min_gain = 1.0;
   if (result.pipeline_queue_depth < 1) result.pipeline_queue_depth = 1;
   if (result.max_background_retries < 0) result.max_background_retries = 0;
   if (result.background_retry_backoff_micros < 1) {
@@ -128,9 +142,11 @@ class DBImpl::EventLogger final : public obs::EventListener {
   void OnCompactionBegin(const obs::CompactionJobInfo& info) override {
     obs::Log(db_->info_log_,
              "EVENT compaction_begin job=%llu level=%d executor=%s "
-             "inputs=%d input_bytes=%llu subtasks=%llu",
+             "read_k=%d compute_k=%d adaptive=%d inputs=%d "
+             "input_bytes=%llu subtasks=%llu",
              static_cast<unsigned long long>(info.job_id), info.level,
-             info.executor, info.input_files,
+             info.executor, info.read_parallelism, info.compute_parallelism,
+             info.adaptive ? 1 : 0, info.input_files,
              static_cast<unsigned long long>(info.input_bytes),
              static_cast<unsigned long long>(info.subtasks));
   }
@@ -204,7 +220,11 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
                                     options_.max_open_files));
   versions_.reset(new VersionSet(dbname_, &options_, table_cache_.get(),
                                  &internal_comparator_));
-  executor_ = NewCompactionExecutor(options_.compaction_mode);
+  for (int m = 0; m < 4; m++) {
+    executors_[m] = NewCompactionExecutor(CompactionMode(m));
+  }
+  scheduler_ = std::make_unique<CompactionScheduler>(
+      SchedulerOptions::FromOptions(options_), &metrics_registry_);
 
   if (!options_.trace_path.empty()) {
     trace_ = std::make_unique<obs::TraceCollector>();
@@ -239,8 +259,9 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
                        ls.ToString().c_str());
     }
   }
-  obs::Log(info_log_, "opening DB %s (mode=%s, subtask=%zu KB)",
+  obs::Log(info_log_, "opening DB %s (mode=%s%s, subtask=%zu KB)",
            dbname_.c_str(), CompactionModeName(options_.compaction_mode),
+           options_.adaptive_compaction ? "+adaptive" : "",
            options_.subtask_bytes >> 10);
 
   event_logger_ = std::make_unique<EventLogger>(this);
@@ -758,6 +779,8 @@ std::string DBImpl::StatsReport() {
   out.append(metrics_registry_.ToJson());
   out.append("\nadvisor ");
   out.append(advisor_.ToJson());
+  out.append("\nscheduler ");
+  out.append(scheduler_->ToJson());
   out.push_back('\n');
   return out;
 }
@@ -898,9 +921,20 @@ Status DBImpl::BackgroundCompaction(std::unique_lock<std::mutex>& lock) {
 Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
                                 Compaction* c) {
   Stopwatch total_sw;
+
+  // Admission-time scheduling: ask the scheduler which procedure and
+  // parallelism the advisor's current decayed profile calls for. The
+  // decision is copied into the per-job CompactionJobOptions here, under
+  // mutex_, and never re-read from shared state mid-run — the executors
+  // only ever see their own job copy (see docs/TUNING.md).
+  const SchedulerDecision decision =
+      scheduler_->Admit(advisor_.Profile(), advisor_.jobs());
+  CompactionExecutor* const executor =
+      executors_[static_cast<int>(decision.mode)].get();
+
   PIPELSM_LOG_INFO("compacting %d@%d + %d@%d files [%s]",
                    c->num_input_files(0), c->level(), c->num_input_files(1),
-                   c->level() + 1, executor_->name());
+                   c->level() + 1, executor->name());
 
   CompactionJobOptions job;
   job.icmp = &internal_comparator_;
@@ -909,8 +943,8 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
   job.block_restart_interval = options_.block_restart_interval;
   job.compression = options_.compression;
   job.max_output_file_size = c->MaxOutputFileSize();
-  job.read_parallelism = options_.io_parallelism;
-  job.compute_parallelism = options_.compute_parallelism;
+  job.read_parallelism = decision.read_parallelism;
+  job.compute_parallelism = decision.compute_parallelism;
   job.queue_depth = options_.pipeline_queue_depth;
   job.time_dilation = options_.compaction_time_dilation;
   job.filter_policy = table_options_.filter_policy;
@@ -921,8 +955,20 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
   job_info.job_id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
   job_info.level = c->level();
   job_info.input_files = c->num_input_files(0) + c->num_input_files(1);
+  job_info.read_parallelism = decision.read_parallelism;
+  job_info.compute_parallelism = decision.compute_parallelism;
+  job_info.adaptive = decision.adaptive;
+  job_info.scheduler_rationale = decision.rationale;
   job.listeners = &listeners_;
   job.job_info = &job_info;
+
+  obs::Log(info_log_,
+           "EVENT adaptive_decision job=%llu level=%d procedure=%s "
+           "read_k=%d compute_k=%d adaptive=%d rationale=\"%s\"",
+           static_cast<unsigned long long>(job_info.job_id), c->level(),
+           CompactionModeName(decision.mode), decision.read_parallelism,
+           decision.compute_parallelism, decision.adaptive ? 1 : 0,
+           decision.rationale.c_str());
 
   if (snapshots_.empty()) {
     job.smallest_snapshot = versions_->LastSequence();
@@ -962,7 +1008,7 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
     // The executor fires OnCompactionBegin/Completed on listeners_ from
     // this (unlocked) thread.
     lock.unlock();
-    status = executor_->Run(job, inputs, &sink, &profile);
+    status = executor->Run(job, inputs, &sink, &profile);
     lock.lock();
   }
 
@@ -1378,6 +1424,10 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   } else if (in == Slice("advisor")) {
     // Advisor has its own lock; JSON per docs/OBSERVABILITY.md.
     *value = advisor_.ToJson();
+    return true;
+  } else if (in == Slice("scheduler")) {
+    // Scheduler has its own lock; JSON per docs/TUNING.md.
+    *value = scheduler_->ToJson();
     return true;
   } else if (in == Slice("sstables")) {
     *value = versions_->current()->DebugString();

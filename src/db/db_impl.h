@@ -32,6 +32,7 @@
 namespace pipelsm {
 
 class CompactionExecutor;
+class CompactionScheduler;
 
 class SnapshotImpl : public Snapshot {
  public:
@@ -175,7 +176,13 @@ class DBImpl final : public DB {
   std::unique_ptr<BlockCache> owned_block_cache_;
   TableOptions table_options_;        // derived, for readers/flushes
   std::unique_ptr<TableCache> table_cache_;
-  std::unique_ptr<CompactionExecutor> executor_;
+
+  // One executor per procedure, constructed up front (they are
+  // stateless); the scheduler picks which one runs each admitted job.
+  // With adaptive_compaction off the choice is Options::compaction_mode
+  // on every admission.
+  std::unique_ptr<CompactionExecutor> executors_[4];
+  std::unique_ptr<CompactionScheduler> scheduler_;
 
   std::mutex mutex_;
   std::condition_variable background_work_signal_;

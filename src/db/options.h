@@ -96,6 +96,43 @@ struct Options {
   // time_dilation). 1.0 = real time.
   double compaction_time_dilation = 1.0;
 
+  // -------- adaptive compaction scheduling (docs/TUNING.md) --------
+  // When true, the procedure and parallelism degree of every major
+  // compaction are chosen per job by the CompactionScheduler
+  // (src/compaction/scheduler.h): it evaluates the paper's Eqs. 1-7 on
+  // the bottleneck advisor's decayed step profile at each admission, so
+  // the executor tracks whether the pipeline is currently I/O- or
+  // CPU-bound instead of freezing compaction_mode at DB::Open. When
+  // false (default), compaction_mode / io_parallelism /
+  // compute_parallelism above apply verbatim to every job.
+  bool adaptive_compaction = false;
+
+  // Bounds on the per-job parallelism the scheduler may choose. The
+  // model's saturation k (Eqs. 4/6) is clamped into these ranges: cap
+  // max_stripe_width at the real stripe count of the device (reader
+  // threads beyond it just queue on the same channels) and
+  // max_compute_workers at the cores you can spare for compaction.
+  int min_compute_workers = 1;
+  int max_compute_workers = 4;
+  int min_stripe_width = 1;
+  int max_stripe_width = 4;
+
+  // Hysteresis window: the scheduler switches executor only after this
+  // many consecutive admissions prescribe the same (procedure, k) that
+  // differs from the current choice, so one noisy profile cannot flap
+  // the pipeline shape back and forth.
+  int scheduler_hysteresis_jobs = 3;
+
+  // Completed compactions the advisor must have digested before adaptive
+  // decisions begin; until then the static compaction_mode applies (the
+  // decayed profile of the first job or two is mostly noise).
+  int scheduler_warmup_jobs = 2;
+
+  // A stage-parallel procedure (S-PPCP/C-PPCP) is only chosen when its
+  // ideal gain over plain PCP (Eqs. 5/7, at the clamped k) reaches this
+  // factor; below it the scheduler stays on PCP.
+  double scheduler_min_gain = 1.1;
+
   // Extension beyond the paper: pipeline memtable flushes too (block
   // building/compression overlapped with file writes — the paper notes
   // its system pipelines only major compactions "by now"). Off by

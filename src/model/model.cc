@@ -73,6 +73,52 @@ bool IsCpuBound(const StepTimes& t) {
   return t.compute() >= std::max(t.read(), t.write());
 }
 
+const char* PrescriptionProcedureName(Prescription::Procedure procedure) {
+  switch (procedure) {
+    case Prescription::kSCP:
+      return "SCP";
+    case Prescription::kPCP:
+      return "PCP";
+    case Prescription::kSPPCP:
+      return "S-PPCP";
+    case Prescription::kCPPCP:
+      return "C-PPCP";
+  }
+  return "unknown";
+}
+
+Prescription Prescribe(const StepTimes& t, double min_gain, int max_k) {
+  Prescription p;
+  p.cpu_bound = IsCpuBound(t);
+  const double pcp = PcpBandwidth(t);
+  if (p.cpu_bound) {
+    p.procedure = Prescription::kCPPCP;
+    p.k = CppcpSaturationThreads(t);
+    if (max_k > 0) p.k = std::min(p.k, max_k);
+    p.gain_vs_pcp = CppcpIdealSpeedup(t, p.k);
+    p.reason =
+        "compute (S2-S6) limits Eq. 2; Eq. 6 says k compute workers lift "
+        "it until I/O saturates";
+  } else {
+    p.procedure = Prescription::kSPPCP;
+    p.k = SppcpSaturationDisks(t);
+    if (max_k > 0) p.k = std::min(p.k, max_k);
+    p.gain_vs_pcp = SppcpIdealSpeedup(t, p.k);
+    p.reason =
+        "I/O limits Eq. 2; Eq. 4 says k striped devices lift it until "
+        "compute saturates";
+  }
+  if (p.gain_vs_pcp < min_gain || pcp <= 0) {
+    p.procedure = Prescription::kPCP;
+    p.k = 1;
+    p.gain_vs_pcp = 1.0;
+    p.reason =
+        "no stage-parallel variant beats Eq. 2 by the margin; stay on the "
+        "3-stage pipeline";
+  }
+  return p;
+}
+
 std::string Describe(const StepTimes& t) {
   char buf[512];
   std::snprintf(

@@ -69,6 +69,33 @@ int CppcpSaturationThreads(const StepTimes& t);
 // Figure 6(b)); false if it is I/O (the HDD regime of Figure 6(a)).
 bool IsCpuBound(const StepTimes& t);
 
+// The paper's §III-C prescription as data: which procedure the measured
+// step times call for, at what parallelism, and the ideal gain over plain
+// PCP. Shared by the online advisor (src/obs/advisor.h) and the adaptive
+// compaction scheduler (src/compaction/scheduler.h) so report and control
+// loop can never disagree.
+struct Prescription {
+  enum Procedure { kSCP = 0, kPCP = 1, kSPPCP = 2, kCPPCP = 3 };
+
+  Procedure procedure = kPCP;
+  int k = 1;                 // stripe width (S-PPCP) or workers (C-PPCP)
+  bool cpu_bound = false;    // IsCpuBound(t) at evaluation time
+  double gain_vs_pcp = 1.0;  // ideal speedup of `procedure` over Eq. 2
+  const char* reason = "";   // one-line rationale, static storage
+};
+
+const char* PrescriptionProcedureName(Prescription::Procedure procedure);
+
+// Evaluates Eqs. 1-7 on `t` and picks the procedure §III-C prescribes:
+// a compute bottleneck wants C-PPCP at its Eq. 6 saturation k, an I/O
+// bottleneck wants S-PPCP at its Eq. 4 saturation k. A parallel variant
+// is only prescribed when its ideal gain over PCP reaches `min_gain`
+// (below that the model says added parallelism is churn); `max_k` caps
+// the saturation k (<= 0 = uncapped), and the gain is re-evaluated at the
+// capped k so an out-of-reach saturation point cannot justify a switch.
+Prescription Prescribe(const StepTimes& t, double min_gain = 1.1,
+                       int max_k = 0);
+
 std::string Describe(const StepTimes& t);
 
 }  // namespace pipelsm::model

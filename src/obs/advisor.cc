@@ -153,40 +153,24 @@ std::string BottleneckAdvisor::ToJson() const {
   // compute bottleneck wants C-PPCP compute workers (Eq. 6); an I/O
   // bottleneck wants S-PPCP striping (Eq. 4). When neither parallel
   // variant beats plain PCP by a margin, say so instead of churning.
+  // The same model::Prescribe drives the adaptive compaction scheduler
+  // (src/compaction/scheduler.h), so this report IS the control loop's
+  // input, not a parallel reimplementation of it.
+  const model::Prescription rec = model::Prescribe(t);
   out.append(",\"recommendation\":{");
-  const double pcp = model::PcpBandwidth(t);
-  const char* procedure;
-  int k;
-  double gain;
-  if (cpu_bound) {
-    procedure = "C-PPCP";
-    k = cppcp_k;
-    gain = model::CppcpIdealSpeedup(t, k);
-  } else {
-    procedure = "S-PPCP";
-    k = sppcp_k;
-    gain = model::SppcpIdealSpeedup(t, k);
-  }
-  if (gain < 1.1 || pcp <= 0) {
-    procedure = "PCP";
-    k = 1;
-    gain = 1.0;
-  }
   AppendField(&out, "procedure");
-  out.append("\"").append(procedure).append("\",");
+  out.append("\"")
+      .append(model::PrescriptionProcedureName(rec.procedure))
+      .append("\",");
   AppendField(&out, "k");
-  AppendNumber(&out, k, "%.0f");
+  AppendNumber(&out, rec.k, "%.0f");
   out.append(",");
   AppendField(&out, "ideal_speedup_vs_pcp");
-  AppendNumber(&out, gain, "%.2f");
+  AppendNumber(&out, rec.gain_vs_pcp, "%.2f");
   out.append(",");
   AppendField(&out, "reason");
   out.push_back('"');
-  out.append(cpu_bound
-                 ? "compute (S2-S6) limits Eq. 2; Eq. 6 says k compute "
-                   "workers lift it until I/O saturates"
-                 : "I/O limits Eq. 2; Eq. 4 says k striped devices lift it "
-                   "until compute saturates");
+  out.append(rec.reason);
   out.append("\"}}");
   return out;
 }

@@ -50,6 +50,15 @@ struct CompactionJobInfo {
   uint64_t job_id = 0;
   int level = 0;             // input level (output is level + 1)
   const char* executor = ""; // "SCP" / "PCP" / "S-PPCP" / "C-PPCP"
+  // The CompactionScheduler's per-job verdict (src/compaction/scheduler.h),
+  // filled by the DB before the executor runs, so Begin already carries
+  // it: the parallelism the executor was handed, whether the choice came
+  // from the adaptive control loop (vs the static Options config), and
+  // the scheduler's one-line rationale.
+  int read_parallelism = 1;
+  int compute_parallelism = 1;
+  bool adaptive = false;
+  std::string scheduler_rationale;
   int input_files = 0;
   uint64_t input_bytes = 0;  // compressed bytes across input tables
   uint64_t subtasks = 0;

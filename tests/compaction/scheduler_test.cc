@@ -1,0 +1,255 @@
+// CompactionScheduler unit tests: the adaptive control loop must be a
+// pure function of the profile sequence it is fed — deterministic
+// prescriptions for a fixed profile, user bounds respected, hysteresis
+// that refuses to flap on alternating profiles, and a JSON report that
+// parses (GetProperty("pipelsm.scheduler") is consumed by scripts).
+#include "src/compaction/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/model/model.h"
+#include "src/obs/metrics.h"
+#include "tests/obs/json_check.h"
+
+namespace pipelsm {
+namespace {
+
+using testjson::JsonValue;
+using testjson::ParseJson;
+
+// Per-sub-task step seconds with all compute time parked in S4 (the same
+// shape advisor_test's MakeProfile decays into).
+model::StepTimes Times(double read_s, double compute_s, double write_s) {
+  model::StepTimes t;
+  t.seconds[kStepRead] = read_s;
+  t.seconds[kStepSort] = compute_s;
+  t.seconds[kStepWrite] = write_s;
+  t.subtask_bytes = 512 << 10;
+  return t;
+}
+
+// HDD regime: reads dominate; Eq. 4 saturation k = ceil(8/2) = 4.
+model::StepTimes IoBound() { return Times(8e-3, 2e-3, 1e-3); }
+// SSD regime: compute dominates; Eq. 6 saturation k = ceil(10/2) = 5.
+model::StepTimes CpuBound() { return Times(2e-3, 10e-3, 1e-3); }
+
+SchedulerOptions Adaptive(int hysteresis = 1, int warmup = 0) {
+  SchedulerOptions o;
+  o.adaptive = true;
+  o.static_mode = CompactionMode::kPCP;
+  o.max_compute_workers = 8;
+  o.max_stripe_width = 8;
+  o.hysteresis_jobs = hysteresis;
+  o.warmup_jobs = warmup;
+  return o;
+}
+
+TEST(CompactionScheduler, StaticPassthroughWhenAdaptiveOff) {
+  SchedulerOptions o;
+  o.adaptive = false;
+  o.static_mode = CompactionMode::kSPPCP;
+  o.static_read_parallelism = 3;
+  o.static_compute_parallelism = 2;
+  CompactionScheduler s(o, nullptr);
+  for (int i = 0; i < 4; i++) {
+    const SchedulerDecision d = s.Admit(CpuBound(), /*advisor_jobs=*/100);
+    EXPECT_EQ(CompactionMode::kSPPCP, d.mode);
+    EXPECT_EQ(3, d.read_parallelism);
+    EXPECT_EQ(2, d.compute_parallelism);
+    EXPECT_FALSE(d.adaptive);
+  }
+  EXPECT_EQ(4u, s.decisions());
+  EXPECT_EQ(0u, s.switches());
+}
+
+TEST(CompactionScheduler, WarmupHoldsStaticChoice) {
+  CompactionScheduler s(Adaptive(/*hysteresis=*/1, /*warmup=*/3), nullptr);
+  for (uint64_t jobs = 0; jobs < 3; jobs++) {
+    const SchedulerDecision d = s.Admit(CpuBound(), jobs);
+    EXPECT_EQ(CompactionMode::kPCP, d.mode) << "during warmup";
+    EXPECT_FALSE(d.adaptive);
+    EXPECT_NE(std::string::npos, d.rationale.find("warming up"))
+        << d.rationale;
+  }
+  const SchedulerDecision d = s.Admit(CpuBound(), /*advisor_jobs=*/3);
+  EXPECT_EQ(CompactionMode::kCPPCP, d.mode) << "warmup over, profile rules";
+  EXPECT_TRUE(d.adaptive);
+}
+
+TEST(CompactionScheduler, IoBoundPrescribesSppcpAtSaturationK) {
+  CompactionScheduler s(Adaptive(), nullptr);
+  // Deterministic: the same profile yields the same verdict every time.
+  for (int i = 0; i < 5; i++) {
+    const SchedulerDecision d = s.Admit(IoBound(), 10);
+    EXPECT_EQ(CompactionMode::kSPPCP, d.mode);
+    EXPECT_EQ(model::SppcpSaturationDisks(IoBound()), d.read_parallelism);
+    EXPECT_EQ(4, d.read_parallelism);  // ceil(max(8,1)/2)
+    EXPECT_EQ(1, d.compute_parallelism);
+    EXPECT_TRUE(d.adaptive);
+  }
+  EXPECT_EQ(1u, s.switches());  // PCP -> S-PPCP once, then steady state
+}
+
+TEST(CompactionScheduler, CpuBoundPrescribesCppcpAtSaturationK) {
+  CompactionScheduler s(Adaptive(), nullptr);
+  const SchedulerDecision d = s.Admit(CpuBound(), 10);
+  EXPECT_EQ(CompactionMode::kCPPCP, d.mode);
+  EXPECT_EQ(1, d.read_parallelism);
+  EXPECT_EQ(5, d.compute_parallelism);  // ceil(10/max(2,1))
+  EXPECT_TRUE(d.adaptive);
+}
+
+TEST(CompactionScheduler, BalancedProfileStaysOnPcp) {
+  CompactionScheduler s(Adaptive(), nullptr);
+  const SchedulerDecision d = s.Admit(Times(3e-3, 3e-3, 3e-3), 10);
+  EXPECT_EQ(CompactionMode::kPCP, d.mode);
+  EXPECT_EQ(1, d.read_parallelism);
+  EXPECT_EQ(1, d.compute_parallelism);
+  EXPECT_EQ(0u, s.switches());  // PCP was already the static choice
+}
+
+// One stage is essentially the whole job: Eq. 3 speedup ~1.01, below the
+// pipeline-gain floor, so the scheduler prescribes plain sequential SCP.
+TEST(CompactionScheduler, DegeneratePipelineFallsBackToScp) {
+  CompactionScheduler s(Adaptive(), nullptr);
+  const SchedulerDecision d = s.Admit(Times(10e-3, 0.05e-3, 0.05e-3), 10);
+  EXPECT_EQ(CompactionMode::kSCP, d.mode);
+  EXPECT_EQ(1, d.read_parallelism);
+  EXPECT_EQ(1, d.compute_parallelism);
+}
+
+TEST(CompactionScheduler, BoundsClampPrescribedK) {
+  SchedulerOptions o = Adaptive();
+  o.max_compute_workers = 2;  // saturation says 5
+  o.max_stripe_width = 3;     // saturation says 4
+  CompactionScheduler s(o, nullptr);
+  EXPECT_EQ(2, s.Admit(CpuBound(), 10).compute_parallelism);
+
+  CompactionScheduler s2(o, nullptr);
+  EXPECT_EQ(3, s2.Admit(IoBound(), 10).read_parallelism);
+}
+
+TEST(CompactionScheduler, HysteresisRequiresConsecutivePrescriptions) {
+  CompactionScheduler s(Adaptive(/*hysteresis=*/3), nullptr);
+  for (int i = 0; i < 2; i++) {
+    const SchedulerDecision d = s.Admit(CpuBound(), 10);
+    EXPECT_EQ(CompactionMode::kPCP, d.mode) << "streak " << i + 1 << "/3";
+    EXPECT_NE(std::string::npos, d.rationale.find("holding")) << d.rationale;
+  }
+  const SchedulerDecision d = s.Admit(CpuBound(), 10);
+  EXPECT_EQ(CompactionMode::kCPPCP, d.mode) << "third consecutive: switch";
+  EXPECT_EQ(1u, s.switches());
+}
+
+// Alternating io-/cpu-bound profiles never accumulate a streak, so the
+// scheduler must hold its current choice forever — no flapping.
+TEST(CompactionScheduler, NoFlapOnAlternatingProfiles) {
+  CompactionScheduler s(Adaptive(/*hysteresis=*/3), nullptr);
+  for (int i = 0; i < 12; i++) {
+    const SchedulerDecision d = s.Admit(i % 2 == 0 ? IoBound() : CpuBound(),
+                                        10 + i);
+    EXPECT_EQ(CompactionMode::kPCP, d.mode) << "admission " << i;
+  }
+  EXPECT_EQ(0u, s.switches());
+}
+
+// A streak interrupted by the incumbent's own prescription resets: three
+// cpu-bound admissions split 2+1 around a balanced one must not switch.
+TEST(CompactionScheduler, IncumbentPrescriptionResetsStreak) {
+  CompactionScheduler s(Adaptive(/*hysteresis=*/3), nullptr);
+  s.Admit(CpuBound(), 10);
+  s.Admit(CpuBound(), 11);
+  s.Admit(Times(3e-3, 3e-3, 3e-3), 12);  // target == current (PCP): reset
+  s.Admit(CpuBound(), 13);
+  const SchedulerDecision d = s.Admit(CpuBound(), 14);
+  EXPECT_EQ(CompactionMode::kPCP, d.mode) << "streak was broken";
+  EXPECT_EQ(0u, s.switches());
+}
+
+// Two schedulers fed the same profile sequence make identical decisions.
+TEST(CompactionScheduler, DeterministicAcrossInstances) {
+  CompactionScheduler a(Adaptive(/*hysteresis=*/2), nullptr);
+  CompactionScheduler b(Adaptive(/*hysteresis=*/2), nullptr);
+  std::vector<model::StepTimes> sequence = {
+      IoBound(), IoBound(), CpuBound(), CpuBound(), CpuBound(),
+      Times(3e-3, 3e-3, 3e-3), IoBound(), IoBound(), IoBound()};
+  for (size_t i = 0; i < sequence.size(); i++) {
+    const SchedulerDecision da = a.Admit(sequence[i], i);
+    const SchedulerDecision db = b.Admit(sequence[i], i);
+    EXPECT_EQ(da.mode, db.mode) << "admission " << i;
+    EXPECT_EQ(da.read_parallelism, db.read_parallelism) << "admission " << i;
+    EXPECT_EQ(da.compute_parallelism, db.compute_parallelism)
+        << "admission " << i;
+    EXPECT_EQ(da.adaptive, db.adaptive) << "admission " << i;
+    EXPECT_EQ(da.rationale, db.rationale) << "admission " << i;
+  }
+  EXPECT_EQ(a.switches(), b.switches());
+}
+
+TEST(CompactionScheduler, MetricsCountDecisionsAndSwitches) {
+  obs::MetricsRegistry registry;
+  CompactionScheduler s(Adaptive(/*hysteresis=*/2), &registry);
+  s.Admit(CpuBound(), 10);  // holding PCP, streak 1/2
+  s.Admit(CpuBound(), 11);  // switch to C-PPCP
+  s.Admit(CpuBound(), 12);  // steady C-PPCP
+  const std::string snapshot = registry.ToJson();
+  EXPECT_NE(std::string::npos, snapshot.find("scheduler.decisions"));
+  EXPECT_EQ(3u, s.decisions());
+  EXPECT_EQ(1u, s.switches());
+}
+
+TEST(CompactionScheduler, ToJsonParsesAndReportsCandidateStreak) {
+  CompactionScheduler s(Adaptive(/*hysteresis=*/3), nullptr);
+  s.Admit(CpuBound(), 10);  // candidate C-PPCP, streak 1/3
+
+  JsonValue v;
+  std::string err;
+  const std::string json = s.ToJson();
+  ASSERT_TRUE(ParseJson(json, &v, &err)) << err << "\n" << json;
+
+  const JsonValue* current = v.Find("current");
+  ASSERT_NE(nullptr, current);
+  EXPECT_EQ("PCP", current->Find("procedure")->string_value);
+
+  const JsonValue* candidate = v.Find("candidate");
+  ASSERT_NE(nullptr, candidate) << json;
+  EXPECT_EQ("C-PPCP", candidate->Find("procedure")->string_value);
+  EXPECT_EQ(1, candidate->Find("streak")->number_value);
+  EXPECT_EQ(3, candidate->Find("needed")->number_value);
+
+  ASSERT_NE(nullptr, v.Find("bounds"));
+  ASSERT_NE(nullptr, v.Find("rationale"));
+
+  // Steady state drops the candidate block again.
+  s.Admit(Times(3e-3, 3e-3, 3e-3), 11);
+  JsonValue steady;
+  ASSERT_TRUE(ParseJson(s.ToJson(), &steady, &err)) << err;
+  EXPECT_EQ(nullptr, steady.Find("candidate"));
+}
+
+TEST(CompactionScheduler, FromOptionsClampsDegenerateBounds) {
+  Options options;
+  options.adaptive_compaction = true;
+  options.min_compute_workers = 0;
+  options.max_compute_workers = -3;
+  options.min_stripe_width = 5;
+  options.max_stripe_width = 2;
+  options.scheduler_hysteresis_jobs = 0;
+  options.scheduler_warmup_jobs = -1;
+  options.scheduler_min_gain = 0.2;
+  const SchedulerOptions s = SchedulerOptions::FromOptions(options);
+  EXPECT_TRUE(s.adaptive);
+  EXPECT_EQ(1, s.min_compute_workers);
+  EXPECT_GE(s.max_compute_workers, s.min_compute_workers);
+  EXPECT_EQ(5, s.min_stripe_width);
+  EXPECT_GE(s.max_stripe_width, s.min_stripe_width);
+  EXPECT_EQ(1, s.hysteresis_jobs);
+  EXPECT_EQ(0, s.warmup_jobs);
+  EXPECT_GE(s.min_gain, 1.0);
+}
+
+}  // namespace
+}  // namespace pipelsm

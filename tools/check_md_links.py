@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Offline markdown link checker.
+
+Walks every *.md in the repository and verifies that
+
+  * relative link targets (`[text](path)`, `[text](path#anchor)`) resolve
+    to an existing file or directory, and
+  * anchors into markdown files (`#section`, `other.md#section`) match a
+    heading in the target file, using GitHub's slugging rules.
+
+External schemes (http/https/mailto/chrome) are deliberately NOT fetched
+— CI must pass without network — but are still syntax-checked. Exit
+status is the number of broken links (capped at process conventions by
+the shell), with one `file:line: message` diagnostic per problem.
+
+Usage: tools/check_md_links.py [root]         (default: repo root)
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", ".claude", "third_party"}
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+# Inline links; the target stops at the first unescaped ')' or space
+# (markdown titles in links are not used in this repo).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def find_md_files(root):
+    out = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: strip formatting, lowercase, spaces->dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # unwrap code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path):
+    """All anchor slugs a markdown file exposes, with dedup suffixes."""
+    slugs = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(path):
+    """Yield (line_number, target) for every inline link outside code."""
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            scrubbed = re.sub(r"`[^`]*`", "", line)  # drop inline code
+            for m in LINK_RE.finditer(scrubbed):
+                yield lineno, m.group(1)
+
+
+def main():
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), ".."))
+    errors = []
+    slug_cache = {}
+
+    def slugs_for(path):
+        if path not in slug_cache:
+            slug_cache[path] = heading_slugs(path)
+        return slug_cache[path]
+
+    files = find_md_files(root)
+    checked = 0
+    for md in files:
+        for lineno, target in iter_links(md):
+            checked += 1
+            where = f"{os.path.relpath(md, root)}:{lineno}"
+            if SCHEME_RE.match(target):
+                continue  # external; not fetched (offline checker)
+            frag = ""
+            if "#" in target:
+                target, frag = target.split("#", 1)
+            if target:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(md), target))
+                if not os.path.exists(dest):
+                    errors.append(f"{where}: broken link: {target}")
+                    continue
+            else:
+                dest = md  # pure-anchor link into this file
+            if frag:
+                if not dest.endswith(".md") or os.path.isdir(dest):
+                    continue  # anchors into non-markdown: not checkable
+                if frag.lower() not in slugs_for(dest):
+                    errors.append(
+                        f"{where}: missing anchor "
+                        f"#{frag} in {os.path.relpath(dest, root)}")
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {checked} links in {len(files)} markdown files: "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,13 @@
 //   --num=N --reads=N --key_size=N --value_size=N --batch=N
 //   --write_buffer_kb=N --file_kb=N --subtask_kb=N --block=N
 //   --compute_parallelism=N --io_parallelism=N --queue_depth=N
+//   --adaptive               per-job executor choice by the compaction
+//                            scheduler (Options::adaptive_compaction)
+//   --max_compute_workers=N --max_stripe_width=N
+//                            adaptive bounds on the chosen k
+//   --hysteresis=N           consecutive agreeing admissions before the
+//                            scheduler switches executor
+//   --warmup_jobs=N          compactions digested before adapting
 //   --bloom_bits=N           per-key bloom bits (0 = no filters)
 //   --read_ratio=N           mixedwhilewriting: percent of ops that are
 //                            Gets (default 50)
@@ -52,7 +59,9 @@
 //                            periodic stats dump (Options::
 //                            stats_dump_period_sec) so LOG gets them too
 //   --advisor                print `ADVISOR <json>` (the pipelsm.advisor
-//                            bottleneck verdict) after every workload
+//                            bottleneck verdict) and `SCHEDULER <json>`
+//                            (the pipelsm.scheduler decision state) after
+//                            every workload
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -92,6 +101,11 @@ struct Flags {
   int compute_parallelism = 1;
   int io_parallelism = 1;
   size_t queue_depth = 4;
+  bool adaptive = false;
+  int max_compute_workers = 4;
+  int max_stripe_width = 4;
+  int hysteresis = 3;
+  int warmup_jobs = 2;
   int bloom_bits = 0;
   int read_ratio = 50;
   std::string dist = "uniform";
@@ -173,6 +187,11 @@ class Benchmark {
     options_.compute_parallelism = flags_.compute_parallelism;
     options_.io_parallelism = flags_.io_parallelism;
     options_.pipeline_queue_depth = flags_.queue_depth;
+    options_.adaptive_compaction = flags_.adaptive;
+    options_.max_compute_workers = flags_.max_compute_workers;
+    options_.max_stripe_width = flags_.max_stripe_width;
+    options_.scheduler_hysteresis_jobs = flags_.hysteresis;
+    options_.scheduler_warmup_jobs = flags_.warmup_jobs;
     options_.compaction_time_dilation = flags_.dilation;
     options_.trace_path = flags_.trace_path;
     options_.stats_dump_period_sec =
@@ -197,8 +216,9 @@ class Benchmark {
     }
 
     std::printf("pipelsm db_bench\n");
-    std::printf("  db=%s device=%s compaction=%s\n", flags_.db.c_str(),
-                flags_.device.c_str(), flags_.compaction.c_str());
+    std::printf("  db=%s device=%s compaction=%s%s\n", flags_.db.c_str(),
+                flags_.device.c_str(), flags_.compaction.c_str(),
+                flags_.adaptive ? " (adaptive)" : "");
     std::printf("  entries=%llu (%zuB key + %zuB value), reads=%llu\n",
                 static_cast<unsigned long long>(flags_.num), flags_.key_size,
                 flags_.value_size,
@@ -224,6 +244,9 @@ class Benchmark {
           std::string json;
           if (db_->GetProperty("pipelsm.advisor", &json)) {
             std::printf("ADVISOR %s\n", json.c_str());
+          }
+          if (db_->GetProperty("pipelsm.scheduler", &json)) {
+            std::printf("SCHEDULER %s\n", json.c_str());
           }
         }
       }
@@ -536,6 +559,11 @@ int main(int argc, char** argv) {
                      &flags.compute_parallelism) ||
         ParseNumFlag(argv[i], "io_parallelism", &flags.io_parallelism) ||
         ParseNumFlag(argv[i], "queue_depth", &flags.queue_depth) ||
+        ParseNumFlag(argv[i], "max_compute_workers",
+                     &flags.max_compute_workers) ||
+        ParseNumFlag(argv[i], "max_stripe_width", &flags.max_stripe_width) ||
+        ParseNumFlag(argv[i], "hysteresis", &flags.hysteresis) ||
+        ParseNumFlag(argv[i], "warmup_jobs", &flags.warmup_jobs) ||
         ParseNumFlag(argv[i], "bloom_bits", &flags.bloom_bits) ||
         ParseNumFlag(argv[i], "read_ratio", &flags.read_ratio) ||
         ParseFlag(argv[i], "dist", &flags.dist) ||
@@ -548,6 +576,10 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--advisor") == 0) {
       flags.advisor = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--adaptive") == 0) {
+      flags.adaptive = true;
       continue;
     }
     std::string v;
