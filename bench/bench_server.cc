@@ -24,6 +24,27 @@
 //                    against db_bench mixedwhilewriting)
 //   --sync           sync WAL on every group commit (default off, to
 //                    match the in-process fillrandom baseline)
+//   --shards=N       serve a ShardedDB of N key-range shards (default 1;
+//                    boundaries split the bench's decimal keyspace
+//                    evenly, the client rides shard affinity, and the
+//                    server runs one group-commit thread per shard)
+//   --no_arbiter     disable the fleet CompactionArbiter (free-for-all
+//                    baseline for the EXPERIMENTS.md comparison)
+//   --io_lanes=N --compute_workers=N  arbiter budget (defaults 4/4)
+//   --device=posix|hdd|ssd  storage under the DB (default posix). hdd/ssd
+//                    run on SimEnv with the paper's timed device model:
+//                    transfers charge modeled wall time as real sleeps,
+//                    so multi-shard I/O overlap is a genuine wall-clock
+//                    effect even on a 1-core host (see sim_device.h).
+//                    The profile is FIXED across shard counts (same
+//                    modeled array) so scaling numbers are comparable.
+//   --stripes=N      RAID0 member count of the simulated device
+//                    (default 4, matching the paper's md arrays)
+//
+// The report ends with one machine-readable line:
+//   RESULT {"shards":...,"served_ops_s":...,"per_shard":[...],...}
+// so the multi-shard scaling gate in EXPERIMENTS.md can be checked by
+// parsing stdout instead of scraping prose.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -39,7 +60,10 @@
 #include "src/db/db.h"
 #include "src/db/write_batch.h"
 #include "src/env/env.h"
+#include "src/env/sim_env.h"
 #include "src/server/server.h"
+#include "src/shard/router.h"
+#include "src/shard/sharded_db.h"
 #include "src/util/histogram.h"
 #include "src/util/stopwatch.h"
 #include "src/workload/generator.h"
@@ -57,6 +81,14 @@ struct Flags {
   int read_ratio = 0;
   bool sync = false;
   uint32_t seed = 301;
+  size_t group_max = 1024;
+  int io_threads = 0;  // 0 = auto: one per shard (min 1)
+  size_t shards = 1;
+  bool arbiter = true;
+  int io_lanes = 4;
+  int compute_workers = 4;
+  std::string device = "posix";
+  int stripes = 4;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -76,9 +108,21 @@ bool ParseNumFlag(const char* arg, const char* name, T* out) {
   return true;
 }
 
-Options MakeDbOptions() {
+// nullptr for --device=posix; otherwise a fresh SimEnv per phase (each
+// phase starts from an empty simulated disk, like DestroyDB on posix).
+std::unique_ptr<Env> MakeSimEnv(const Flags& flags) {
+  if (flags.device == "hdd") {
+    return std::make_unique<SimEnv>(DeviceProfile::Hdd(flags.stripes));
+  }
+  if (flags.device == "ssd") {
+    return std::make_unique<SimEnv>(DeviceProfile::Ssd(flags.stripes));
+  }
+  return nullptr;
+}
+
+Options MakeDbOptions(Env* env) {
   Options options;
-  options.env = Env::Posix();
+  options.env = env != nullptr ? env : Env::Posix();
   options.create_if_missing = true;
   options.compaction_mode = CompactionMode::kPCP;
   return options;
@@ -98,7 +142,8 @@ std::unique_ptr<DB> OpenFresh(const std::string& path,
 
 // Phase 1: the db_bench fillrandom loop, verbatim shape.
 double InProcessFill(const Flags& flags, const std::string& path) {
-  Options options = MakeDbOptions();
+  std::unique_ptr<Env> sim = MakeSimEnv(flags);  // outlives the DB
+  Options options = MakeDbOptions(sim.get());
   std::unique_ptr<DB> db = OpenFresh(path, options);
   WorkloadGenerator gen(flags.num, flags.key_size, flags.value_size,
                         KeyOrder::kRandom, flags.seed);
@@ -117,11 +162,21 @@ double InProcessFill(const Flags& flags, const std::string& path) {
   return flags.num / seconds;
 }
 
-// One driver thread: pushes its slice of the key space through the
-// shared client, keeping `window` futures in flight.
+// One driver thread, keeping `window` futures in flight.
+//
+// Unsharded (`router == nullptr`): drives the index slice [begin, end).
+// Sharded: drives ONLY `my_shard`'s keys — each driver scans the whole
+// index space and claims every sub_count-th key owned by its shard, so
+// every key is sent exactly once fleet-wide. Partitioning drivers by
+// shard matters: a mixed pipeline stalls head-of-line on the slowest
+// shard (any window holds every shard's futures, so one shard's write
+// stall blocks all drivers); dedicated drivers keep the healthy shards'
+// pipelines full while the stalled one backs up alone.
 void DriveSlice(client::Client* cli, const WorkloadGenerator& gen,
                 uint64_t begin, uint64_t end, const Flags& flags,
-                uint32_t thread_seed, std::atomic<uint64_t>* errors) {
+                uint32_t thread_seed, std::atomic<uint64_t>* errors,
+                const shard::ShardRouter* router, size_t my_shard,
+                size_t sub_index, size_t sub_count) {
   std::deque<std::future<client::Result>> inflight;
   Random rnd(thread_seed);
   auto reap = [&](size_t keep) {
@@ -134,14 +189,20 @@ void DriveSlice(client::Client* cli, const WorkloadGenerator& gen,
       }
     }
   };
+  uint64_t matched = 0;
   for (uint64_t i = begin; i < end; i++) {
+    std::string key = gen.Key(i);
+    if (router != nullptr) {
+      if (router->ShardOf(key) != my_shard) continue;
+      if ((matched++ % sub_count) != sub_index) continue;
+    }
     const bool is_get =
         flags.read_ratio > 0 &&
         static_cast<int>(rnd.Next() % 100) < flags.read_ratio;
     if (is_get) {
       inflight.push_back(cli->AsyncGet(gen.Key(rnd.Next() % flags.num)));
     } else {
-      inflight.push_back(cli->AsyncPut(gen.Key(i), gen.Value(i)));
+      inflight.push_back(cli->AsyncPut(key, gen.Value(i)));
     }
     // Reap half the window at once: the first get() blocks until the
     // server's coalesced reply burst lands, after which the rest are
@@ -152,24 +213,81 @@ void DriveSlice(client::Client* cli, const WorkloadGenerator& gen,
   reap(0);
 }
 
+// 10^n clamped below the uint64 ceiling (the bench keyspace spans the
+// full decimal width of its keys; see SplitDecimalKeyspace call below).
+uint64_t Pow10(size_t n) {
+  uint64_t v = 1;
+  for (size_t i = 0; i < n && i < 19; i++) v *= 10;
+  return v;
+}
+
+// Per-shard and aggregate numbers from one served phase, for both the
+// human report and the machine-readable RESULT line.
+struct ServedStats {
+  double ops_per_sec = 0;
+  std::vector<uint64_t> shard_write_ops;  // empty when unsharded
+  std::string arbiter_json;               // "{}" when unsharded / off
+  std::string batch_histogram;
+};
+
 // Phase 2: the same workload through the loopback server.
-double ServedFill(const Flags& flags, const std::string& path,
-                  std::string* batch_histogram) {
-  Options options = MakeDbOptions();
+ServedStats ServedFill(const Flags& flags, const std::string& path) {
+  std::unique_ptr<Env> sim = MakeSimEnv(flags);  // outlives the DB
+  Options options = MakeDbOptions(sim.get());
+  // Unsharded, the DB-wide stall gate is the right backpressure. Sharded,
+  // it is NOT wired: one shard's hard stall would park reads on EVERY
+  // connection and serialize the whole fleet on the slowest shard. The
+  // per-connection in-flight cap plus shard affinity already deliver
+  // per-shard backpressure (a stalled shard's sockets fill their window
+  // and pause; the other shards' sockets keep streaming).
   server::WriteStallGate gate;
-  options.listeners.push_back(&gate);
-  std::unique_ptr<DB> db = OpenFresh(path, options);
+  if (flags.shards <= 1) options.listeners.push_back(&gate);
+
+  std::unique_ptr<DB> db;
+  shard::ShardedDB* sharded = nullptr;
+  std::vector<std::string> boundaries;
+  if (flags.shards > 1) {
+    // Random-order bench keys are uniform over the whole decimal width
+    // of the key, so split [0, 10^key_size) — NOT [0, num): splitting by
+    // index count would put every key in shard 0.
+    const size_t eff_key = flags.key_size < 8 ? 8 : flags.key_size;
+    boundaries = shard::ShardRouter::SplitDecimalKeyspace(
+        Pow10(eff_key), eff_key, flags.shards);
+    shard::ShardedOptions shopts;
+    shopts.num_shards = flags.shards;
+    shopts.boundary_keys = boundaries;
+    shopts.enable_arbiter = flags.arbiter;
+    shopts.arbiter.budget.io_lanes = flags.io_lanes;
+    shopts.arbiter.budget.compute_workers = flags.compute_workers;
+    shard::ShardedDB::Destroy(path, options);
+    shard::ShardedDB* raw = nullptr;
+    Status s = shard::ShardedDB::Open(options, shopts, path, &raw);
+    if (!s.ok()) {
+      std::fprintf(stderr, "sharded open %s: %s\n", path.c_str(),
+                   s.ToString().c_str());
+      std::exit(1);
+    }
+    db.reset(raw);
+    sharded = raw;
+  } else {
+    db = OpenFresh(path, options);
+  }
 
   server::ServerOptions sopts;
   sopts.host = "127.0.0.1";
   sopts.port = 0;  // ephemeral
   sopts.sync_writes = flags.sync;
-  sopts.stall_gate = &gate;
+  sopts.stall_gate = flags.shards <= 1 ? &gate : nullptr;
   // Throughput-tuned: deep leader batches amortize both the DB write and
   // the per-connection reply send (more frames coalesced per send()).
-  sopts.group_commit_max_requests = 1024;
+  // --group_max bounds the batch; with --sync that makes the WAL fsync
+  // cadence the bottleneck, which is the regime where per-shard commit
+  // threads (N parallel fsync streams) show their scaling.
+  sopts.group_commit_max_requests = flags.group_max;
   sopts.request_queue_depth = 4096;
-  sopts.num_io_threads = 1;
+  sopts.num_io_threads = flags.io_threads > 0
+                             ? flags.io_threads
+                             : static_cast<int>(flags.shards);
   server::Server srv(db.get(), sopts);
   Status s = srv.Start();
   if (!s.ok()) {
@@ -185,20 +303,39 @@ double ServedFill(const Flags& flags, const std::string& path,
   // ride one send() (drivers Flush before blocking on futures).
   copts.connection_stride = 16;
   copts.pipeline_buffer_bytes = 16 * 1024;
+  // Keyed requests stick to their shard's connection group, so each
+  // commit thread's group-commit window fills from dedicated sockets.
+  copts.shard_affinity_boundaries = boundaries;
   client::Client cli(copts);
 
   WorkloadGenerator gen(flags.num, flags.key_size, flags.value_size,
                         KeyOrder::kRandom, flags.seed);
   std::atomic<uint64_t> errors{0};
-  const int threads = flags.threads > 0 ? flags.threads : 1;
+  int threads = flags.threads > 0 ? flags.threads : 1;
+  if (flags.shards > 1) {
+    // Round up to a multiple of the shard count so every shard gets the
+    // same number of dedicated drivers.
+    const int per = (threads + flags.shards - 1) / flags.shards;
+    threads = per * static_cast<int>(flags.shards);
+  }
   Stopwatch total;
   std::vector<std::thread> drivers;
   for (int t = 0; t < threads; t++) {
-    const uint64_t begin = flags.num * t / threads;
-    const uint64_t end = flags.num * (t + 1) / threads;
-    drivers.emplace_back(DriveSlice, &cli, std::cref(gen), begin, end,
-                         std::cref(flags), flags.seed + 31 * (t + 1),
-                         &errors);
+    if (flags.shards > 1) {
+      const size_t my_shard = t % flags.shards;
+      const size_t sub_index = t / flags.shards;
+      const size_t sub_count = threads / flags.shards;
+      drivers.emplace_back(DriveSlice, &cli, std::cref(gen), 0, flags.num,
+                           std::cref(flags), flags.seed + 31 * (t + 1),
+                           &errors, &sharded->router(), my_shard,
+                           sub_index, sub_count);
+    } else {
+      const uint64_t begin = flags.num * t / threads;
+      const uint64_t end = flags.num * (t + 1) / threads;
+      drivers.emplace_back(DriveSlice, &cli, std::cref(gen), begin, end,
+                           std::cref(flags), flags.seed + 31 * (t + 1),
+                           &errors, nullptr, 0, 0, 1);
+    }
   }
   for (auto& d : drivers) d.join();
   const double seconds = total.ElapsedSeconds();
@@ -221,11 +358,28 @@ double ServedFill(const Flags& flags, const std::string& path,
                 "max=%.0f",
                 static_cast<unsigned long long>(snap.Num()), snap.Average(),
                 snap.Percentile(95), snap.Max());
-  *batch_histogram = buf;
+
+  ServedStats stats;
+  stats.ops_per_sec = flags.num / seconds;
+  stats.batch_histogram = buf;
+  stats.arbiter_json = "{}";
+  if (flags.shards > 1) {
+    for (size_t i = 0; i < flags.shards; i++) {
+      const obs::Counter* c = srv.metrics_registry()->RegisterCounter(
+          "server.shard" + std::to_string(i) + ".write_ops", "");
+      stats.shard_write_ops.push_back(c->value());
+    }
+  }
 
   srv.Drain();
   db->WaitForCompactions();
-  return flags.num / seconds;
+  // After the drive and compaction settle: peak/in-use lane occupancy
+  // proves the budget held (or "{}" when unsharded / arbiter off).
+  std::string arbiter;
+  if (db->GetProperty("pipelsm.arbiter", &arbiter)) {
+    stats.arbiter_json = arbiter;
+  }
+  return stats;
 }
 
 }  // namespace
@@ -241,35 +395,82 @@ int main(int argc, char** argv) {
         pipelsm::ParseNumFlag(argv[i], "key_size", &flags.key_size) ||
         pipelsm::ParseNumFlag(argv[i], "value_size", &flags.value_size) ||
         pipelsm::ParseNumFlag(argv[i], "read_ratio", &flags.read_ratio) ||
-        pipelsm::ParseNumFlag(argv[i], "seed", &flags.seed)) {
+        pipelsm::ParseNumFlag(argv[i], "seed", &flags.seed) ||
+        pipelsm::ParseNumFlag(argv[i], "shards", &flags.shards) ||
+        pipelsm::ParseNumFlag(argv[i], "io_threads", &flags.io_threads) ||
+        pipelsm::ParseNumFlag(argv[i], "group_max", &flags.group_max) ||
+        pipelsm::ParseNumFlag(argv[i], "io_lanes", &flags.io_lanes) ||
+        pipelsm::ParseNumFlag(argv[i], "stripes", &flags.stripes) ||
+        pipelsm::ParseNumFlag(argv[i], "compute_workers",
+                              &flags.compute_workers)) {
       continue;
     }
+    if (pipelsm::ParseFlag(argv[i], "device", &flags.device)) continue;
     if (std::strcmp(argv[i], "--sync") == 0) {
       flags.sync = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no_arbiter") == 0) {
+      flags.arbiter = false;
       continue;
     }
     std::fprintf(stderr, "unrecognized flag: %s\n", argv[i]);
     return 2;
   }
+  if (flags.shards < 1) flags.shards = 1;
+  if (flags.stripes < 1) flags.stripes = 1;
+  if (flags.device != "posix" && flags.device != "hdd" &&
+      flags.device != "ssd") {
+    std::fprintf(stderr, "unknown --device=%s (posix|hdd|ssd)\n",
+                 flags.device.c_str());
+    return 2;
+  }
 
   std::printf("bench_server: %llu ops, %d connections, %d threads, "
-              "window %zu, read_ratio %d%%, sync=%d\n",
+              "window %zu, read_ratio %d%%, sync=%d, shards=%zu, "
+              "arbiter=%d, device=%s\n",
               static_cast<unsigned long long>(flags.num), flags.connections,
               flags.threads, flags.window, flags.read_ratio,
-              flags.sync ? 1 : 0);
+              flags.sync ? 1 : 0, flags.shards, flags.arbiter ? 1 : 0,
+              flags.device.c_str());
 
   const double local =
       pipelsm::InProcessFill(flags, "/tmp/pipelsm_bench_server_local");
   std::printf("in-process fill: %10.0f ops/s\n", local);
 
-  std::string batch_histogram;
-  const double served = pipelsm::ServedFill(
-      flags, "/tmp/pipelsm_bench_server_net", &batch_histogram);
+  const pipelsm::ServedStats served =
+      pipelsm::ServedFill(flags, "/tmp/pipelsm_bench_server_net");
   std::printf("served fill:     %10.0f ops/s  (loopback, pipelined)\n",
-              served);
-  std::printf("%s\n", batch_histogram.c_str());
-  const double ratio = local > 0 ? served / local : 0;
+              served.ops_per_sec);
+  std::printf("%s\n", served.batch_histogram.c_str());
+  for (size_t i = 0; i < served.shard_write_ops.size(); i++) {
+    std::printf("shard %zu: %llu write ops routed\n", i,
+                static_cast<unsigned long long>(served.shard_write_ops[i]));
+  }
+  const double ratio = local > 0 ? served.ops_per_sec / local : 0;
   std::printf("served/in-process ratio: %.2f  (acceptance floor 0.50)\n",
               ratio);
+
+  // Machine-readable summary (EXPERIMENTS.md scaling gate parses this).
+  std::string result;
+  char head[320];
+  std::snprintf(head, sizeof(head),
+                "RESULT {\"shards\":%zu,\"arbiter\":%s,\"sync\":%s,"
+                "\"device\":\"%s\",\"num\":%llu,\"in_process_ops_s\":%.0f,"
+                "\"served_ops_s\":%.0f,\"ratio\":%.3f,\"per_shard\":[",
+                flags.shards, flags.arbiter ? "true" : "false",
+                flags.sync ? "true" : "false", flags.device.c_str(),
+                static_cast<unsigned long long>(flags.num), local,
+                served.ops_per_sec, ratio);
+  result = head;
+  for (size_t i = 0; i < served.shard_write_ops.size(); i++) {
+    if (i) result += ",";
+    char row[96];
+    std::snprintf(row, sizeof(row), "{\"shard\":%zu,\"write_ops\":%llu}", i,
+                  static_cast<unsigned long long>(served.shard_write_ops[i]));
+    result += row;
+  }
+  result += "],\"arbiter_state\":" + served.arbiter_json + "}";
+  std::printf("%s\n", result.c_str());
   return ratio >= 0.5 ? 0 : 1;
 }

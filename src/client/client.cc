@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -105,10 +106,31 @@ void Client::FailAllPending(Connection& conn, const Status& status) {
   conn.window_cv.notify_all();
 }
 
-Client::Connection* Client::PickConnection() {
-  const size_t t = next_conn_.fetch_add(1, std::memory_order_relaxed);
+Client::Connection* Client::PickConnection(const Slice* key) {
   const size_t stride =
       options_.connection_stride > 0 ? options_.connection_stride : 1;
+  const auto& bounds = options_.shard_affinity_boundaries;
+  if (key != nullptr && !bounds.empty()) {
+    // Keyed + affinity: stay inside the key's shard group. Group g owns
+    // pool slots g, g+groups, g+2*groups, ... (interleaved so any pool
+    // size works); round-robin within the group by the global ticket.
+    const size_t groups = bounds.size() + 1;
+    const size_t shard = static_cast<size_t>(
+        std::upper_bound(bounds.begin(), bounds.end(), *key,
+                         [](const Slice& a, const std::string& b) {
+                           return a.compare(Slice(b)) < 0;
+                         }) -
+        bounds.begin());
+    // Slots this group owns; with fewer connections than shards some
+    // groups are empty and fall back to a modulo pick.
+    const size_t slots =
+        pool_.size() / groups + (shard < pool_.size() % groups ? 1 : 0);
+    if (slots == 0) return pool_[shard % pool_.size()].get();
+    const size_t t = next_conn_.fetch_add(1, std::memory_order_relaxed);
+    const size_t within = (t / stride) % slots;
+    return pool_[shard + within * groups].get();
+  }
+  const size_t t = next_conn_.fetch_add(1, std::memory_order_relaxed);
   return pool_[(t / stride) % pool_.size()].get();
 }
 
@@ -245,8 +267,9 @@ std::future<Result> Client::FailedFuture(const Status& status) {
   return promise.get_future();
 }
 
-std::future<Result> Client::Submit(MessageType type, const std::string& body) {
-  Connection& conn = *PickConnection();
+std::future<Result> Client::Submit(MessageType type, const std::string& body,
+                                   const Slice* key) {
+  Connection& conn = *PickConnection(key);
   const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   std::string wire;
   server::EncodeFrame(type, false, seq, body, &wire);
@@ -351,13 +374,13 @@ std::future<Result> Client::AsyncPut(const Slice& key, const Slice& value) {
   std::string body;
   PutLengthPrefixedSlice(&body, key);
   PutLengthPrefixedSlice(&body, value);
-  return Submit(MessageType::kPut, body);
+  return Submit(MessageType::kPut, body, &key);
 }
 
 std::future<Result> Client::AsyncDelete(const Slice& key) {
   std::string body;
   PutLengthPrefixedSlice(&body, key);
-  return Submit(MessageType::kDelete, body);
+  return Submit(MessageType::kDelete, body, &key);
 }
 
 std::future<Result> Client::AsyncWriteBatch(
@@ -375,7 +398,7 @@ std::future<Result> Client::AsyncWriteBatch(
 std::future<Result> Client::AsyncGet(const Slice& key) {
   std::string body;
   PutLengthPrefixedSlice(&body, key);
-  return Submit(MessageType::kGet, body);
+  return Submit(MessageType::kGet, body, &key);
 }
 
 std::future<Result> Client::AsyncScan(const Slice& start_key, uint32_t limit) {

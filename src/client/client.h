@@ -65,6 +65,17 @@ struct ClientOptions {
   // (both this buffer and the server's batched replies) carry more
   // frames per syscall. 1 = classic per-request round-robin.
   size_t connection_stride = 1;
+
+  // Shard affinity against a sharded server (docs/SHARDING.md): the
+  // server's boundary keys, sorted ascending. When non-empty, the pool
+  // is partitioned into boundaries.size() + 1 groups (connection i
+  // serves shard i % groups) and every KEYED request (put/delete/get)
+  // rides a connection of its key's group — so each server commit
+  // thread's group-commit window fills from dedicated sockets instead
+  // of interleaving all shards over all sockets. Keyless requests
+  // (ping/scan/stats/batch) still round-robin over the whole pool.
+  // Size num_connections as a multiple of the shard count.
+  std::vector<std::string> shard_affinity_boundaries;
 };
 
 // Outcome of one request. `value` holds GET/STATS payloads; `entries`
@@ -117,13 +128,15 @@ class Client {
   // Allocates a sequence number, frames `body` onto a pooled connection
   // and registers a pending slot; the reader thread completes the future.
   // The frame goes out immediately unless pipeline_buffer_bytes holds it
-  // back for coalescing.
-  std::future<Result> Submit(server::MessageType type, const std::string& body);
+  // back for coalescing. `key` (nullable) steers the connection choice
+  // under shard_affinity_boundaries; it does not change the wire format.
+  std::future<Result> Submit(server::MessageType type, const std::string& body,
+                             const Slice* key = nullptr);
   // Flush() + Wait(): the sync API lands here so buffered frames always
   // reach the wire before the caller blocks.
   Result SyncWait(std::future<Result> future);
   std::future<Result> FailedFuture(const Status& status);
-  Connection* PickConnection();
+  Connection* PickConnection(const Slice* key);
   Status EnsureConnected(Connection& conn);
   void ReaderLoop(Connection* conn);
   static void FailAllPending(Connection& conn, const Status& status);

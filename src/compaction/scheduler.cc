@@ -27,6 +27,10 @@ void AppendEscaped(std::string* out, const std::string& s) {
 
 }  // namespace
 
+// Key the vtable here so every TU sharing the interface agrees on one
+// definition.
+CompactionGovernor::~CompactionGovernor() = default;
+
 SchedulerOptions SchedulerOptions::FromOptions(const Options& options) {
   SchedulerOptions s;
   s.adaptive = options.adaptive_compaction;

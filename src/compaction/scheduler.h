@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -74,6 +75,46 @@ struct SchedulerDecision {
   int compute_parallelism = 1;
   bool adaptive = false;     // false: static config or warmup fallback
   std::string rationale;     // one line for EVENT adaptive_decision / info
+};
+
+// What one engine tells a fleet-level governor when it wants to compact.
+struct CompactionAdmissionRequest {
+  int shard_id = -1;                // Options::shard_id (-1: unsharded)
+  model::StepTimes profile;         // advisor's decayed per-step times
+  uint64_t advisor_jobs = 0;        // jobs the advisor has digested
+  int level = 0;                    // compaction input level
+  uint64_t input_bytes = 0;         // sum of input file sizes
+};
+
+// The governor's answer. `granted == false` means the engine must yield
+// the admission slot (its background loop re-schedules); on success the
+// engine runs `decision` and MUST call Release(id) when the job — or its
+// failure path — finishes.
+struct CompactionGrant {
+  bool granted = false;
+  uint64_t id = 0;
+  SchedulerDecision decision;
+};
+
+// Fleet-level compaction admission. One instance is shared by every
+// engine in a ShardedDB (Options::compaction_governor); each engine's
+// background thread blocks in Admit() until the governor hands it a
+// budget share or `abort` returns true. Implementations must be
+// thread-safe and must not call back into any DB.
+class CompactionGovernor {
+ public:
+  virtual ~CompactionGovernor();
+
+  // Blocks until a grant is available or `abort()` turns true (polled at
+  // implementation-defined intervals; the caller passes e.g. "DB is
+  // shutting down or a flush is pending"). Never holds DB mutexes.
+  virtual CompactionGrant Admit(const CompactionAdmissionRequest& request,
+                                const std::function<bool()>& abort) = 0;
+
+  // Returns the grant's lanes/workers to the pool. Must tolerate ids
+  // from grants already released (no-op) but is called exactly once per
+  // successful Admit.
+  virtual void Release(uint64_t grant_id) = 0;
 };
 
 class CompactionScheduler {

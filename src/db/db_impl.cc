@@ -927,8 +927,50 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
   // decision is copied into the per-job CompactionJobOptions here, under
   // mutex_, and never re-read from shared state mid-run — the executors
   // only ever see their own job copy (see docs/TUNING.md).
-  const SchedulerDecision decision =
-      scheduler_->Admit(advisor_.Profile(), advisor_.jobs());
+  //
+  // With a fleet governor (Options::compaction_governor, docs/SHARDING.md)
+  // the admission instead blocks — outside mutex_ — until the fleet hands
+  // this engine a budget share. The wait aborts on shutdown, and for
+  // non-manual jobs also when a flush becomes pending: this engine's sole
+  // background thread must not sit in the arbiter queue while writers
+  // stall on imm_. A manual compaction never yields to a flush, because
+  // BackgroundCompaction advances the manual cursor whether or not work
+  // ran — yielding would silently skip the range.
+  SchedulerDecision decision;
+  uint64_t grant_id = 0;
+  CompactionGovernor* const governor = options_.compaction_governor;
+  if (governor != nullptr) {
+    CompactionAdmissionRequest request;
+    request.shard_id = options_.shard_id;
+    request.profile = advisor_.Profile();
+    request.advisor_jobs = advisor_.jobs();
+    request.level = c->level();
+    for (int which = 0; which < 2; which++) {
+      for (const FileMetaData* f : c->inputs(which)) {
+        request.input_bytes += f->file_size;
+      }
+    }
+    const bool manual = manual_compaction_ != nullptr;
+    lock.unlock();
+    CompactionGrant grant = governor->Admit(request, [this, manual] {
+      return shutting_down_.load(std::memory_order_acquire) ||
+             (!manual && has_imm_.load(std::memory_order_acquire));
+    });
+    lock.lock();
+    if (!grant.granted) {
+      if (shutting_down_.load(std::memory_order_acquire)) {
+        return Status::IOError("deleting DB during compaction");
+      }
+      // Yield the slot to the pending flush; the background loop
+      // re-schedules this compaction right after (`delete c` in the
+      // caller releases the pinned input version).
+      return Status::OK();
+    }
+    decision = grant.decision;
+    grant_id = grant.id;
+  } else {
+    decision = scheduler_->Admit(advisor_.Profile(), advisor_.jobs());
+  }
   CompactionExecutor* const executor =
       executors_[static_cast<int>(decision.mode)].get();
 
@@ -1011,6 +1053,11 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
     status = executor->Run(job, inputs, &sink, &profile);
     lock.lock();
   }
+
+  // The job is over (ran or failed to open inputs): hand the fleet share
+  // back before the install, so a waiting shard can start compacting
+  // while this one applies its version edit.
+  if (governor != nullptr) governor->Release(grant_id);
 
   if (status.ok() && shutting_down_.load(std::memory_order_acquire)) {
     status = Status::IOError("deleting DB during compaction");

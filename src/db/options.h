@@ -11,6 +11,7 @@
 namespace pipelsm {
 
 class BlockCache;
+class CompactionGovernor;
 class Comparator;
 class Env;
 class FilterPolicy;
@@ -132,6 +133,20 @@ struct Options {
   // ideal gain over plain PCP (Eqs. 5/7, at the clamped k) reaches this
   // factor; below it the scheduler stays on PCP.
   double scheduler_min_gain = 1.1;
+
+  // -------- fleet scheduling (docs/SHARDING.md) --------
+  // When non-null, every compaction admission goes through this governor
+  // instead of the per-DB scheduler: the background thread blocks in
+  // CompactionGovernor::Admit() until the fleet hands it an executor + k
+  // within the shared lane/worker budget, and releases the grant when
+  // the job finishes. ShardedDB wires its CompactionArbiter here for all
+  // member shards. Must be thread-safe and outlive the DB; nullptr
+  // (default) keeps per-DB admission.
+  CompactionGovernor* compaction_governor = nullptr;
+
+  // Identity stamped on governor admission requests and EVENT lines when
+  // this engine is one shard of a ShardedDB; -1 = not sharded.
+  int shard_id = -1;
 
   // Extension beyond the paper: pipeline memtable flushes too (block
   // building/compression overlapped with file writes — the paper notes

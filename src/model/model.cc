@@ -119,6 +119,150 @@ Prescription Prescribe(const StepTimes& t, double min_gain, int max_k) {
   return p;
 }
 
+namespace {
+
+// Bandwidth of one job under its current allocation (Eq. 2/4/6; Eq. 1
+// for jobs where pipelining is churn).
+double AllocationBandwidth(const StepTimes& t, const FleetAllocation& a) {
+  switch (a.prescription.procedure) {
+    case Prescription::kSCP:
+      return ScpBandwidth(t);
+    case Prescription::kSPPCP:
+      return SppcpBandwidth(t, a.lanes);
+    case Prescription::kCPPCP:
+      return CppcpBandwidth(t, a.workers);
+    case Prescription::kPCP:
+      break;
+  }
+  return PcpBandwidth(t);
+}
+
+void DemoteToFloor(const StepTimes& t, FleetAllocation* a) {
+  a->lanes = 1;
+  a->workers = 1;
+  a->prescription.k = 1;
+  if (t.total() <= 0 || PcpIdealSpeedup(t) < 1.02) {
+    // Pipelining itself is churn (or the profile is empty): Eq. 1.
+    a->prescription.procedure = Prescription::kSCP;
+    a->prescription.gain_vs_pcp = 1.0;
+    a->prescription.reason =
+        "Eq. 3 gain under 2%; the 3-stage pipeline is churn here";
+  } else {
+    a->prescription.procedure = Prescription::kPCP;
+    a->prescription.gain_vs_pcp = 1.0;
+    a->prescription.reason =
+        "fleet floor: 1 lane + 1 worker runs the Eq. 2 pipeline";
+  }
+}
+
+}  // namespace
+
+std::vector<FleetAllocation> PrescribeFleet(const std::vector<StepTimes>& jobs,
+                                            const FleetBudget& budget,
+                                            double min_gain) {
+  std::vector<FleetAllocation> out(jobs.size());
+  const int max_jobs =
+      std::max(0, std::min(budget.io_lanes, budget.compute_workers));
+  const size_t admitted = std::min(jobs.size(), size_t(max_jobs));
+
+  // Floor pass: every admitted job holds 1 lane + 1 worker; overflow jobs
+  // get k=0 so the caller knows to queue them.
+  for (size_t i = 0; i < out.size(); i++) {
+    if (i < admitted) {
+      out[i].prescription.cpu_bound = IsCpuBound(jobs[i]);
+      DemoteToFloor(jobs[i], &out[i]);
+    } else {
+      out[i].lanes = 0;
+      out[i].workers = 0;
+      out[i].prescription.k = 0;
+      out[i].prescription.procedure = Prescription::kPCP;
+      out[i].prescription.reason =
+          "fleet budget exhausted: min(io_lanes, compute_workers) jobs "
+          "already hold their floor";
+    }
+  }
+
+  // Greedy upgrade pass: hand out remaining units one at a time to the
+  // largest marginal bandwidth gain. A job's bottleneck regime fixes the
+  // dimension it competes in (Eq. 4 wants lanes, Eq. 6 wants workers);
+  // SCP-floored jobs are not upgraded (their pipeline gain is churn).
+  std::vector<bool> eligible(admitted);
+  for (size_t i = 0; i < admitted; i++) {
+    eligible[i] = out[i].prescription.procedure != Prescription::kSCP &&
+                  jobs[i].total() > 0;
+  }
+  while (true) {
+    int free_lanes = budget.io_lanes;
+    int free_workers = budget.compute_workers;
+    for (size_t i = 0; i < admitted; i++) {
+      free_lanes -= out[i].lanes;
+      free_workers -= out[i].workers;
+    }
+    while (free_lanes > 0 || free_workers > 0) {
+      double best_delta = 0;
+      size_t best = admitted;
+      bool best_is_lane = false;
+      for (size_t i = 0; i < admitted; i++) {
+        if (!eligible[i]) continue;
+        const double now = AllocationBandwidth(jobs[i], out[i]);
+        if (!out[i].prescription.cpu_bound && free_lanes > 0 &&
+            out[i].lanes < SppcpSaturationDisks(jobs[i])) {
+          const double next = SppcpBandwidth(jobs[i], out[i].lanes + 1);
+          if (next - now > best_delta) {
+            best_delta = next - now;
+            best = i;
+            best_is_lane = true;
+          }
+        }
+        if (out[i].prescription.cpu_bound && free_workers > 0 &&
+            out[i].workers < CppcpSaturationThreads(jobs[i])) {
+          const double next = CppcpBandwidth(jobs[i], out[i].workers + 1);
+          if (next - now > best_delta) {
+            best_delta = next - now;
+            best = i;
+            best_is_lane = false;
+          }
+        }
+      }
+      if (best == admitted) break;  // nothing left worth a unit
+      FleetAllocation& a = out[best];
+      if (best_is_lane) {
+        a.lanes++;
+        free_lanes--;
+        a.prescription.procedure = Prescription::kSPPCP;
+        a.prescription.k = a.lanes;
+        a.prescription.gain_vs_pcp = SppcpIdealSpeedup(jobs[best], a.lanes);
+        a.prescription.reason =
+            "fleet share of Eq. 4: lanes granted while their marginal "
+            "bandwidth led the fleet";
+      } else {
+        a.workers++;
+        free_workers--;
+        a.prescription.procedure = Prescription::kCPPCP;
+        a.prescription.k = a.workers;
+        a.prescription.gain_vs_pcp = CppcpIdealSpeedup(jobs[best], a.workers);
+        a.prescription.reason =
+            "fleet share of Eq. 6: workers granted while their marginal "
+            "bandwidth led the fleet";
+      }
+    }
+    // Demotion pass: an upgrade that did not reach min_gain returns its
+    // units (they may push another job past the bar, so loop).
+    bool demoted = false;
+    for (size_t i = 0; i < admitted; i++) {
+      if (!eligible[i]) continue;
+      if (out[i].prescription.procedure == Prescription::kPCP) continue;
+      if (out[i].prescription.gain_vs_pcp < min_gain) {
+        DemoteToFloor(jobs[i], &out[i]);
+        eligible[i] = false;
+        demoted = true;
+      }
+    }
+    if (!demoted) break;
+  }
+  return out;
+}
+
 std::string Describe(const StepTimes& t) {
   char buf[512];
   std::snprintf(

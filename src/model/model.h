@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/util/stopwatch.h"
 
@@ -95,6 +96,38 @@ const char* PrescriptionProcedureName(Prescription::Procedure procedure);
 // capped k so an out-of-reach saturation point cannot justify a switch.
 Prescription Prescribe(const StepTimes& t, double min_gain = 1.1,
                        int max_k = 0);
+
+// Fleet-wide resource pool the arbiter divides among concurrent
+// compactions. A lane is one unit of I/O parallelism (a stripe device in
+// Eq. 4 terms); a worker is one unit of compute parallelism (a core in
+// Eq. 6 terms). Every admitted job holds at least one of each — PCP is a
+// 1-lane/1-worker pipeline — so min(io_lanes, compute_workers) bounds the
+// number of jobs that can run at once.
+struct FleetBudget {
+  int io_lanes = 4;
+  int compute_workers = 4;
+};
+
+// One job's share of the fleet budget. `lanes`/`workers` are the units
+// the job holds (k = max of the two; the non-upgraded dimension stays 1).
+struct FleetAllocation {
+  Prescription prescription;
+  int lanes = 1;
+  int workers = 1;
+};
+
+// Generalizes Prescribe() to K concurrent jobs competing for one
+// FleetBudget. Every job first gets the Eq. 2 floor (1 lane + 1 worker;
+// SCP instead if Eq. 3 says pipelining is churn). Remaining units go one
+// at a time to the job whose next unit buys the largest marginal Eq. 4 /
+// Eq. 6 bandwidth gain — I/O-bound jobs compete for lanes (S-PPCP),
+// CPU-bound jobs for workers (C-PPCP). A job whose final allocation does
+// not beat PCP by `min_gain` is demoted back to the floor and its units
+// redistributed. If jobs.size() exceeds the budget's job bound the
+// overflow entries get k=0 allocations (caller must queue them).
+std::vector<FleetAllocation> PrescribeFleet(const std::vector<StepTimes>& jobs,
+                                            const FleetBudget& budget,
+                                            double min_gain = 1.1);
 
 std::string Describe(const StepTimes& t);
 

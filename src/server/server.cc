@@ -13,6 +13,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "src/shard/sharded_db.h"
 #include "src/table/iterator.h"
 #include "src/util/coding.h"
 #include "src/util/stopwatch.h"
@@ -73,11 +74,35 @@ struct Server::ReadTask {
   Stopwatch queued;  // starts at dispatch; latency includes queue wait
 };
 
+// One client WRITE_BATCH that spans shards: split into per-shard
+// sub-tasks, each committed by its shard's group-commit thread. The LAST
+// sub-task to finish sends the single reply, carrying the first error
+// any shard hit. Cross-shard batches are not atomic (each shard commits
+// its own WAL) — same contract as ShardedDB::Write.
+struct Server::MultiReply {
+  std::mutex mu;
+  size_t remaining = 0;
+  Status status;
+
+  // Folds one shard's result in; true for the finisher.
+  bool Complete(const Status& s) {
+    std::lock_guard<std::mutex> l(mu);
+    if (status.ok() && !s.ok()) status = s;
+    return --remaining == 0;
+  }
+  Status Final() {
+    std::lock_guard<std::mutex> l(mu);
+    return status;
+  }
+};
+
 struct Server::WriteTask {
   std::shared_ptr<Conn> conn;
   MessageType type = MessageType::kPut;
   uint64_t seq = 0;
   WriteBatch batch;
+  size_t shard = 0;  // which write queue / engine commits this
+  std::shared_ptr<MultiReply> multi;  // set only for cross-shard batches
   Stopwatch queued;
 };
 
@@ -94,6 +119,9 @@ size_t Server::active_connections() const {
 }
 
 Status Server::Start() {
+  // A ShardedDB gets per-shard write routing; RTTI is how the server
+  // stays a plain DB* consumer everywhere else.
+  sharded_ = dynamic_cast<shard::ShardedDB*>(db_);
   info_log_ = options_.info_log ? options_.info_log : db_->InfoLogHandle();
   metrics_ = options_.metrics ? options_.metrics : db_->MetricsHandle();
   if (metrics_ == nullptr) metrics_ = &own_metrics_;
@@ -123,14 +151,25 @@ Status Server::Start() {
         std::string("server.req_micros.") + kNames[t],
         "request latency (dispatch to reply), micros");
   }
+  const size_t num_write_queues =
+      sharded_ != nullptr ? sharded_->num_shards() : 1;
+  if (sharded_ != nullptr) {
+    for (size_t i = 0; i < num_write_queues; i++) {
+      shard_write_ops_.push_back(metrics_->RegisterCounter(
+          "server.shard" + std::to_string(i) + ".write_ops",
+          "write requests routed to this shard's commit thread"));
+    }
+  }
 
   Status s = Listen();
   if (!s.ok()) return s;
 
   read_queue_ =
       std::make_unique<BoundedQueue<ReadTask>>(options_.request_queue_depth);
-  write_queue_ =
-      std::make_unique<BoundedQueue<WriteTask>>(options_.request_queue_depth);
+  for (size_t i = 0; i < num_write_queues; i++) {
+    write_queues_.push_back(std::make_unique<BoundedQueue<WriteTask>>(
+        options_.request_queue_depth));
+  }
 
   const int num_loops = options_.num_io_threads > 0 ? options_.num_io_threads
                                                     : 1;
@@ -174,14 +213,17 @@ Status Server::Start() {
   for (int i = 0; i < num_workers; i++) {
     workers_->Submit([this] { WorkerPump(); });
   }
-  commit_thread_ = std::thread([this] { GroupCommitLoop(); });
+  for (size_t i = 0; i < write_queues_.size(); i++) {
+    commit_threads_.emplace_back([this, i] { GroupCommitLoop(i); });
+  }
 
   obs::Log(info_log_,
            "EVENT server_start host=%s port=%d io_threads=%zu workers=%d "
-           "sync_writes=%d group_window_micros=%llu",
+           "sync_writes=%d group_window_micros=%llu shards=%zu",
            options_.host.c_str(), port_, loops_.size(), num_workers,
            options_.sync_writes ? 1 : 0,
-           static_cast<unsigned long long>(options_.group_commit_window_micros));
+           static_cast<unsigned long long>(options_.group_commit_window_micros),
+           num_write_queues);
   return Status::OK();
 }
 
@@ -461,20 +503,69 @@ void Server::DispatchFrame(const std::shared_ptr<Conn>& conn,
         Slice key, value;
         if ((ok = ParsePutRequest(body, &key, &value))) {
           task.batch.Put(key, value);
+          if (sharded_ != nullptr) {
+            task.shard = sharded_->router().ShardOf(key);
+          }
         }
       } else if (frame.type == MessageType::kDelete) {
         Slice key;
         if ((ok = ParseDeleteRequest(body, &key))) {
           task.batch.Delete(key);
+          if (sharded_ != nullptr) {
+            task.shard = sharded_->router().ShardOf(key);
+          }
         }
       } else {
         std::vector<BatchOp> ops;
         if ((ok = ParseWriteBatchRequest(body, &ops))) {
-          for (const BatchOp& op : ops) {
-            if (op.is_delete) {
-              task.batch.Delete(op.key);
+          if (sharded_ == nullptr) {
+            for (const BatchOp& op : ops) {
+              if (op.is_delete) {
+                task.batch.Delete(op.key);
+              } else {
+                task.batch.Put(op.key, op.value);
+              }
+            }
+          } else {
+            // Split the batch per shard up front; each sub-batch rides
+            // its own shard's commit thread and the finisher replies.
+            const shard::ShardRouter& router = sharded_->router();
+            std::vector<WriteBatch> split(sharded_->num_shards());
+            for (const BatchOp& op : ops) {
+              WriteBatch& b = split[router.ShardOf(op.key)];
+              if (op.is_delete) {
+                b.Delete(op.key);
+              } else {
+                b.Put(op.key, op.value);
+              }
+            }
+            std::vector<size_t> touched;
+            for (size_t i = 0; i < split.size(); i++) {
+              if (WriteBatchInternal::Count(&split[i]) > 0) {
+                touched.push_back(i);
+              }
+            }
+            if (touched.empty()) {
+              SendReply(conn, frame.type, frame.seq, Status::OK(), Slice());
+              return;
+            }
+            if (touched.size() == 1) {
+              task.shard = touched[0];
+              task.batch = std::move(split[touched[0]]);
             } else {
-              task.batch.Put(op.key, op.value);
+              auto multi = std::make_shared<MultiReply>();
+              multi->remaining = touched.size();
+              for (size_t i : touched) {
+                WriteTask sub;
+                sub.conn = conn;
+                sub.type = frame.type;
+                sub.seq = frame.seq;
+                sub.batch = std::move(split[i]);
+                sub.shard = i;
+                sub.multi = multi;
+                EnqueueWrite(std::move(sub));
+              }
+              return;
             }
           }
         }
@@ -484,10 +575,7 @@ void Server::DispatchFrame(const std::shared_ptr<Conn>& conn,
                   Status::InvalidArgument("malformed request body"), Slice());
         return;
       }
-      if (!write_queue_->Push(std::move(task))) {
-        SendReply(conn, frame.type, frame.seq,
-                  Status::Busy("server draining"), Slice());
-      }
+      EnqueueWrite(std::move(task));
       return;
     }
     case MessageType::kGet:
@@ -503,6 +591,27 @@ void Server::DispatchFrame(const std::shared_ptr<Conn>& conn,
                   Status::Busy("server draining"), Slice());
       }
       return;
+    }
+  }
+}
+
+void Server::EnqueueWrite(WriteTask&& task) {
+  const size_t shard = task.shard < write_queues_.size() ? task.shard : 0;
+  if (!shard_write_ops_.empty()) shard_write_ops_[shard]->Add();
+  // Keep reply coordinates: Push consumes the task, but a refused push
+  // (draining) must still answer the client.
+  const std::shared_ptr<Conn> conn = task.conn;
+  const std::shared_ptr<MultiReply> multi = task.multi;
+  const MessageType type = task.type;
+  const uint64_t seq = task.seq;
+  if (!write_queues_[shard]->Push(std::move(task))) {
+    const Status busy = Status::Busy("server draining");
+    if (multi != nullptr) {
+      if (multi->Complete(busy)) {
+        SendReply(conn, type, seq, multi->Final(), Slice());
+      }
+    } else {
+      SendReply(conn, type, seq, busy, Slice());
     }
   }
 }
@@ -576,7 +685,12 @@ void Server::HandleReadTask(ReadTask& task) {
   SendReply(task.conn, task.type, task.seq, s, payload);
 }
 
-void Server::GroupCommitLoop() {
+void Server::GroupCommitLoop(size_t index) {
+  BoundedQueue<WriteTask>& queue = *write_queues_[index];
+  // Sharded servers commit straight against the member engine — the
+  // routing already happened at dispatch, so going through ShardedDB::
+  // Write would just re-split every leader batch.
+  DB* const target = sharded_ != nullptr ? sharded_->shard(index) : db_;
   std::vector<WriteTask> group;
   WriteBatch leader;
   // Reply frames coalesced per connection, so a saturated batch fanned
@@ -589,7 +703,7 @@ void Server::GroupCommitLoop() {
   std::vector<ConnReplies> replies;
   std::unordered_map<Conn*, size_t> reply_index;
   while (true) {
-    std::optional<WriteTask> first = write_queue_->Pop();
+    std::optional<WriteTask> first = queue.Pop();
     if (!first.has_value()) return;  // closed and drained
     group.clear();
     size_t bytes = first->batch.ApproximateSize();
@@ -597,7 +711,7 @@ void Server::GroupCommitLoop() {
     auto gather = [&] {
       while (group.size() < options_.group_commit_max_requests &&
              bytes < options_.group_commit_max_bytes) {
-        std::optional<WriteTask> t = write_queue_->TryPop();
+        std::optional<WriteTask> t = queue.TryPop();
         if (!t.has_value()) return;
         bytes += t->batch.ApproximateSize();
         group.push_back(std::move(*t));
@@ -616,17 +730,26 @@ void Server::GroupCommitLoop() {
     for (const WriteTask& t : group) leader.Append(t.batch);
     WriteOptions wo;
     wo.sync = options_.sync_writes;
-    const Status s = db_->Write(wo, &leader);
+    const Status s = target->Write(wo, &leader);
     gc_commits_->Add();
     gc_batch_size_->Observe(static_cast<double>(group.size()));
     replies.clear();
     reply_index.clear();
     for (WriteTask& t : group) {
+      Status reply_status = s;
+      if (t.multi != nullptr) {
+        // Cross-shard batch: only the last shard to commit replies, and
+        // with the folded fleet status — the others just retire their
+        // sub-task silently (the frame's in_flight slot belongs to the
+        // one reply).
+        if (!t.multi->Complete(s)) continue;
+        reply_status = t.multi->Final();
+      }
       ObserveLatency(t.type, t.queued.ElapsedNanos() / 1000);
       auto ins = reply_index.emplace(t.conn.get(), replies.size());
       if (ins.second) replies.push_back(ConnReplies{t.conn, {}, 0});
       ConnReplies& r = replies[ins.first->second];
-      EncodeReply(t.type, t.seq, s, Slice(), &r.frames);
+      EncodeReply(t.type, t.seq, reply_status, Slice(), &r.frames);
       r.count++;
     }
     for (ConnReplies& r : replies) DeliverReplies(r.conn, r.frames, r.count);
@@ -765,8 +888,10 @@ void Server::Drain() {
   // The queues drain to empty before the consumers exit, so every
   // accepted request still gets its reply.
   read_queue_->Close();
-  write_queue_->Close();
-  if (commit_thread_.joinable()) commit_thread_.join();
+  for (auto& q : write_queues_) q->Close();
+  for (std::thread& t : commit_threads_) {
+    if (t.joinable()) t.join();
+  }
   if (workers_) workers_->Shutdown();
 
   // Give the loops a bounded window to push remaining outboxes onto the

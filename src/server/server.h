@@ -58,25 +58,47 @@
 #include "src/util/bounded_queue.h"
 #include "src/util/thread_pool.h"
 
+namespace pipelsm::shard {
+class ShardedDB;
+}  // namespace pipelsm::shard
+
 namespace pipelsm::server {
 
 // DB write-stall state shared between the DB's listener callbacks and the
 // server's I/O loops. Create one BEFORE DB::Open, add it to
 // Options::listeners, then hand it to ServerOptions::stall_gate; the
 // server parks every connection's reads while the gate reports kStopped.
-// Safe to fire with the DB mutex held: the update is an atomic store plus
+// Safe to fire with the DB mutex held: the update is an atomic count plus
 // a non-blocking notifier (the server's wakeup pipes).
+//
+// The gate COUNTS stalled sources rather than storing the last event:
+// with a ShardedDB every shard fires transitions into the same gate, and
+// last-writer-wins would let shard B's return-to-normal clear shard A's
+// active stop. state() reports kStopped while ANY source is stopped.
+// Callers firing by hand must supply honest `previous` values (the DB
+// does; see DBImpl's transition-edge firing).
 class WriteStallGate : public obs::EventListener {
  public:
   void OnWriteStallChange(const obs::WriteStallInfo& info) override {
-    state_.store(static_cast<int>(info.condition), std::memory_order_release);
+    using obs::WriteStallCondition;
+    if (info.condition == WriteStallCondition::kStopped &&
+        info.previous != WriteStallCondition::kStopped) {
+      stopped_.fetch_add(1, std::memory_order_acq_rel);
+    } else if (info.condition != WriteStallCondition::kStopped &&
+               info.previous == WriteStallCondition::kStopped) {
+      int v = stopped_.load(std::memory_order_acquire);
+      while (v > 0 && !stopped_.compare_exchange_weak(
+                          v, v - 1, std::memory_order_acq_rel)) {
+      }
+    }
     std::lock_guard<std::mutex> l(mu_);
     if (notifier_) notifier_();
   }
 
   obs::WriteStallCondition state() const {
-    return static_cast<obs::WriteStallCondition>(
-        state_.load(std::memory_order_acquire));
+    return stopped_.load(std::memory_order_acquire) > 0
+               ? obs::WriteStallCondition::kStopped
+               : obs::WriteStallCondition::kNormal;
   }
 
   // Called on every stall transition; must not block (DB mutex is held).
@@ -87,7 +109,7 @@ class WriteStallGate : public obs::EventListener {
   }
 
  private:
-  std::atomic<int> state_{0};
+  std::atomic<int> stopped_{0};
   std::mutex mu_;
   std::function<void()> notifier_;
 };
@@ -180,6 +202,7 @@ class Server {
   struct IoLoop;
   struct ReadTask;
   struct WriteTask;
+  struct MultiReply;
 
   Status Listen();
   void IoLoopMain(size_t index);
@@ -188,9 +211,13 @@ class Server {
   void HandleReadable(IoLoop& loop, const std::shared_ptr<Conn>& conn);
   void HandleWritable(const std::shared_ptr<Conn>& conn);
   void DispatchFrame(const std::shared_ptr<Conn>& conn, DecodedFrame&& frame);
+  // Routes one parsed write to its shard's queue (queue 0 unsharded).
+  void EnqueueWrite(WriteTask&& task);
   void WorkerPump();
   void HandleReadTask(ReadTask& task);
-  void GroupCommitLoop();
+  // One per write queue: shard `index`'s group-commit thread. Unsharded
+  // servers run exactly one, against the whole DB.
+  void GroupCommitLoop(size_t index);
   void SendReply(const std::shared_ptr<Conn>& conn, MessageType type,
                  uint64_t seq, const Status& status, const Slice& payload);
   void DeliverReplies(const std::shared_ptr<Conn>& conn,
@@ -204,6 +231,10 @@ class Server {
   void ObserveLatency(MessageType type, uint64_t micros);
 
   DB* const db_;
+  // Non-null when db_ is a ShardedDB: writes are routed per shard onto
+  // per-shard group-commit threads, so N shards sync N WALs in parallel
+  // instead of serializing behind one commit thread (docs/SHARDING.md).
+  shard::ShardedDB* sharded_ = nullptr;
   const ServerOptions options_;
 
   obs::Logger* info_log_ = nullptr;
@@ -215,9 +246,10 @@ class Server {
 
   std::vector<std::unique_ptr<IoLoop>> loops_;
   std::unique_ptr<BoundedQueue<ReadTask>> read_queue_;
-  std::unique_ptr<BoundedQueue<WriteTask>> write_queue_;
+  // One write queue + commit thread per shard (exactly one unsharded).
+  std::vector<std::unique_ptr<BoundedQueue<WriteTask>>> write_queues_;
   std::unique_ptr<ThreadPool> workers_;
-  std::thread commit_thread_;
+  std::vector<std::thread> commit_threads_;
   WriteStallGate own_gate_;
   WriteStallGate* gate_ = nullptr;
 
@@ -239,6 +271,8 @@ class Server {
   obs::HistogramMetric* gc_batch_size_ = nullptr;
   obs::Counter* req_counters_[8] = {};
   obs::HistogramMetric* req_micros_[8] = {};
+  // Sharded only: write requests routed to each shard's queue.
+  std::vector<obs::Counter*> shard_write_ops_;
 };
 
 }  // namespace pipelsm::server

@@ -1,0 +1,142 @@
+// CompactionArbiter: fleet-wide compaction admission (docs/SHARDING.md).
+//
+// One arbiter owns a FleetBudget of I/O lanes and compute workers shared
+// by every shard of a ShardedDB. A shard's background thread calls
+// Admit() when it wants to compact; the arbiter ranks the waiting jobs
+// by the Eqs. 1-7 gain model::PrescribeFleet() predicts for them, grants
+// the front-runner an executor + k whose lane/worker cost fits the free
+// budget, and blocks the rest. A grant can be SMALLER than the job's
+// solo Prescribe() k — that is the arbiter shrinking the job to fit the
+// fleet (counted in `shrinks`); the remaining units are effectively
+// revoked until Release() frees them.
+//
+// Starvation-freedom: every time a job is granted, every other waiter's
+// passover count rises; a waiter passed over `max_passovers` times is
+// force-granted the PCP floor (1 lane + 1 worker) as soon as a floor is
+// free, ahead of any higher-gain newcomer. So a long-running big-gain
+// job cannot pin a low-gain shard in the queue forever.
+//
+// Thread-safe; never calls back into a DB (CompactionGovernor contract).
+// GetProperty("pipelsm.arbiter") on a ShardedDB renders ToJson().
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/compaction/scheduler.h"
+#include "src/model/model.h"
+
+namespace pipelsm {
+namespace obs {
+class Counter;
+class Gauge;
+class HistogramMetric;
+class MetricsRegistry;
+}  // namespace obs
+}  // namespace pipelsm
+
+namespace pipelsm::shard {
+
+struct ArbiterOptions {
+  model::FleetBudget budget;  // io_lanes=4, compute_workers=4
+
+  // Per-job ceilings on granted parallelism (<=0 = only the budget
+  // caps). Mirrors Options::max_stripe_width / max_compute_workers.
+  int per_job_max_lanes = 4;
+  int per_job_max_workers = 4;
+
+  // A stage-parallel upgrade must beat PCP by this ideal factor
+  // (Eqs. 5/7) to be worth fleet units.
+  double min_gain = 1.1;
+
+  // Force-grant a waiter after it has been passed over this many times.
+  int max_passovers = 3;
+
+  // How often a blocked Admit() re-checks its abort predicate.
+  uint64_t wait_poll_micros = 10 * 1000;
+
+  // arbiter.* instruments land here (nullable).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class CompactionArbiter : public CompactionGovernor {
+ public:
+  explicit CompactionArbiter(const ArbiterOptions& options);
+  ~CompactionArbiter() override;
+
+  CompactionArbiter(const CompactionArbiter&) = delete;
+  CompactionArbiter& operator=(const CompactionArbiter&) = delete;
+
+  CompactionGrant Admit(const CompactionAdmissionRequest& request,
+                        const std::function<bool()>& abort) override;
+  void Release(uint64_t grant_id) override;
+
+  // The GetProperty("pipelsm.arbiter") payload: budget, in-use + peak
+  // units, running grants (shard/level/procedure/k/lanes/workers),
+  // waiting count, grant/shrink/forced totals.
+  std::string ToJson() const;
+
+  // Test accessors.
+  int lanes_in_use() const;
+  int workers_in_use() const;
+  int peak_lanes() const;
+  int peak_workers() const;
+  uint64_t grants() const;
+  uint64_t shrinks() const;
+  uint64_t forced_grants() const;
+  size_t waiting() const;
+  const model::FleetBudget& budget() const { return opts_.budget; }
+
+ private:
+  struct Waiter {
+    uint64_t seq = 0;             // FIFO tiebreak
+    CompactionAdmissionRequest request;
+    double solo_gain = 1.0;       // Prescribe() gain at per-job caps
+    int passovers = 0;
+  };
+  struct Grant {
+    int shard_id = -1;
+    int level = 0;
+    int lanes = 1;
+    int workers = 1;
+    CompactionMode mode = CompactionMode::kPCP;
+    int k = 1;
+  };
+
+  // REQUIRES: mu_ held. True iff `w` is the waiter the policy would pick
+  // next AND a floor is free.
+  bool EligibleLocked(const Waiter& w) const;
+  // REQUIRES: mu_ held. The waiter the ranking picks first, or nullptr.
+  const Waiter* FrontLocked() const;
+  // REQUIRES: mu_ held. Builds the grant for `w` with the free budget.
+  CompactionGrant GrantLocked(const Waiter& w);
+
+  const ArbiterOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, Waiter> waiters_;   // keyed by seq
+  std::map<uint64_t, Grant> running_;    // keyed by grant id
+  uint64_t next_seq_ = 1;
+  uint64_t next_grant_id_ = 1;
+  int lanes_in_use_ = 0;
+  int workers_in_use_ = 0;
+  int peak_lanes_ = 0;
+  int peak_workers_ = 0;
+  uint64_t grants_ = 0;
+  uint64_t shrinks_ = 0;
+  uint64_t forced_grants_ = 0;
+
+  obs::Gauge* lanes_gauge_ = nullptr;
+  obs::Gauge* workers_gauge_ = nullptr;
+  obs::Gauge* waiting_gauge_ = nullptr;
+  obs::Counter* grants_counter_ = nullptr;
+  obs::Counter* shrinks_counter_ = nullptr;
+  obs::Counter* forced_counter_ = nullptr;
+  obs::HistogramMetric* wait_micros_ = nullptr;
+};
+
+}  // namespace pipelsm::shard

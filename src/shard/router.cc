@@ -1,0 +1,79 @@
+#include "src/shard/router.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pipelsm::shard {
+
+ShardRouter::ShardRouter(std::vector<std::string> boundaries)
+    : boundaries_(std::move(boundaries)) {}
+
+size_t ShardRouter::ShardOf(const Slice& key) const {
+  // upper_bound: boundary keys belong to the shard above them, so shard
+  // i's range is [boundaries_[i-1], boundaries_[i]).
+  return static_cast<size_t>(
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), key,
+                       [](const Slice& a, const std::string& b) {
+                         return a.compare(Slice(b)) < 0;
+                       }) -
+      boundaries_.begin());
+}
+
+namespace {
+
+class SplittingHandler : public WriteBatch::Handler {
+ public:
+  SplittingHandler(const ShardRouter* router, std::vector<WriteBatch>* out)
+      : router_(router), out_(out) {}
+
+  void Put(const Slice& key, const Slice& value) override {
+    (*out_)[router_->ShardOf(key)].Put(key, value);
+  }
+  void Delete(const Slice& key) override {
+    (*out_)[router_->ShardOf(key)].Delete(key);
+  }
+
+ private:
+  const ShardRouter* const router_;
+  std::vector<WriteBatch>* const out_;
+};
+
+}  // namespace
+
+Status ShardRouter::SplitBatch(const WriteBatch& batch,
+                               std::vector<WriteBatch>* out) const {
+  out->assign(num_shards(), WriteBatch());
+  SplittingHandler handler(this, out);
+  return batch.Iterate(&handler);
+}
+
+std::vector<std::string> ShardRouter::SplitDecimalKeyspace(
+    uint64_t num_keys, size_t key_size, size_t num_shards) {
+  std::vector<std::string> boundaries;
+  if (num_shards < 2) return boundaries;
+  for (size_t i = 1; i < num_shards; i++) {
+    const uint64_t split = num_keys * i / num_shards;
+    char buf[32];
+    const int n = std::snprintf(buf, sizeof(buf), "%llu",
+                                static_cast<unsigned long long>(split));
+    std::string key(key_size > size_t(n) ? key_size - n : 0, '0');
+    key.append(buf, n);
+    boundaries.push_back(std::move(key));
+  }
+  return boundaries;
+}
+
+Status ShardRouter::Validate(const std::vector<std::string>& boundaries) {
+  for (size_t i = 0; i < boundaries.size(); i++) {
+    if (boundaries[i].empty()) {
+      return Status::InvalidArgument("empty shard boundary key");
+    }
+    if (i > 0 && boundaries[i] <= boundaries[i - 1]) {
+      return Status::InvalidArgument(
+          "shard boundaries must be sorted ascending and unique");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace pipelsm::shard

@@ -1,0 +1,58 @@
+// ShardRouter: the key → shard map of a ShardedDB (docs/SHARDING.md).
+//
+// N shards are separated by N-1 boundary user keys, sorted ascending.
+// Shard i owns the half-open range [boundary[i-1], boundary[i]); the
+// first shard is unbounded below, the last unbounded above, and a key
+// equal to a boundary belongs to the shard ABOVE it (upper-bound
+// search). Because the ranges are disjoint and ordered, a scan over the
+// whole DB is the plain concatenation of per-shard scans — no heap
+// merge needed (see ShardedDB::NewIterator).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/db/write_batch.h"
+#include "src/util/slice.h"
+#include "src/util/status.h"
+
+namespace pipelsm::shard {
+
+class ShardRouter {
+ public:
+  // `boundaries` must be sorted ascending and duplicate-free; shard
+  // count is boundaries.size() + 1. An empty vector is the 1-shard
+  // identity router.
+  explicit ShardRouter(std::vector<std::string> boundaries);
+
+  size_t num_shards() const { return boundaries_.size() + 1; }
+  const std::vector<std::string>& boundaries() const { return boundaries_; }
+
+  // Index of the shard owning `key` (bytewise order).
+  size_t ShardOf(const Slice& key) const;
+
+  // Splits `batch` into per-shard batches preserving intra-shard op
+  // order. `out` is resized to num_shards(); entries for shards the
+  // batch does not touch stay empty (check WriteBatch::Count()). The
+  // split preserves per-key ordering exactly: two ops on the same key
+  // land in the same shard in their original order.
+  Status SplitBatch(const WriteBatch& batch,
+                    std::vector<WriteBatch>* out) const;
+
+  // Boundary set that splits the decimal keyspace produced by
+  // bench/workload generators — keys are zero-padded decimal renderings
+  // of 0..num_keys-1, so byte-uniform boundaries would route everything
+  // to shard 0. Boundary i is pad(num_keys * (i+1) / num_shards).
+  static std::vector<std::string> SplitDecimalKeyspace(uint64_t num_keys,
+                                                       size_t key_size,
+                                                       size_t num_shards);
+
+  // Validation used by ShardedDB::Open: sorted, unique, non-empty keys.
+  static Status Validate(const std::vector<std::string>& boundaries);
+
+ private:
+  const std::vector<std::string> boundaries_;
+};
+
+}  // namespace pipelsm::shard

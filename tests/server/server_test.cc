@@ -346,6 +346,7 @@ TEST_F(ServerTest, StallGateParksReads) {
 
   obs::WriteStallInfo resume;
   resume.condition = obs::WriteStallCondition::kNormal;
+  resume.previous = obs::WriteStallCondition::kStopped;  // honest edge
   gate_.OnWriteStallChange(resume);
   client::Result result = cli->Wait(future);
   EXPECT_TRUE(result.status.ok());

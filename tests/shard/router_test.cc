@@ -1,0 +1,115 @@
+// ShardRouter: boundary semantics (upper-bound: a boundary key belongs
+// to the shard above), batch splitting with order preservation, the
+// decimal-keyspace boundary builder benches use, and validation.
+#include "src/shard/router.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/db/write_batch.h"
+
+namespace pipelsm::shard {
+namespace {
+
+// Collects a batch's ops in replay order for order/content asserts.
+struct Collector : public WriteBatch::Handler {
+  std::vector<std::string> ops;  // "P:key=value" / "D:key"
+  void Put(const Slice& key, const Slice& value) override {
+    ops.push_back("P:" + key.ToString() + "=" + value.ToString());
+  }
+  void Delete(const Slice& key) override {
+    ops.push_back("D:" + key.ToString());
+  }
+};
+
+TEST(ShardRouter, BoundaryKeysBelongToTheShardAbove) {
+  ShardRouter router({"b", "m"});
+  ASSERT_EQ(3u, router.num_shards());
+
+  EXPECT_EQ(0u, router.ShardOf(""));       // unbounded below
+  EXPECT_EQ(0u, router.ShardOf("a"));
+  EXPECT_EQ(0u, router.ShardOf("azzzz"));
+  EXPECT_EQ(1u, router.ShardOf("b"));      // boundary -> shard above
+  EXPECT_EQ(1u, router.ShardOf(Slice("b\0", 2)));
+  EXPECT_EQ(1u, router.ShardOf("lzzz"));
+  EXPECT_EQ(2u, router.ShardOf("m"));
+  EXPECT_EQ(2u, router.ShardOf("zzzz"));   // unbounded above
+}
+
+TEST(ShardRouter, SingleShardIdentity) {
+  ShardRouter router({});
+  ASSERT_EQ(1u, router.num_shards());
+  EXPECT_EQ(0u, router.ShardOf(""));
+  EXPECT_EQ(0u, router.ShardOf("anything"));
+}
+
+TEST(ShardRouter, SplitBatchPreservesPerShardOrder) {
+  ShardRouter router({"g", "p"});
+  WriteBatch batch;
+  batch.Put("a", "1");
+  batch.Put("q", "2");
+  batch.Put("h", "3");
+  batch.Delete("a");
+  batch.Put("g", "4");   // boundary -> shard 1
+  batch.Delete("zz");
+
+  std::vector<WriteBatch> split;
+  ASSERT_TRUE(router.SplitBatch(batch, &split).ok());
+  ASSERT_EQ(3u, split.size());
+
+  Collector c0, c1, c2;
+  ASSERT_TRUE(split[0].Iterate(&c0).ok());
+  ASSERT_TRUE(split[1].Iterate(&c1).ok());
+  ASSERT_TRUE(split[2].Iterate(&c2).ok());
+
+  EXPECT_EQ((std::vector<std::string>{"P:a=1", "D:a"}), c0.ops);
+  EXPECT_EQ((std::vector<std::string>{"P:h=3", "P:g=4"}), c1.ops);
+  EXPECT_EQ((std::vector<std::string>{"P:q=2", "D:zz"}), c2.ops);
+}
+
+TEST(ShardRouter, SplitBatchLeavesUntouchedShardsEmpty) {
+  ShardRouter router({"g", "p"});
+  WriteBatch batch;
+  batch.Put("a", "1");
+
+  std::vector<WriteBatch> split;
+  ASSERT_TRUE(router.SplitBatch(batch, &split).ok());
+  ASSERT_EQ(3u, split.size());
+  EXPECT_EQ(1, WriteBatchInternal::Count(&split[0]));
+  EXPECT_EQ(0, WriteBatchInternal::Count(&split[1]));
+  EXPECT_EQ(0, WriteBatchInternal::Count(&split[2]));
+}
+
+TEST(ShardRouter, SplitDecimalKeyspaceIsEvenAndSorted) {
+  const std::vector<std::string> b =
+      ShardRouter::SplitDecimalKeyspace(1000, 16, 4);
+  ASSERT_EQ(3u, b.size());
+  EXPECT_EQ("0000000000000250", b[0]);
+  EXPECT_EQ("0000000000000500", b[1]);
+  EXPECT_EQ("0000000000000750", b[2]);
+  ASSERT_TRUE(ShardRouter::Validate(b).ok());
+
+  ShardRouter router(b);
+  EXPECT_EQ(0u, router.ShardOf("0000000000000000"));
+  EXPECT_EQ(0u, router.ShardOf("0000000000000249"));
+  EXPECT_EQ(1u, router.ShardOf("0000000000000250"));
+  EXPECT_EQ(2u, router.ShardOf("0000000000000749"));
+  EXPECT_EQ(3u, router.ShardOf("0000000000000999"));
+}
+
+TEST(ShardRouter, SplitDecimalKeyspaceSingleShardIsEmpty) {
+  EXPECT_TRUE(ShardRouter::SplitDecimalKeyspace(1000, 16, 1).empty());
+}
+
+TEST(ShardRouter, ValidateRejectsBadBoundarySets) {
+  EXPECT_TRUE(ShardRouter::Validate({}).ok());
+  EXPECT_TRUE(ShardRouter::Validate({"m"}).ok());
+  EXPECT_FALSE(ShardRouter::Validate({""}).ok());            // empty key
+  EXPECT_FALSE(ShardRouter::Validate({"m", "b"}).ok());      // unsorted
+  EXPECT_FALSE(ShardRouter::Validate({"m", "m"}).ok());      // duplicate
+}
+
+}  // namespace
+}  // namespace pipelsm::shard

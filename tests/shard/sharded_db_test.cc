@@ -1,0 +1,314 @@
+// ShardedDB: routing of point ops and batches, cross-shard scan
+// concatenation (seam walking in both directions), fleet snapshots,
+// manifest adoption/validation on reopen, property fan-out, and a
+// crash-matrix variant that kills one shard mid-write and verifies the
+// fleet recovers shard by shard.
+#include "src/shard/sharded_db.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/db/db.h"
+#include "src/db/write_batch.h"
+#include "src/env/fault_env.h"
+#include "src/env/sim_env.h"
+#include "src/shard/router.h"
+
+namespace pipelsm::shard {
+namespace {
+
+Options BaseOptions(Env* env) {
+  Options options;
+  options.env = env;
+  options.create_if_missing = true;
+  options.write_buffer_size = 64 << 10;
+  options.max_file_size = 32 << 10;
+  return options;
+}
+
+ShardedOptions FourShards() {
+  ShardedOptions sharded;
+  sharded.num_shards = 4;
+  sharded.boundary_keys = {"f", "m", "s"};
+  return sharded;
+}
+
+std::unique_ptr<ShardedDB> MustOpen(const Options& options,
+                                    const ShardedOptions& sharded,
+                                    const std::string& name) {
+  ShardedDB* raw = nullptr;
+  Status s = ShardedDB::Open(options, sharded, name, &raw);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return std::unique_ptr<ShardedDB>(raw);
+}
+
+TEST(ShardedDB, RoutesPointOpsAndBatchesAcrossShards) {
+  SimEnv env;
+  Options options = BaseOptions(&env);
+  std::unique_ptr<ShardedDB> db = MustOpen(options, FourShards(), "/sdb");
+  ASSERT_EQ(4u, db->num_shards());
+
+  WriteOptions wo;
+  ASSERT_TRUE(db->Put(wo, "apple", "0").ok());   // shard 0
+  ASSERT_TRUE(db->Put(wo, "grape", "1").ok());   // shard 1
+  ASSERT_TRUE(db->Put(wo, "mango", "2").ok());   // shard 2
+  ASSERT_TRUE(db->Put(wo, "zebra", "3").ok());   // shard 3
+
+  WriteBatch batch;  // touches all four shards in one call
+  batch.Put("berry", "b0");
+  batch.Put("kiwi", "b1");
+  batch.Put("peach", "b2");
+  batch.Put("tomato", "b3");
+  batch.Delete("apple");
+  ASSERT_TRUE(db->Write(wo, &batch).ok());
+
+  ReadOptions ro;
+  std::string value;
+  EXPECT_TRUE(db->Get(ro, "apple", &value).IsNotFound());
+  ASSERT_TRUE(db->Get(ro, "grape", &value).ok());
+  EXPECT_EQ("1", value);
+  ASSERT_TRUE(db->Get(ro, "tomato", &value).ok());
+  EXPECT_EQ("b3", value);
+
+  // The key landed where the router says it should: visible through the
+  // owning shard's engine directly, absent from its neighbor.
+  const size_t owner = db->router().ShardOf("kiwi");
+  EXPECT_EQ(1u, owner);
+  ASSERT_TRUE(db->shard(owner)->Get(ro, "kiwi", &value).ok());
+  EXPECT_EQ("b1", value);
+  EXPECT_TRUE(db->shard(0)->Get(ro, "kiwi", &value).IsNotFound());
+}
+
+TEST(ShardedDB, ScanWalksShardSeamsInBothDirections) {
+  SimEnv env;
+  Options options = BaseOptions(&env);
+  std::unique_ptr<ShardedDB> db = MustOpen(options, FourShards(), "/sdb");
+
+  // Two keys per shard, inserted in routed-shard-scrambled order.
+  const std::vector<std::string> keys = {"aa", "ee", "ff", "kk",
+                                         "mm", "pp", "ss", "zz"};
+  WriteOptions wo;
+  for (size_t i = 0; i < keys.size(); i++) {
+    ASSERT_TRUE(db->Put(wo, keys[(3 * i) % keys.size()], "v").ok());
+  }
+
+  ReadOptions ro;
+  std::unique_ptr<Iterator> it(db->NewIterator(ro));
+
+  // Forward: global order is the concatenation of the shard ranges.
+  std::vector<std::string> forward;
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    forward.push_back(it->key().ToString());
+  }
+  ASSERT_TRUE(it->status().ok());
+  EXPECT_EQ(keys, forward);
+
+  // Seek lands past a shard's last key: the seam walk continues into
+  // the next non-empty shard.
+  it->Seek("kz");  // routes to shard 1, whose keys end at "kk"
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("mm", it->key().ToString());
+  it->Prev();  // back across the seam
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("kk", it->key().ToString());
+
+  it->SeekToLast();
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ("zz", it->key().ToString());
+  std::vector<std::string> backward;
+  for (; it->Valid(); it->Prev()) backward.push_back(it->key().ToString());
+  std::vector<std::string> reversed(keys.rbegin(), keys.rend());
+  EXPECT_EQ(reversed, backward);
+}
+
+TEST(ShardedDB, SnapshotCoversEveryShard) {
+  SimEnv env;
+  Options options = BaseOptions(&env);
+  std::unique_ptr<ShardedDB> db = MustOpen(options, FourShards(), "/sdb");
+
+  WriteOptions wo;
+  ASSERT_TRUE(db->Put(wo, "apple", "old0").ok());
+  ASSERT_TRUE(db->Put(wo, "mango", "old2").ok());
+  const Snapshot* snap = db->GetSnapshot();
+  ASSERT_TRUE(db->Put(wo, "apple", "new0").ok());
+  ASSERT_TRUE(db->Put(wo, "mango", "new2").ok());
+
+  ReadOptions at_snap;
+  at_snap.snapshot = snap;
+  std::string value;
+  ASSERT_TRUE(db->Get(at_snap, "apple", &value).ok());
+  EXPECT_EQ("old0", value);
+  ASSERT_TRUE(db->Get(at_snap, "mango", &value).ok());
+  EXPECT_EQ("old2", value);
+
+  ReadOptions now;
+  ASSERT_TRUE(db->Get(now, "apple", &value).ok());
+  EXPECT_EQ("new0", value);
+  db->ReleaseSnapshot(snap);
+}
+
+TEST(ShardedDB, ReopenAdoptsManifestAndRejectsDrift) {
+  SimEnv env;
+  Options options = BaseOptions(&env);
+  {
+    std::unique_ptr<ShardedDB> db = MustOpen(options, FourShards(), "/sdb");
+    WriteOptions wo;
+    ASSERT_TRUE(db->Put(wo, "grape", "persisted").ok());
+  }
+
+  // Defaults (num_shards=1, no boundaries) adopt the SHARDS manifest.
+  {
+    ShardedOptions defaults;
+    std::unique_ptr<ShardedDB> db = MustOpen(options, defaults, "/sdb");
+    ASSERT_EQ(4u, db->num_shards());
+    EXPECT_EQ((std::vector<std::string>{"f", "m", "s"}),
+              db->router().boundaries());
+    ReadOptions ro;
+    std::string value;
+    ASSERT_TRUE(db->Get(ro, "grape", &value).ok());
+    EXPECT_EQ("persisted", value);
+  }
+
+  // Explicit boundaries that contradict the manifest are refused — a
+  // config drift must not silently re-route keys.
+  {
+    ShardedOptions drifted;
+    drifted.num_shards = 4;
+    drifted.boundary_keys = {"d", "k", "q"};
+    ShardedDB* raw = nullptr;
+    Status s = ShardedDB::Open(options, drifted, "/sdb", &raw);
+    ASSERT_FALSE(s.ok());
+    EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  }
+  {
+    ShardedOptions wrong_count;
+    wrong_count.num_shards = 2;
+    wrong_count.boundary_keys = {"m"};
+    ShardedDB* raw = nullptr;
+    Status s = ShardedDB::Open(options, wrong_count, "/sdb", &raw);
+    ASSERT_FALSE(s.ok());
+  }
+}
+
+TEST(ShardedDB, FirstOpenWithoutBoundariesIsAnError) {
+  SimEnv env;
+  Options options = BaseOptions(&env);
+  ShardedOptions sharded;
+  sharded.num_shards = 3;  // no boundary keys
+  ShardedDB* raw = nullptr;
+  Status s = ShardedDB::Open(options, sharded, "/fresh", &raw);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST(ShardedDB, PropertiesFanOutAcrossTheFleet) {
+  SimEnv env;
+  Options options = BaseOptions(&env);
+  std::unique_ptr<ShardedDB> db = MustOpen(options, FourShards(), "/sdb");
+  WriteOptions wo;
+  ASSERT_TRUE(db->Put(wo, "apple", "0").ok());
+  ASSERT_TRUE(db->Put(wo, "zebra", "3").ok());
+
+  std::string value;
+  ASSERT_TRUE(db->GetProperty("pipelsm.shards", &value));
+  EXPECT_NE(std::string::npos, value.find("\"num_shards\":4"));
+  EXPECT_NE(std::string::npos, value.find("\"arbiter\":true"));
+
+  ASSERT_TRUE(db->GetProperty("pipelsm.arbiter", &value));
+  EXPECT_NE(std::string::npos, value.find("\"io_lanes\""));
+  EXPECT_NE(std::string::npos, value.find("\"grants\""));
+
+  // Per-shard forwarding: shard 3 answers its own engine properties.
+  ASSERT_TRUE(db->GetProperty("pipelsm.shard3.num-files-at-level0", &value));
+
+  // Numeric properties sum across shards (parseable as one number).
+  ASSERT_TRUE(db->GetProperty("pipelsm.num-files-at-level0", &value));
+  EXPECT_FALSE(value.empty());
+
+  ASSERT_TRUE(db->GetProperty("pipelsm.stats", &value));
+  EXPECT_NE(std::string::npos, value.find("== shard 0 =="));
+  EXPECT_NE(std::string::npos, value.find("== shard 3 =="));
+}
+
+TEST(ShardedDB, ArbiterOffRunsAndReportsEmpty) {
+  SimEnv env;
+  Options options = BaseOptions(&env);
+  ShardedOptions sharded = FourShards();
+  sharded.enable_arbiter = false;
+  std::unique_ptr<ShardedDB> db = MustOpen(options, sharded, "/sdb");
+  WriteOptions wo;
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(
+        db->Put(wo, "k" + std::to_string(i), std::string(256, 'v')).ok());
+  }
+  ASSERT_TRUE(db->WaitForCompactions().ok());
+  std::string value;
+  ASSERT_TRUE(db->GetProperty("pipelsm.arbiter", &value));
+  EXPECT_EQ("{}", value);
+}
+
+// Crash-matrix variant: fault rules scoped to shard-0001's files kill
+// that shard mid-write while its neighbors keep going; after a
+// power-cycle every shard recovers its synced data independently.
+TEST(ShardedDB, OneShardCrashRecoversPerShard) {
+  SimEnv base;
+  FaultInjectionEnv fault(&base);
+  Options options = BaseOptions(&fault);
+  options.write_buffer_size = 8 << 10;  // force flush/compaction traffic
+  options.max_background_retries = 1;
+  options.background_retry_backoff_micros = 100;
+  options.background_retry_backoff_max_micros = 100;
+
+  const std::vector<std::string> synced_keys = {"apple", "grape", "mango",
+                                                "zebra"};  // one per shard
+  {
+    std::unique_ptr<ShardedDB> db = MustOpen(options, FourShards(), "/sdb");
+    WriteOptions synced;
+    synced.sync = true;
+    for (const std::string& k : synced_keys) {
+      ASSERT_TRUE(db->Put(synced, k, "durable-" + k).ok());
+    }
+
+    // Arm the crash on shard-0001's file appends only, then hammer all
+    // shards until it fires (shard 1's WAL/flush/compaction writes all
+    // match the path filter).
+    fault.SetPathFilter(FaultOp::kAppend, "shard-0001");
+    fault.CrashAfter(FaultOp::kAppend, 3);
+    WriteOptions wo;
+    for (int i = 0; i < 500 && !fault.crashed(); i++) {
+      const std::string pad(512, 'x');
+      (void)db->Put(wo, "aa" + std::to_string(i), pad);  // shard 0
+      (void)db->Put(wo, "gg" + std::to_string(i), pad);  // shard 1
+      (void)db->Put(wo, "nn" + std::to_string(i), pad);  // shard 2
+      (void)db->Put(wo, "tt" + std::to_string(i), pad);  // shard 3
+    }
+    ASSERT_TRUE(fault.crashed());
+  }
+
+  // Power-cycle: drop everything unsynced, clear the rules, reopen.
+  fault.ClearFaults();
+  ASSERT_TRUE(fault.DropUnsyncedAndReset().ok());
+  {
+    ShardedOptions adopt;  // reopen from the manifest
+    std::unique_ptr<ShardedDB> db = MustOpen(options, adopt, "/sdb");
+    ASSERT_EQ(4u, db->num_shards());
+    ReadOptions ro;
+    std::string value;
+    for (const std::string& k : synced_keys) {
+      ASSERT_TRUE(db->Get(ro, k, &value).ok()) << k;
+      EXPECT_EQ("durable-" + k, value);
+    }
+    // The crashed shard takes writes again.
+    WriteOptions wo;
+    ASSERT_TRUE(db->Put(wo, "golf", "post-recovery").ok());
+    ASSERT_TRUE(db->Get(ro, "golf", &value).ok());
+    EXPECT_EQ("post-recovery", value);
+    ASSERT_TRUE(db->WaitForCompactions().ok());
+  }
+}
+
+}  // namespace
+}  // namespace pipelsm::shard

@@ -15,6 +15,15 @@
 //   --group_window_micros=N group-commit gather window (default 100)
 //   --nosync                WriteOptions::sync=false for group commits
 //   --create_if_missing=0|1 (default 1)
+//   --shards=N              serve a range-sharded fleet of N engines
+//                           under one root (default 1 = plain DB)
+//   --shard_boundaries=a,b  comma-separated boundary keys (N-1 of them,
+//                           sorted; required on first open with
+//                           --shards>1, optional on reopen — the SHARDS
+//                           manifest wins; docs/SHARDING.md)
+//   --arbiter_io_lanes=N --arbiter_compute_workers=N
+//                           fleet compaction budget (defaults 4/4)
+//   --no_arbiter            per-shard free-for-all compaction admission
 //
 // SIGTERM/SIGINT triggers a graceful drain: stop accepting, answer every
 // accepted request, flush sockets, quiesce compactions, close the DB,
@@ -31,6 +40,7 @@
 
 #include "src/db/db.h"
 #include "src/server/server.h"
+#include "src/shard/sharded_db.h"
 
 namespace {
 
@@ -70,6 +80,11 @@ int main(int argc, char** argv) {
   int io_parallelism = 1;
   size_t queue_depth = 4;
   int create_if_missing = 1;
+  size_t shards = 1;
+  std::string shard_boundaries;
+  bool arbiter = true;
+  int arbiter_io_lanes = 4;
+  int arbiter_compute_workers = 4;
   pipelsm::server::ServerOptions sopts;
 
   for (int i = 1; i < argc; i++) {
@@ -87,11 +102,20 @@ int main(int argc, char** argv) {
         ParseNumFlag(argv[i], "queue_depth", &queue_depth) ||
         ParseNumFlag(argv[i], "group_window_micros",
                      &sopts.group_commit_window_micros) ||
-        ParseNumFlag(argv[i], "create_if_missing", &create_if_missing)) {
+        ParseNumFlag(argv[i], "create_if_missing", &create_if_missing) ||
+        ParseNumFlag(argv[i], "shards", &shards) ||
+        ParseFlag(argv[i], "shard_boundaries", &shard_boundaries) ||
+        ParseNumFlag(argv[i], "arbiter_io_lanes", &arbiter_io_lanes) ||
+        ParseNumFlag(argv[i], "arbiter_compute_workers",
+                     &arbiter_compute_workers)) {
       continue;
     }
     if (std::strcmp(argv[i], "--nosync") == 0) {
       sopts.sync_writes = false;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no_arbiter") == 0) {
+      arbiter = false;
       continue;
     }
     std::fprintf(stderr, "unrecognized flag: %s (see header comment)\n",
@@ -130,14 +154,37 @@ int main(int argc, char** argv) {
   options.listeners.push_back(&stall_gate);
   sopts.stall_gate = &stall_gate;
 
-  pipelsm::DB* raw = nullptr;
-  pipelsm::Status s = pipelsm::DB::Open(options, db_path, &raw);
+  std::unique_ptr<pipelsm::DB> db;
+  pipelsm::Status s;
+  if (shards > 1 || !shard_boundaries.empty()) {
+    pipelsm::shard::ShardedOptions shopts;
+    shopts.num_shards = shards;
+    for (size_t pos = 0; pos < shard_boundaries.size();) {
+      const size_t comma = shard_boundaries.find(',', pos);
+      const size_t end =
+          comma == std::string::npos ? shard_boundaries.size() : comma;
+      shopts.boundary_keys.push_back(shard_boundaries.substr(pos, end - pos));
+      pos = end + 1;
+    }
+    if (shards <= 1 && !shopts.boundary_keys.empty()) {
+      shopts.num_shards = shopts.boundary_keys.size() + 1;  // inferred
+    }
+    shopts.enable_arbiter = arbiter;
+    shopts.arbiter.budget.io_lanes = arbiter_io_lanes;
+    shopts.arbiter.budget.compute_workers = arbiter_compute_workers;
+    pipelsm::shard::ShardedDB* raw = nullptr;
+    s = pipelsm::shard::ShardedDB::Open(options, shopts, db_path, &raw);
+    if (s.ok()) db.reset(raw);
+  } else {
+    pipelsm::DB* raw = nullptr;
+    s = pipelsm::DB::Open(options, db_path, &raw);
+    if (s.ok()) db.reset(raw);
+  }
   if (!s.ok()) {
     std::fprintf(stderr, "open %s: %s\n", db_path.c_str(),
                  s.ToString().c_str());
     return 1;
   }
-  std::unique_ptr<pipelsm::DB> db(raw);
   pipelsm::server::Server server(db.get(), sopts);
 
   if (::pipe(g_signal_pipe) != 0) {
@@ -156,8 +203,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "server start: %s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("pipelsm_server listening on %s:%d (db=%s)\n",
-              sopts.host.c_str(), server.port(), db_path.c_str());
+  std::printf("pipelsm_server listening on %s:%d (db=%s, shards=%zu)\n",
+              sopts.host.c_str(), server.port(), db_path.c_str(),
+              shards > 1 ? shards : 1);
   std::fflush(stdout);
 
   // Block until SIGTERM/SIGINT.
