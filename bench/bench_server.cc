@@ -223,12 +223,32 @@ uint64_t Pow10(size_t n) {
 
 // Per-shard and aggregate numbers from one served phase, for both the
 // human report and the machine-readable RESULT line.
+struct LatencySummary {
+  uint64_t count = 0;
+  double p50 = 0, p95 = 0, p99 = 0;
+};
+
 struct ServedStats {
   double ops_per_sec = 0;
   std::vector<uint64_t> shard_write_ops;  // empty when unsharded
   std::string arbiter_json;               // "{}" when unsharded / off
   std::string batch_histogram;
+  LatencySummary put_latency;  // server-side dispatch-to-reply micros
+  LatencySummary get_latency;
 };
+
+LatencySummary SummarizeLatency(obs::MetricsRegistry* registry,
+                                const std::string& name) {
+  const Histogram snap = registry->RegisterHistogram(name, "")->Snapshot();
+  LatencySummary out;
+  out.count = snap.Num();
+  if (out.count > 0) {
+    out.p50 = snap.Percentile(50);
+    out.p95 = snap.Percentile(95);
+    out.p99 = snap.Percentile(99);
+  }
+  return out;
+}
 
 // Phase 2: the same workload through the loopback server.
 ServedStats ServedFill(const Flags& flags, const std::string& path) {
@@ -363,6 +383,10 @@ ServedStats ServedFill(const Flags& flags, const std::string& path) {
   stats.ops_per_sec = flags.num / seconds;
   stats.batch_histogram = buf;
   stats.arbiter_json = "{}";
+  stats.put_latency =
+      SummarizeLatency(srv.metrics_registry(), "server.req_micros.put");
+  stats.get_latency =
+      SummarizeLatency(srv.metrics_registry(), "server.req_micros.get");
   if (flags.shards > 1) {
     for (size_t i = 0; i < flags.shards; i++) {
       const obs::Counter* c = srv.metrics_registry()->RegisterCounter(
@@ -443,6 +467,18 @@ int main(int argc, char** argv) {
   std::printf("served fill:     %10.0f ops/s  (loopback, pipelined)\n",
               served.ops_per_sec);
   std::printf("%s\n", served.batch_histogram.c_str());
+  std::printf("put latency (server, micros): p50=%.0f p95=%.0f p99=%.0f "
+              "(n=%llu)\n",
+              served.put_latency.p50, served.put_latency.p95,
+              served.put_latency.p99,
+              static_cast<unsigned long long>(served.put_latency.count));
+  if (served.get_latency.count > 0) {
+    std::printf("get latency (server, micros): p50=%.0f p95=%.0f p99=%.0f "
+                "(n=%llu)\n",
+                served.get_latency.p50, served.get_latency.p95,
+                served.get_latency.p99,
+                static_cast<unsigned long long>(served.get_latency.count));
+  }
   for (size_t i = 0; i < served.shard_write_ops.size(); i++) {
     std::printf("shard %zu: %llu write ops routed\n", i,
                 static_cast<unsigned long long>(served.shard_write_ops[i]));
@@ -470,7 +506,19 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(served.shard_write_ops[i]));
     result += row;
   }
-  result += "],\"arbiter_state\":" + served.arbiter_json + "}";
+  char lat[256];
+  std::snprintf(lat, sizeof(lat),
+                "],\"latency_micros\":{\"put\":{\"count\":%llu,\"p50\":%.0f,"
+                "\"p95\":%.0f,\"p99\":%.0f},\"get\":{\"count\":%llu,"
+                "\"p50\":%.0f,\"p95\":%.0f,\"p99\":%.0f}}",
+                static_cast<unsigned long long>(served.put_latency.count),
+                served.put_latency.p50, served.put_latency.p95,
+                served.put_latency.p99,
+                static_cast<unsigned long long>(served.get_latency.count),
+                served.get_latency.p50, served.get_latency.p95,
+                served.get_latency.p99);
+  result += lat;
+  result += ",\"arbiter_state\":" + served.arbiter_json + "}";
   std::printf("%s\n", result.c_str());
   return ratio >= 0.5 ? 0 : 1;
 }

@@ -200,7 +200,8 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
                                : BytewiseComparator()),
       internal_filter_policy_(raw_options.filter_policy),
       options_(SanitizeOptions(raw_options)),
-      dbname_(dbname) {
+      dbname_(dbname),
+      timeseries_(SanitizeOptions(raw_options).timeseries_window) {
   if (options_.block_cache == nullptr) {
     owned_block_cache_.reset(new BlockCache(8 << 20));
   }
@@ -241,6 +242,8 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       "db.get_micros", "foreground Get latency");
   write_micros_hist_ = metrics_registry_.RegisterHistogram(
       "db.write_micros", "foreground Write latency incl. queueing/stalls");
+  stall_state_gauge_ = metrics_registry_.RegisterGauge(
+      "db.write_stall_state", "0 normal, 1 delayed (L0 slowdown), 2 stopped");
 
   // Info log: caller-supplied sink, or a LOG file in the DB directory
   // (rotate the previous run's; the dir may not exist yet — Recover has
@@ -324,6 +327,7 @@ void DBImpl::StatsThreadMain() {
     std::string report = StatsReport();
     lock.unlock();
     obs::Log(info_log_, "---- periodic stats ----\n%s", report.c_str());
+    timeseries_.Sample(metrics_registry_, env_->NowMicros());
     // Keep the on-disk trace current so a crashed/killed run still
     // leaves a loadable file instead of nothing.
     FlushTraceBestEffort();
@@ -754,6 +758,7 @@ void DBImpl::SetStallCondition(obs::WriteStallCondition condition) {
   info.previous = stall_condition_;
   info.condition = condition;
   stall_condition_ = condition;
+  stall_state_gauge_->Set(static_cast<int64_t>(condition));
   for (obs::EventListener* l : listeners_) {
     l->OnWriteStallChange(info);
   }
@@ -1483,6 +1488,15 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
     // Registry has its own lock; counters are updated by executors
     // running outside mutex_, so the snapshot is taken lock-free here.
     *value = metrics_registry_.ToJson();
+    return true;
+  } else if (in == Slice("timeseries")) {
+    // Ring has its own lock. Without a stats thread the ring would stay
+    // empty forever, so take one on-demand sample first — a single-point
+    // "history" still gives consumers current absolute values.
+    if (timeseries_.size() == 0) {
+      timeseries_.Sample(metrics_registry_, env_->NowMicros());
+    }
+    *value = timeseries_.ToJson();
     return true;
   } else if (in == Slice("background-error")) {
     *value = bg_error_.ToString();  // "OK" when healthy

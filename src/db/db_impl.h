@@ -24,6 +24,7 @@
 #include "src/obs/event_listener.h"
 #include "src/obs/logger.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
 #include "src/table/block_cache.h"
 #include "src/version/version_set.h"
@@ -228,6 +229,12 @@ class DBImpl final : public DB {
   obs::Counter* flush_runs_counter_ = nullptr;
   obs::HistogramMetric* get_micros_hist_ = nullptr;
   obs::HistogramMetric* write_micros_hist_ = nullptr;
+  obs::Gauge* stall_state_gauge_ = nullptr;  // 0 normal / 1 delayed / 2 stopped
+
+  // Metrics history behind GetProperty("pipelsm.timeseries"): one sample
+  // per stats-dump tick (Options::timeseries_window deep). Has its own
+  // mutex; sampled outside mutex_.
+  obs::TimeSeriesRing timeseries_;
 
   // Info log: Options::info_log, or a LOG file the DB creates in its own
   // directory (previous run rotated to LOG.old). Null only if creation

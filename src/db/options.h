@@ -194,9 +194,18 @@ struct Options {
 
   // When > 0, a background thread appends the full stats report (the
   // GetProperty("pipelsm.stats") payload: counters, foreground latency
-  // histograms, the metrics registry, the advisor verdict) to the info
-  // log every this-many seconds, and re-exports trace_path. 0 = off.
+  // histograms, the advisor verdict) to the info log every
+  // this-many seconds, re-exports trace_path, and appends one metrics
+  // snapshot to the time-series ring below. 0 = off.
   unsigned int stats_dump_period_sec = 0;
+
+  // Depth of the in-memory metrics time-series ring served by
+  // GetProperty("pipelsm.timeseries"): the stats thread appends one
+  // sample per dump tick, so the window covers roughly
+  // timeseries_window * stats_dump_period_sec seconds of history.
+  // Consumers (pipelsm_top, the admin endpoint's /timeseries) derive
+  // rates from adjacent samples without keeping state of their own.
+  size_t timeseries_window = 120;
 };
 
 // Options that control read operations.

@@ -152,6 +152,33 @@ std::string MetricsRegistry::ToJson() const {
   return out;
 }
 
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    MetricSample s;
+    s.name = name;
+    s.help = entry.help;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        s.kind = MetricSample::Kind::kCounter;
+        s.counter = counters_[entry.index].value();
+        break;
+      case Kind::kGauge:
+        s.kind = MetricSample::Kind::kGauge;
+        s.gauge = gauges_[entry.index].value();
+        break;
+      case Kind::kHistogram:
+        s.kind = MetricSample::Kind::kHistogram;
+        s.histogram = histograms_[entry.index].Snapshot();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_.size();

@@ -21,6 +21,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "src/util/histogram.h"
 
@@ -72,6 +73,22 @@ class HistogramMetric {
   Histogram histogram_;
 };
 
+// One instrument's point-in-time state, as captured by
+// MetricsRegistry::Snapshot(). The exporters (Prometheus exposition,
+// the time-series ring) consume these instead of reaching into the
+// registry, so a snapshot is coherent per instrument and the exporters
+// never hold the registry mutex while formatting.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  uint64_t counter = 0;   // kind == kCounter
+  int64_t gauge = 0;      // kind == kGauge
+  Histogram histogram;    // kind == kHistogram
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -92,6 +109,11 @@ class MetricsRegistry {
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,avg,p50,
   // p95,p99,max}}} — the payload of DB::GetProperty("pipelsm.metrics").
   std::string ToJson() const;
+
+  // Every instrument's current value, sorted by name (the registry's
+  // iteration order). Counter/gauge reads are relaxed-atomic; each
+  // histogram is copied under its own mutex.
+  std::vector<MetricSample> Snapshot() const;
 
   size_t size() const;
 

@@ -1,0 +1,86 @@
+#include "src/obs/timeseries.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace pipelsm::obs {
+
+TimeSeriesRing::TimeSeriesRing(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+uint32_t TimeSeriesRing::InternLocked(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+void TimeSeriesRing::Sample(const MetricsRegistry& registry,
+                            uint64_t t_micros) {
+  // Snapshot outside the ring mutex: the registry has its own lock, and
+  // histogram copies are the expensive part.
+  const std::vector<MetricSample> snapshot = registry.Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  Sample_ sample;
+  sample.t_micros = t_micros;
+  sample.values.reserve(snapshot.size());
+  for (const MetricSample& s : snapshot) {
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        sample.values.emplace_back(InternLocked(s.name),
+                                   static_cast<int64_t>(s.counter));
+        break;
+      case MetricSample::Kind::kGauge:
+        sample.values.emplace_back(InternLocked(s.name), s.gauge);
+        break;
+      case MetricSample::Kind::kHistogram:
+        sample.values.emplace_back(
+            InternLocked(s.name + ".count"),
+            static_cast<int64_t>(s.histogram.Num()));
+        break;
+    }
+  }
+  samples_.push_back(std::move(sample));
+  while (samples_.size() > capacity_) samples_.pop_front();
+}
+
+size_t TimeSeriesRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+std::string TimeSeriesRing::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "{\"capacity\":%zu,\"samples\":[",
+                capacity_);
+  out.append(buf);
+  bool first_sample = true;
+  for (const Sample_& s : samples_) {
+    if (!first_sample) out.push_back(',');
+    first_sample = false;
+    std::snprintf(buf, sizeof(buf), "{\"t_micros\":%" PRIu64 ",\"values\":{",
+                  s.t_micros);
+    out.append(buf);
+    bool first_value = true;
+    for (const auto& [id, v] : s.values) {
+      if (!first_value) out.push_back(',');
+      first_value = false;
+      // Instrument names are dotted identifiers (registry convention);
+      // no JSON-hostile bytes to escape.
+      out.push_back('"');
+      out.append(names_[id]);
+      out.append("\":");
+      std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+      out.append(buf);
+    }
+    out.append("}}");
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace pipelsm::obs

@@ -1,0 +1,64 @@
+// TimeSeriesRing: a bounded ring of periodic metrics-registry snapshots,
+// behind DB::GetProperty("pipelsm.timeseries") (docs/OBSERVABILITY.md).
+//
+// Rates and deltas need two points in time; a scrapeless operator (or a
+// one-shot tool like `pipelsm_top --once`) has only one. The DB's stats
+// thread appends one sample per stats tick, so any consumer can compute
+// write/read throughput, stall growth, or compaction progress from a
+// single property fetch — no external state, no second poll.
+//
+// Each sample stores scalar values only: counters and gauges verbatim,
+// histograms as their observation count (the component deltas care
+// about; percentile history would need the full bucket vectors). Names
+// are interned once, so a deep ring does not duplicate strings per tick.
+//
+// Thread-safe: Sample and ToJson may race (one mutex).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace pipelsm::obs {
+
+class TimeSeriesRing {
+ public:
+  // `capacity` samples are retained; the oldest is dropped on overflow.
+  explicit TimeSeriesRing(size_t capacity);
+
+  TimeSeriesRing(const TimeSeriesRing&) = delete;
+  TimeSeriesRing& operator=(const TimeSeriesRing&) = delete;
+
+  // Appends one snapshot of `registry` stamped `t_micros` (caller's
+  // clock; the DB passes Env::NowMicros()).
+  void Sample(const MetricsRegistry& registry, uint64_t t_micros);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  // {"capacity":C,"samples":[{"t_micros":T,"values":{"name":V,...}},...]}
+  // Samples are oldest-first; histogram instruments appear as
+  // "<name>.count". Always valid JSON ("samples":[] before any tick).
+  std::string ToJson() const;
+
+ private:
+  struct Sample_ {
+    uint64_t t_micros = 0;
+    std::vector<std::pair<uint32_t, int64_t>> values;  // (name id, value)
+  };
+
+  uint32_t InternLocked(const std::string& name);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;          // id -> name
+  std::map<std::string, uint32_t> ids_;     // name -> id
+  std::deque<Sample_> samples_;
+};
+
+}  // namespace pipelsm::obs

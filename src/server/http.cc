@@ -1,0 +1,109 @@
+#include "src/server/http.h"
+
+#include <cstdio>
+
+namespace pipelsm::server {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
+    default:  return "Error";
+  }
+}
+
+// Printable ASCII plus the two line terminators; everything else in a
+// request head (NUL, control bytes, high-bit garbage) is hostile.
+bool HeadByteOk(unsigned char c) {
+  return (c >= 0x20 && c < 0x7f) || c == '\r' || c == '\n' || c == '\t';
+}
+
+}  // namespace
+
+HttpRequestParser::Result HttpRequestParser::Finish(Result r,
+                                                    int error_status) {
+  state_ = r;
+  error_status_ = error_status;
+  buf_.clear();
+  buf_.shrink_to_fit();  // hostile input must not pin the cap per conn
+  return state_;
+}
+
+HttpRequestParser::Result HttpRequestParser::Feed(const char* data,
+                                                  size_t n) {
+  if (state_ != Result::kNeedMore) return state_;
+  for (size_t i = 0; i < n; i++) {
+    if (!HeadByteOk(static_cast<unsigned char>(data[i]))) {
+      return Finish(Result::kError, 400);
+    }
+  }
+  // Append at most up-to-cap bytes; anything beyond the cap without a
+  // complete head in it is an error either way.
+  const size_t room = kMaxRequestHeadBytes - buf_.size();
+  buf_.append(data, n < room ? n : room);
+  // End of head: blank line (tolerate bare-LF clients).
+  size_t head_end = buf_.find("\r\n\r\n");
+  if (head_end == std::string::npos) head_end = buf_.find("\n\n");
+  if (head_end == std::string::npos) {
+    // A GET head that is a single line is complete at its first newline
+    // if nothing else follows yet — but headers may still be coming, so
+    // only the blank line ends the head. Over the cap without one: done.
+    if (buf_.size() >= kMaxRequestHeadBytes || n > room) {
+      return Finish(Result::kError, 431);
+    }
+    return Result::kNeedMore;
+  }
+  buf_.resize(head_end);  // request line + headers, no blank line
+  return ParseRequestLine();
+}
+
+HttpRequestParser::Result HttpRequestParser::ParseRequestLine() {
+  size_t eol = buf_.find('\n');
+  std::string line = buf_.substr(0, eol);  // npos => whole head is 1 line
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0 || sp1 > kMaxMethodBytes) {
+    return Finish(Result::kError, 400);
+  }
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1 ||
+      sp2 - sp1 - 1 > kMaxPathBytes) {
+    return Finish(Result::kError, 400);
+  }
+  // Version token: anything is tolerated ("HTTP/1.0", "HTTP/1.1"), but
+  // it must exist — a two-token line is not HTTP.
+  if (sp2 + 1 >= line.size()) return Finish(Result::kError, 400);
+
+  method_ = line.substr(0, sp1);
+  path_ = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  for (char c : method_) {
+    if (c < 'A' || c > 'Z') return Finish(Result::kError, 400);
+  }
+  if (path_[0] != '/') return Finish(Result::kError, 400);
+  return Finish(Result::kComplete);
+}
+
+std::string BuildHttpResponse(int status, const std::string& content_type,
+                              const std::string& body) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.0 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                status, ReasonPhrase(status), content_type.c_str(),
+                body.size());
+  std::string out(head);
+  out.append(body);
+  return out;
+}
+
+}  // namespace pipelsm::server

@@ -1,0 +1,66 @@
+// Minimal HTTP/1.0 GET support for the admin endpoint (docs/SERVER.md
+// "Admin endpoint"). This is not a web server: it accepts exactly one
+// request per connection, serves it, and closes — Connection: close
+// semantics regardless of what the client asked for.
+//
+// Hostile-input posture (the port may be reachable by anything that can
+// speak TCP):
+//   * the request head is capped at kMaxRequestHeadBytes; one byte past
+//     it without a complete head is a hard error (431-and-close), so a
+//     slowloris drip can hold one connection slot but no memory beyond
+//     the cap;
+//   * only the request line is parsed — headers are skipped, bodies are
+//     not read (a GET has none; anything trailing the head is ignored
+//     because the connection closes after the reply);
+//   * the method token and path are length-checked and
+//     character-checked; NUL bytes or control characters anywhere in the
+//     head are an error.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pipelsm::server {
+
+// Request head ceiling (request line + headers + blank line).
+inline constexpr size_t kMaxRequestHeadBytes = 4096;
+// Request-line tokens are bounded well below the head cap.
+inline constexpr size_t kMaxMethodBytes = 16;
+inline constexpr size_t kMaxPathBytes = 1024;
+
+// Incremental parser for one request head. Feed whatever arrived; the
+// parser retains state across calls (kNeedMore) and never buffers more
+// than the head cap.
+class HttpRequestParser {
+ public:
+  enum class Result {
+    kNeedMore,  // head incomplete, keep feeding
+    kComplete,  // method()/path() valid
+    kError,     // malformed or over the cap — reply 400/431 and close
+  };
+
+  // Consumes `n` bytes. Once kComplete or kError is returned, further
+  // calls return the same verdict (one request per connection).
+  Result Feed(const char* data, size_t n);
+
+  const std::string& method() const { return method_; }
+  const std::string& path() const { return path_; }
+  // 400 for malformed input, 431 when the head outgrew the cap.
+  int error_status() const { return error_status_; }
+
+ private:
+  Result Finish(Result r, int error_status = 0);
+  Result ParseRequestLine();
+
+  std::string buf_;
+  std::string method_;
+  std::string path_;
+  int error_status_ = 0;
+  Result state_ = Result::kNeedMore;
+};
+
+// "HTTP/1.0 <code> <reason>" + Content-Type/Length + Connection: close.
+std::string BuildHttpResponse(int status, const std::string& content_type,
+                              const std::string& body);
+
+}  // namespace pipelsm::server

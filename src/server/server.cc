@@ -13,6 +13,8 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "src/obs/prometheus.h"
+#include "src/server/http.h"
 #include "src/shard/sharded_db.h"
 #include "src/table/iterator.h"
 #include "src/util/coding.h"
@@ -42,6 +44,12 @@ struct Server::Conn {
 
   FrameDecoder decoder;  // touched only by the owning loop
 
+  // Admin (HTTP) connection: exempt from stall/drain read parking, one
+  // request then close-after-flush. parser is touched only by the
+  // owning loop, like decoder.
+  bool admin = false;
+  HttpRequestParser http;
+
   std::mutex mu;  // guards everything below
   int fd = -1;    // -1 once closed
   std::string outbox;
@@ -52,6 +60,7 @@ struct Server::Conn {
   bool paused_outbox = false;
   bool error = false;  // response write failed; owner loop must close
   bool closed = false;
+  bool close_after_flush = false;  // admin: reply queued, close on drain
 };
 
 struct Server::IoLoop {
@@ -72,6 +81,7 @@ struct Server::ReadTask {
   uint64_t seq = 0;
   std::string body;
   Stopwatch queued;  // starts at dispatch; latency includes queue wait
+  ReqTiming timing;
 };
 
 // One client WRITE_BATCH that spans shards: split into per-shard
@@ -104,6 +114,7 @@ struct Server::WriteTask {
   size_t shard = 0;  // which write queue / engine commits this
   std::shared_ptr<MultiReply> multi;  // set only for cross-shard batches
   Stopwatch queued;
+  ReqTiming timing;
 };
 
 Server::Server(DB* db, const ServerOptions& options)
@@ -142,6 +153,19 @@ Status Server::Start() {
                                           "leader batches committed");
   gc_batch_size_ = metrics_->RegisterHistogram(
       "server.group_commit.batch_size", "write requests folded per commit");
+  admin_conns_active_ = metrics_->RegisterGauge("server.admin.conns_active",
+                                                "open admin connections");
+  admin_requests_ = metrics_->RegisterCounter("server.admin.requests",
+                                              "admin HTTP requests served");
+  admin_http_errors_ = metrics_->RegisterCounter(
+      "server.admin.http_errors",
+      "admin connections answered 4xx/refused on hostile input");
+  slow_requests_ = metrics_->RegisterCounter(
+      "server.slow_requests",
+      "requests over ServerOptions::slow_request_micros end to end");
+  requests_inflight_ = metrics_->RegisterGauge(
+      "server.requests_inflight",
+      "dispatched client requests not yet answered");
   static const char* kNames[8] = {"",     "ping", "get",  "put",
                                   "del",  "batch", "scan", "stats"};
   for (uint8_t t = 1; t <= 7; t++) {
@@ -163,6 +187,16 @@ Status Server::Start() {
 
   Status s = Listen();
   if (!s.ok()) return s;
+  if (options_.admin_port >= 0) {
+    s = ListenAdmin();
+    if (!s.ok()) return s;
+  }
+  if (options_.trace != nullptr) {
+    trace_pid_ = options_.trace->BeginJob("server requests");
+    for (uint32_t t = 1; t <= 7; t++) {
+      options_.trace->SetLaneName(trace_pid_, t, kNames[t]);
+    }
+  }
 
   read_queue_ =
       std::make_unique<BoundedQueue<ReadTask>>(options_.request_queue_depth);
@@ -195,6 +229,14 @@ Status Server::Start() {
       if (::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, listen_fd_, &lev) != 0) {
         return Errno("epoll_ctl(listen)");
       }
+      if (admin_fd_ >= 0) {
+        struct epoll_event aev{};
+        aev.events = EPOLLIN;
+        aev.data.fd = admin_fd_;
+        if (::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, admin_fd_, &aev) != 0) {
+          return Errno("epoll_ctl(admin_listen)");
+        }
+      }
     }
     loops_.push_back(std::move(loop));
   }
@@ -218,10 +260,10 @@ Status Server::Start() {
   }
 
   obs::Log(info_log_,
-           "EVENT server_start host=%s port=%d io_threads=%zu workers=%d "
-           "sync_writes=%d group_window_micros=%llu shards=%zu",
-           options_.host.c_str(), port_, loops_.size(), num_workers,
-           options_.sync_writes ? 1 : 0,
+           "EVENT server_start host=%s port=%d admin_port=%d io_threads=%zu "
+           "workers=%d sync_writes=%d group_window_micros=%llu shards=%zu",
+           options_.host.c_str(), port_, admin_port_, loops_.size(),
+           num_workers, options_.sync_writes ? 1 : 0,
            static_cast<unsigned long long>(options_.group_commit_window_micros),
            num_write_queues);
   return Status::OK();
@@ -255,6 +297,269 @@ Status Server::Listen() {
     port_ = options_.port;
   }
   return Status::OK();
+}
+
+Status Server::ListenAdmin() {
+  admin_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (admin_fd_ < 0) return Errno("socket(admin)");
+  int one = 1;
+  ::setsockopt(admin_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.admin_port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad listen host", options_.host);
+  }
+  if (::bind(admin_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Errno("bind(admin)");
+  }
+  if (::listen(admin_fd_, 64) != 0) return Errno("listen(admin)");
+  if (options_.admin_port == 0) {
+    struct sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(admin_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                      &len) != 0) {
+      return Errno("getsockname(admin)");
+    }
+    admin_port_ = ntohs(bound.sin_port);
+  } else {
+    admin_port_ = options_.admin_port;
+  }
+  return Status::OK();
+}
+
+void Server::AcceptAdminConnections() {
+  while (true) {
+    const int fd =
+        ::accept4(admin_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    // Admin conns keep working during drain (for /healthz) but a cap
+    // bounds what a hostile scraper can pin; over it, refuse outright.
+    if (active_admin_conns_.load(std::memory_order_relaxed) >=
+        static_cast<int64_t>(options_.max_admin_conns)) {
+      admin_http_errors_->Add();
+      ::close(fd);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Conn>(options_.max_body_bytes);
+    conn->admin = true;
+    conn->id = next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    conn->fd = fd;
+    conn->loop_index =
+        next_loop_.fetch_add(1, std::memory_order_relaxed) % loops_.size();
+    IoLoop& target = *loops_[conn->loop_index];
+    conn->epfd = target.epfd;
+    {
+      std::lock_guard<std::mutex> l(target.mu);
+      target.incoming.push_back(conn);
+    }
+    admin_conns_active_->Set(
+        active_admin_conns_.fetch_add(1, std::memory_order_relaxed) + 1);
+    if (conn->loop_index == 0) {
+      RegisterIncoming(target);  // already on loop 0's thread
+    } else {
+      const char b = 'w';
+      [[maybe_unused]] ssize_t r = ::write(target.wake_wr, &b, 1);
+    }
+  }
+}
+
+void Server::HandleAdminReadable(IoLoop& loop,
+                                 const std::shared_ptr<Conn>& conn) {
+  char buf[4096];
+  while (true) {
+    {
+      std::lock_guard<std::mutex> l(conn->mu);
+      // Once the reply is queued the request phase is over; whatever
+      // else the client pipelines is discarded by the close.
+      if (conn->closed || conn->fd < 0 || conn->close_after_flush) return;
+    }
+    const ssize_t r = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (r > 0) {
+      switch (conn->http.Feed(buf, static_cast<size_t>(r))) {
+        case HttpRequestParser::Result::kNeedMore:
+          break;
+        case HttpRequestParser::Result::kComplete:
+          HandleAdminRequest(conn, conn->http.method(), conn->http.path());
+          return;
+        case HttpRequestParser::Result::kError:
+          admin_http_errors_->Add();
+          SendAdminResponse(conn, conn->http.error_status(), "text/plain",
+                            "bad request\n");
+          return;
+      }
+      if (static_cast<size_t>(r) < sizeof(buf)) return;
+      continue;
+    }
+    if (r == 0) {
+      CloseConn(loop, conn, "admin_eof");
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    CloseConn(loop, conn, "admin_read_error");
+    return;
+  }
+}
+
+void Server::HandleAdminRequest(const std::shared_ptr<Conn>& conn,
+                                const std::string& method,
+                                const std::string& path) {
+  admin_requests_->Add();
+  if (method != "GET") {
+    admin_http_errors_->Add();
+    SendAdminResponse(conn, 405, "text/plain", "method not allowed\n");
+    return;
+  }
+  if (path == "/healthz") {
+    if (draining_.load(std::memory_order_acquire)) {
+      SendAdminResponse(conn, 503, "text/plain", "draining\n");
+    } else {
+      SendAdminResponse(conn, 200, "text/plain", "ok\n");
+    }
+    return;
+  }
+  if (path == "/metrics") {
+    SendAdminResponse(conn, 200, "text/plain; version=0.0.4",
+                      RenderPrometheusMetrics());
+    return;
+  }
+  // The remaining endpoints are property pass-throughs.
+  const char* property = nullptr;
+  const char* content_type = "application/json";
+  if (path == "/stats") {
+    property = "pipelsm.stats";
+    content_type = "text/plain";
+  } else if (path == "/advisor") {
+    property = "pipelsm.advisor";
+  } else if (path == "/arbiter") {
+    property = "pipelsm.arbiter";
+  } else if (path == "/timeseries") {
+    property = "pipelsm.timeseries";
+  }
+  if (property == nullptr) {
+    admin_http_errors_->Add();
+    SendAdminResponse(conn, 404, "text/plain", "not found\n");
+    return;
+  }
+  std::string body;
+  if (!db_->GetProperty(property, &body)) {
+    // e.g. /arbiter on an unsharded server.
+    admin_http_errors_->Add();
+    SendAdminResponse(conn, 404, "text/plain", "not found\n");
+    return;
+  }
+  if (!body.empty() && body.back() != '\n') body.push_back('\n');
+  SendAdminResponse(conn, 200, content_type, body);
+}
+
+void Server::SendAdminResponse(const std::shared_ptr<Conn>& conn, int status,
+                               const char* content_type,
+                               const std::string& body) {
+  const std::string response = BuildHttpResponse(status, content_type, body);
+  std::lock_guard<std::mutex> l(conn->mu);
+  if (conn->closed || conn->fd < 0 || conn->error) return;
+  conn->outbox.append(response);
+  conn->close_after_flush = true;
+  TryFlushLocked(*conn);
+  UpdateInterestLocked(*conn);
+  // If the flush already completed, the owning loop notices
+  // close_after_flush on its next pass (we may be on it right now —
+  // HandleAdminReadable's caller closes synchronously below).
+}
+
+std::string Server::RenderPrometheusMetrics() {
+  obs::PrometheusExposition exposition;
+  // Fleet-level registry (server.*, and arbiter.* when sharded); the
+  // embedded server.shard<N>.* instruments fold into shard labels.
+  exposition.AddRegistry(*metrics_, {});
+  if (sharded_ != nullptr) {
+    for (size_t i = 0; i < sharded_->num_shards(); i++) {
+      obs::MetricsRegistry* reg = sharded_->shard(i)->MetricsHandle();
+      if (reg == nullptr || reg == metrics_) continue;
+      exposition.AddRegistry(*reg, {{"shard", std::to_string(i)}});
+    }
+  }
+  // Advisor regime as an info-style series: value is constant 1, the
+  // regime rides a label (the standard pattern for enum-valued state).
+  const auto add_regime = [&exposition](DB* db, const obs::PrometheusLabels&
+                                                    labels) {
+    // "none" until the first completed compaction gives the advisor a
+    // profile to classify — the series itself is always present.
+    std::string regime = "none";
+    std::string advisor;
+    if (db->GetProperty("pipelsm.advisor", &advisor)) {
+      const size_t key = advisor.find("\"regime\":\"");
+      if (key != std::string::npos) {
+        const size_t start = key + 10;
+        const size_t end = advisor.find('"', start);
+        if (end != std::string::npos) regime = advisor.substr(start, end - start);
+      }
+    }
+    obs::PrometheusLabels with_regime = labels;
+    with_regime.emplace_back("regime", regime);
+    exposition.AddGauge("advisor.regime_info",
+                        "active bottleneck-advisor regime (value always 1)",
+                        with_regime, 1.0);
+  };
+  if (sharded_ != nullptr) {
+    for (size_t i = 0; i < sharded_->num_shards(); i++) {
+      add_regime(sharded_->shard(i), {{"shard", std::to_string(i)}});
+    }
+  } else {
+    add_regime(db_, {});
+  }
+  exposition.AddGauge("server.draining",
+                      "1 while a graceful drain is in progress",
+                      {}, draining_.load(std::memory_order_acquire) ? 1 : 0);
+  return exposition.Render();
+}
+
+uint64_t Server::NowNs() const {
+  return options_.trace != nullptr ? options_.trace->NowNanos()
+                                   : epoch_.ElapsedNanos();
+}
+
+void Server::FinishRequest(MessageType type, uint64_t conn_id, int shard,
+                           const ReqTiming& timing, uint64_t end_ns) {
+  requests_inflight_->Set(
+      inflight_total_.fetch_sub(1, std::memory_order_relaxed) - 1);
+  const uint64_t total_micros = (end_ns - timing.decode_ns) / 1000;
+  if (options_.trace != nullptr && options_.trace_sample_every > 0 &&
+      trace_sampler_.fetch_add(1, std::memory_order_relaxed) %
+              options_.trace_sample_every ==
+          0) {
+    const uint32_t lane = static_cast<uint32_t>(TypeIndex(type));
+    options_.trace->AddSpan(trace_pid_, lane, "request", "server",
+                            timing.decode_ns, end_ns, conn_id);
+    if (timing.op_end_ns > timing.op_start_ns) {
+      options_.trace->AddSpan(trace_pid_, lane, "db", "server",
+                              timing.op_start_ns, timing.op_end_ns, conn_id);
+    }
+  }
+  if (options_.slow_request_micros == 0 ||
+      total_micros < options_.slow_request_micros) {
+    return;
+  }
+  slow_requests_->Add();
+  const uint64_t queue_micros =
+      (timing.op_start_ns - timing.decode_ns) / 1000;
+  const uint64_t db_micros = (timing.op_end_ns - timing.op_start_ns) / 1000;
+  const uint64_t reply_micros = (end_ns - timing.op_end_ns) / 1000;
+  obs::Log(info_log_,
+           "EVENT slow_request type=%s conn=%llu shard=%d total_micros=%llu "
+           "queue_micros=%llu db_micros=%llu reply_micros=%llu",
+           MessageTypeName(type), static_cast<unsigned long long>(conn_id),
+           shard, static_cast<unsigned long long>(total_micros),
+           static_cast<unsigned long long>(queue_micros),
+           static_cast<unsigned long long>(db_micros),
+           static_cast<unsigned long long>(reply_micros));
 }
 
 void Server::WakeAllLoops() {
@@ -299,6 +604,10 @@ void Server::IoLoopMain(size_t index) {
         AcceptNewConnections();
         continue;
       }
+      if (index == 0 && fd == admin_fd_ && admin_fd_ >= 0) {
+        AcceptAdminConnections();
+        continue;
+      }
       std::shared_ptr<Conn> conn;
       {
         std::lock_guard<std::mutex> l(loop.mu);
@@ -312,15 +621,38 @@ void Server::IoLoopMain(size_t index) {
       }
       if (events[i].events & EPOLLOUT) HandleWritable(conn);
       bool write_error;
+      bool admin_done;
       {
         std::lock_guard<std::mutex> l(conn->mu);
         write_error = conn->error && !conn->closed;
+        admin_done = conn->admin && conn->close_after_flush &&
+                     !conn->closed && conn->out_pos >= conn->outbox.size();
       }
       if (write_error) {
         CloseConn(loop, conn, "write_error");
         continue;
       }
-      if (events[i].events & EPOLLIN) HandleReadable(loop, conn);
+      if (admin_done) {
+        CloseConn(loop, conn, "admin_done");
+        continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        if (conn->admin) {
+          HandleAdminReadable(loop, conn);
+          // The reply usually flushes inside the handler; close now
+          // instead of waiting for another epoll event that may never
+          // come (the client may simply hold the socket open).
+          bool done;
+          {
+            std::lock_guard<std::mutex> l(conn->mu);
+            done = conn->close_after_flush && !conn->closed &&
+                   conn->out_pos >= conn->outbox.size();
+          }
+          if (done) CloseConn(loop, conn, "admin_done");
+        } else {
+          HandleReadable(loop, conn);
+        }
+      }
     }
     if (refresh_interest) {
       std::vector<std::shared_ptr<Conn>> snapshot;
@@ -347,6 +679,12 @@ void Server::IoLoopMain(size_t index) {
   if (index == 0 && listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  // The admin socket outlives the drain window (healthz reports 503
+  // while it lasts) and dies with its owning loop.
+  if (index == 0 && admin_fd_ >= 0) {
+    ::close(admin_fd_);
+    admin_fd_ = -1;
   }
 }
 
@@ -404,8 +742,13 @@ void Server::RegisterIncoming(IoLoop& loop) {
       ::close(conn->fd);
       conn->fd = -1;
       conn->closed = true;
-      conns_active_->Set(active_conns_.fetch_sub(1, std::memory_order_relaxed) -
-                         1);
+      if (conn->admin) {
+        admin_conns_active_->Set(
+            active_admin_conns_.fetch_sub(1, std::memory_order_relaxed) - 1);
+      } else {
+        conns_active_->Set(
+            active_conns_.fetch_sub(1, std::memory_order_relaxed) - 1);
+      }
       continue;
     }
     conn->armed = EPOLLIN;
@@ -476,6 +819,12 @@ void Server::HandleReadable(IoLoop& loop, const std::shared_ptr<Conn>& conn) {
 void Server::DispatchFrame(const std::shared_ptr<Conn>& conn,
                            DecodedFrame&& frame) {
   req_counters_[TypeIndex(frame.type)]->Add();
+  // Decode stamp + in-flight gauge: every dispatched request gets
+  // exactly one FinishRequest (for cross-shard batches, the finisher's).
+  ReqTiming timing;
+  timing.decode_ns = NowNs();
+  requests_inflight_->Set(
+      inflight_total_.fetch_add(1, std::memory_order_relaxed) + 1);
   {
     std::lock_guard<std::mutex> l(conn->mu);
     conn->in_flight++;
@@ -489,6 +838,8 @@ void Server::DispatchFrame(const std::shared_ptr<Conn>& conn,
   switch (frame.type) {
     case MessageType::kPing:
       SendReply(conn, frame.type, frame.seq, Status::OK(), Slice());
+      timing.op_start_ns = timing.op_end_ns = timing.decode_ns;
+      FinishRequest(frame.type, conn->id, -1, timing, NowNs());
       return;
     case MessageType::kPut:
     case MessageType::kDelete:
@@ -497,6 +848,7 @@ void Server::DispatchFrame(const std::shared_ptr<Conn>& conn,
       task.conn = conn;
       task.type = frame.type;
       task.seq = frame.seq;
+      task.timing = timing;
       Slice body(frame.body);
       bool ok = false;
       if (frame.type == MessageType::kPut) {
@@ -547,6 +899,8 @@ void Server::DispatchFrame(const std::shared_ptr<Conn>& conn,
             }
             if (touched.empty()) {
               SendReply(conn, frame.type, frame.seq, Status::OK(), Slice());
+              timing.op_start_ns = timing.op_end_ns = NowNs();
+              FinishRequest(frame.type, conn->id, -1, timing, NowNs());
               return;
             }
             if (touched.size() == 1) {
@@ -560,6 +914,7 @@ void Server::DispatchFrame(const std::shared_ptr<Conn>& conn,
                 sub.conn = conn;
                 sub.type = frame.type;
                 sub.seq = frame.seq;
+                sub.timing = timing;
                 sub.batch = std::move(split[i]);
                 sub.shard = i;
                 sub.multi = multi;
@@ -573,6 +928,8 @@ void Server::DispatchFrame(const std::shared_ptr<Conn>& conn,
       if (!ok) {
         SendReply(conn, frame.type, frame.seq,
                   Status::InvalidArgument("malformed request body"), Slice());
+        timing.op_start_ns = timing.op_end_ns = NowNs();
+        FinishRequest(frame.type, conn->id, -1, timing, NowNs());
         return;
       }
       EnqueueWrite(std::move(task));
@@ -585,10 +942,13 @@ void Server::DispatchFrame(const std::shared_ptr<Conn>& conn,
       task.conn = conn;
       task.type = frame.type;
       task.seq = frame.seq;
+      task.timing = timing;
       task.body = std::move(frame.body);
       if (!read_queue_->Push(std::move(task))) {
         SendReply(conn, frame.type, frame.seq,
                   Status::Busy("server draining"), Slice());
+        timing.op_start_ns = timing.op_end_ns = NowNs();
+        FinishRequest(frame.type, conn->id, -1, timing, NowNs());
       }
       return;
     }
@@ -604,14 +964,17 @@ void Server::EnqueueWrite(WriteTask&& task) {
   const std::shared_ptr<MultiReply> multi = task.multi;
   const MessageType type = task.type;
   const uint64_t seq = task.seq;
+  ReqTiming timing = task.timing;
   if (!write_queues_[shard]->Push(std::move(task))) {
     const Status busy = Status::Busy("server draining");
-    if (multi != nullptr) {
-      if (multi->Complete(busy)) {
-        SendReply(conn, type, seq, multi->Final(), Slice());
-      }
-    } else {
-      SendReply(conn, type, seq, busy, Slice());
+    const bool replies = multi == nullptr || multi->Complete(busy);
+    if (replies) {
+      SendReply(conn, type, seq, multi != nullptr ? multi->Final() : busy,
+                Slice());
+      timing.op_start_ns = timing.op_end_ns = NowNs();
+      FinishRequest(type, conn->id,
+                    sharded_ != nullptr ? static_cast<int>(shard) : -1, timing,
+                    NowNs());
     }
   }
 }
@@ -625,6 +988,7 @@ void Server::WorkerPump() {
 }
 
 void Server::HandleReadTask(ReadTask& task) {
+  task.timing.op_start_ns = NowNs();
   Slice body(task.body);
   Status s;
   std::string payload;
@@ -681,8 +1045,10 @@ void Server::HandleReadTask(ReadTask& task) {
       s = Status::NotSupported("unexpected read task");
       break;
   }
+  task.timing.op_end_ns = NowNs();
   ObserveLatency(task.type, task.queued.ElapsedNanos() / 1000);
   SendReply(task.conn, task.type, task.seq, s, payload);
+  FinishRequest(task.type, task.conn->id, -1, task.timing, NowNs());
 }
 
 void Server::GroupCommitLoop(size_t index) {
@@ -702,6 +1068,7 @@ void Server::GroupCommitLoop(size_t index) {
   };
   std::vector<ConnReplies> replies;
   std::unordered_map<Conn*, size_t> reply_index;
+  std::vector<const WriteTask*> replied;
   while (true) {
     std::optional<WriteTask> first = queue.Pop();
     if (!first.has_value()) return;  // closed and drained
@@ -730,11 +1097,14 @@ void Server::GroupCommitLoop(size_t index) {
     for (const WriteTask& t : group) leader.Append(t.batch);
     WriteOptions wo;
     wo.sync = options_.sync_writes;
+    const uint64_t op_start_ns = NowNs();
     const Status s = target->Write(wo, &leader);
+    const uint64_t op_end_ns = NowNs();
     gc_commits_->Add();
     gc_batch_size_->Observe(static_cast<double>(group.size()));
     replies.clear();
     reply_index.clear();
+    replied.clear();
     for (WriteTask& t : group) {
       Status reply_status = s;
       if (t.multi != nullptr) {
@@ -745,6 +1115,10 @@ void Server::GroupCommitLoop(size_t index) {
         if (!t.multi->Complete(s)) continue;
         reply_status = t.multi->Final();
       }
+      // All members share the leader's DB window (they committed in it).
+      t.timing.op_start_ns = op_start_ns;
+      t.timing.op_end_ns = op_end_ns;
+      replied.push_back(&t);
       ObserveLatency(t.type, t.queued.ElapsedNanos() / 1000);
       auto ins = reply_index.emplace(t.conn.get(), replies.size());
       if (ins.second) replies.push_back(ConnReplies{t.conn, {}, 0});
@@ -753,6 +1127,11 @@ void Server::GroupCommitLoop(size_t index) {
       r.count++;
     }
     for (ConnReplies& r : replies) DeliverReplies(r.conn, r.frames, r.count);
+    const uint64_t flush_ns = NowNs();
+    const int shard_label = sharded_ != nullptr ? static_cast<int>(index) : -1;
+    for (const WriteTask* t : replied) {
+      FinishRequest(t->type, t->conn->id, shard_label, t->timing, flush_ns);
+    }
   }
 }
 
@@ -834,8 +1213,13 @@ void Server::UpdateInterestLocked(Conn& conn) {
   const bool stalled =
       gate_->state() == obs::WriteStallCondition::kStopped;
   uint32_t want = 0;
-  if (!draining_.load(std::memory_order_acquire) && !conn.paused_inflight &&
-      !conn.paused_outbox && !stalled && !conn.error) {
+  if (conn.admin) {
+    // Admin reads never park: /metrics must be scrapable mid-stall and
+    // /healthz mid-drain. Reading stops only once the reply is queued.
+    if (!conn.error && !conn.close_after_flush) want |= EPOLLIN;
+  } else if (!draining_.load(std::memory_order_acquire) &&
+             !conn.paused_inflight && !conn.paused_outbox && !stalled &&
+             !conn.error) {
     want |= EPOLLIN;
   }
   if (conn.out_pos < conn.outbox.size()) want |= EPOLLOUT;
@@ -865,7 +1249,13 @@ void Server::CloseConn(IoLoop& loop, const std::shared_ptr<Conn>& conn,
     std::lock_guard<std::mutex> l(loop.mu);
     loop.conns.erase(fd);
   }
-  conns_active_->Set(active_conns_.fetch_sub(1, std::memory_order_relaxed) - 1);
+  if (conn->admin) {
+    admin_conns_active_->Set(
+        active_admin_conns_.fetch_sub(1, std::memory_order_relaxed) - 1);
+  } else {
+    conns_active_->Set(
+        active_conns_.fetch_sub(1, std::memory_order_relaxed) - 1);
+  }
   obs::Log(info_log_, "EVENT conn_close id=%llu reason=%s",
            static_cast<unsigned long long>(conn->id), reason);
 }
@@ -877,6 +1267,10 @@ void Server::Drain() {
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
       listen_fd_ = -1;
+    }
+    if (admin_fd_ >= 0) {
+      ::close(admin_fd_);
+      admin_fd_ = -1;
     }
     return;
   }

@@ -54,8 +54,10 @@
 #include "src/obs/event_listener.h"
 #include "src/obs/logger.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/server/protocol.h"
 #include "src/util/bounded_queue.h"
+#include "src/util/stopwatch.h"
 #include "src/util/thread_pool.h"
 
 namespace pipelsm::shard {
@@ -163,6 +165,32 @@ struct ServerOptions {
   // WriteStallGate). nullptr = no DB-stall backpressure (per-connection
   // caps still apply). Must outlive the server.
   WriteStallGate* stall_gate = nullptr;
+
+  // -------- admin endpoint (docs/OBSERVABILITY.md) --------
+  // Port for the HTTP/1.0 admin endpoint (GET /metrics /stats /advisor
+  // /arbiter /timeseries /healthz), served by the same epoll loops as
+  // client traffic. -1 = disabled; 0 = ephemeral (read via
+  // admin_port()). Binds on `host`. Admin connections are exempt from
+  // stall parking and drain parking: /metrics stays scrapable while
+  // writes are stopped, and /healthz answers 503 while draining.
+  int admin_port = -1;
+
+  // Concurrent admin connections; accepts beyond the cap are refused
+  // (closed immediately). Scrapers and dashboards need a handful.
+  size_t max_admin_conns = 64;
+
+  // -------- per-request tracing (docs/OBSERVABILITY.md) --------
+  // A request whose decode-to-reply-flush time reaches this emits one
+  // "EVENT slow_request" line with its per-stage breakdown
+  // (queue/db/reply micros) to the info log. 0 = off.
+  uint64_t slow_request_micros = 1000 * 1000;
+
+  // When set, every trace_sample_every-th request is recorded into this
+  // collector as spans on the server's trace process (whole-request span
+  // plus its db stage), alongside the DB's compaction spans when they
+  // share a collector. Must outlive the server. nullptr = no sampling.
+  obs::TraceCollector* trace = nullptr;
+  uint64_t trace_sample_every = 64;
 };
 
 class Server {
@@ -186,6 +214,10 @@ class Server {
   // Bound port (useful with port=0). Valid after Start().
   int port() const { return port_; }
 
+  // Bound admin port; -1 when the endpoint is disabled. Valid after
+  // Start().
+  int admin_port() const { return admin_port_; }
+
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   // The gate the server watches: ServerOptions::stall_gate if set, else a
@@ -204,12 +236,40 @@ class Server {
   struct WriteTask;
   struct MultiReply;
 
+  // End-to-end request timestamps (NowNs clock): decode at dispatch,
+  // DB-op start/end at execution; the reply-flush stamp is taken at the
+  // emit site. Feeds the slow-request log line and trace sampling.
+  struct ReqTiming {
+    uint64_t decode_ns = 0;
+    uint64_t op_start_ns = 0;
+    uint64_t op_end_ns = 0;
+  };
+
   Status Listen();
   void IoLoopMain(size_t index);
   void AcceptNewConnections();
   void RegisterIncoming(IoLoop& loop);
   void HandleReadable(IoLoop& loop, const std::shared_ptr<Conn>& conn);
   void HandleWritable(const std::shared_ptr<Conn>& conn);
+
+  // Admin endpoint (HTTP/1.0, one request per connection).
+  Status ListenAdmin();
+  void AcceptAdminConnections();
+  void HandleAdminReadable(IoLoop& loop, const std::shared_ptr<Conn>& conn);
+  void HandleAdminRequest(const std::shared_ptr<Conn>& conn,
+                          const std::string& method, const std::string& path);
+  void SendAdminResponse(const std::shared_ptr<Conn>& conn, int status,
+                         const char* content_type, const std::string& body);
+  std::string RenderPrometheusMetrics();
+
+  // Monotone request clock: the trace collector's epoch when sampling is
+  // on (spans must share it), a private stopwatch otherwise.
+  uint64_t NowNs() const;
+  // Stamps the reply-flush end of one request: samples a trace span and
+  // emits the slow-request line when over threshold. `shard` is -1 for
+  // reads/unsharded.
+  void FinishRequest(MessageType type, uint64_t conn_id, int shard,
+                     const ReqTiming& timing, uint64_t end_ns);
   void DispatchFrame(const std::shared_ptr<Conn>& conn, DecodedFrame&& frame);
   // Routes one parsed write to its shard's queue (queue 0 unsharded).
   void EnqueueWrite(WriteTask&& task);
@@ -243,6 +303,8 @@ class Server {
 
   int listen_fd_ = -1;
   int port_ = 0;
+  int admin_fd_ = -1;
+  int admin_port_ = -1;
 
   std::vector<std::unique_ptr<IoLoop>> loops_;
   std::unique_ptr<BoundedQueue<ReadTask>> read_queue_;
@@ -259,6 +321,11 @@ class Server {
   std::atomic<uint64_t> next_conn_id_{1};
   std::atomic<size_t> next_loop_{0};
   std::atomic<int64_t> active_conns_{0};
+  std::atomic<int64_t> active_admin_conns_{0};
+  std::atomic<int64_t> inflight_total_{0};
+  std::atomic<uint64_t> trace_sampler_{0};
+  Stopwatch epoch_;  // NowNs clock when no trace collector is attached
+  uint32_t trace_pid_ = 0;  // server's trace process (0 = no collector)
 
   // server.* instruments (registered in Start()).
   obs::Gauge* conns_active_ = nullptr;
@@ -273,6 +340,12 @@ class Server {
   obs::HistogramMetric* req_micros_[8] = {};
   // Sharded only: write requests routed to each shard's queue.
   std::vector<obs::Counter*> shard_write_ops_;
+  // Admin endpoint + request tracing instruments.
+  obs::Gauge* admin_conns_active_ = nullptr;
+  obs::Counter* admin_requests_ = nullptr;
+  obs::Counter* admin_http_errors_ = nullptr;
+  obs::Counter* slow_requests_ = nullptr;
+  obs::Gauge* requests_inflight_ = nullptr;
 };
 
 }  // namespace pipelsm::server

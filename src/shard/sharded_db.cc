@@ -455,7 +455,7 @@ bool ShardedDB::GetProperty(const Slice& property, std::string* value) {
 
   // JSON payloads become a JSON array, one element per shard.
   if (prop == "pipelsm.metrics" || prop == "pipelsm.advisor" ||
-      prop == "pipelsm.scheduler") {
+      prop == "pipelsm.scheduler" || prop == "pipelsm.timeseries") {
     *value = "[";
     for (size_t i = 0; i < shards_.size(); i++) {
       std::string v;

@@ -28,6 +28,7 @@ class Histogram {
   double Min() const { return min_; }
   double Max() const { return max_; }
   double Num() const { return num_; }
+  double Sum() const { return sum_; }
   std::string ToString() const;
 
   // Appends the summary object the metrics registry exports for every

@@ -1,0 +1,91 @@
+#include "src/obs/timeseries.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "json_check.h"
+#include "src/obs/metrics.h"
+
+namespace pipelsm::obs {
+namespace {
+
+using pipelsm::testjson::JsonValue;
+using pipelsm::testjson::ParseJson;
+
+TEST(TimeSeriesRingTest, EmptyRingIsValidJson) {
+  TimeSeriesRing ring(8);
+  JsonValue root;
+  std::string err;
+  ASSERT_TRUE(ParseJson(ring.ToJson(), &root, &err)) << err;
+  EXPECT_EQ(root.Find("capacity")->number_value, 8);
+  EXPECT_TRUE(root.Find("samples")->array.empty());
+}
+
+TEST(TimeSeriesRingTest, SamplesCarryCountersGaugesAndHistogramCounts) {
+  MetricsRegistry registry;
+  Counter* writes = registry.RegisterCounter("db.writes", "");
+  Gauge* depth = registry.RegisterGauge("db.queue_depth", "");
+  HistogramMetric* lat = registry.RegisterHistogram("db.get_micros", "");
+
+  TimeSeriesRing ring(8);
+  writes->Add(3);
+  depth->Set(2);
+  lat->Observe(10);
+  ring.Sample(registry, 1000);
+  writes->Add(4);
+  depth->Set(1);
+  lat->Observe(20);
+  ring.Sample(registry, 2000);
+
+  JsonValue root;
+  std::string err;
+  ASSERT_TRUE(ParseJson(ring.ToJson(), &root, &err)) << err;
+  const auto& samples = root.Find("samples")->array;
+  ASSERT_EQ(samples.size(), 2u);
+
+  // Oldest first, timestamps as given.
+  EXPECT_EQ(samples[0].Find("t_micros")->number_value, 1000);
+  EXPECT_EQ(samples[1].Find("t_micros")->number_value, 2000);
+
+  const JsonValue* v0 = samples[0].Find("values");
+  const JsonValue* v1 = samples[1].Find("values");
+  EXPECT_EQ(v0->Find("db.writes")->number_value, 3);
+  EXPECT_EQ(v1->Find("db.writes")->number_value, 7);
+  EXPECT_EQ(v0->Find("db.queue_depth")->number_value, 2);
+  EXPECT_EQ(v1->Find("db.queue_depth")->number_value, 1);
+  EXPECT_EQ(v0->Find("db.get_micros.count")->number_value, 1);
+  EXPECT_EQ(v1->Find("db.get_micros.count")->number_value, 2);
+}
+
+TEST(TimeSeriesRingTest, OverflowDropsOldestSamples) {
+  MetricsRegistry registry;
+  Counter* c = registry.RegisterCounter("db.writes", "");
+  TimeSeriesRing ring(3);
+  for (uint64_t t = 1; t <= 5; t++) {
+    c->Add(1);
+    ring.Sample(registry, t * 100);
+  }
+  EXPECT_EQ(ring.size(), 3u);
+
+  JsonValue root;
+  std::string err;
+  ASSERT_TRUE(ParseJson(ring.ToJson(), &root, &err)) << err;
+  const auto& samples = root.Find("samples")->array;
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].Find("t_micros")->number_value, 300);
+  EXPECT_EQ(samples[2].Find("t_micros")->number_value, 500);
+  EXPECT_EQ(samples[2].Find("values")->Find("db.writes")->number_value, 5);
+}
+
+TEST(TimeSeriesRingTest, ZeroCapacityClampsToOne) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("db.writes", "");
+  TimeSeriesRing ring(0);
+  EXPECT_EQ(ring.capacity(), 1u);
+  ring.Sample(registry, 100);
+  ring.Sample(registry, 200);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pipelsm::obs

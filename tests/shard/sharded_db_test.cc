@@ -231,6 +231,12 @@ TEST(ShardedDB, PropertiesFanOutAcrossTheFleet) {
   ASSERT_TRUE(db->GetProperty("pipelsm.stats", &value));
   EXPECT_NE(std::string::npos, value.find("== shard 0 =="));
   EXPECT_NE(std::string::npos, value.find("== shard 3 =="));
+
+  // JSON-array fan-out: one ring per shard.
+  ASSERT_TRUE(db->GetProperty("pipelsm.timeseries", &value));
+  EXPECT_EQ('[', value.front());
+  EXPECT_EQ(']', value.back());
+  EXPECT_NE(std::string::npos, value.find("\"samples\":[{"));
 }
 
 TEST(ShardedDB, ArbiterOffRunsAndReportsEmpty) {

@@ -24,6 +24,17 @@
 //   --arbiter_io_lanes=N --arbiter_compute_workers=N
 //                           fleet compaction budget (defaults 4/4)
 //   --no_arbiter            per-shard free-for-all compaction admission
+//   --admin_port=N          HTTP observability endpoint (GET /metrics
+//                           /stats /advisor /arbiter /timeseries
+//                           /healthz; docs/OBSERVABILITY.md). -1 =
+//                           disabled (default); 0 = ephemeral, printed
+//                           at startup
+//   --slow_request_micros=N requests slower than this end to end log one
+//                           "EVENT slow_request" breakdown line
+//                           (default 1s; 0 = off)
+//   --trace_file=PATH       sample requests into a trace collector and
+//                           write Chrome trace JSON there on shutdown
+//   --trace_sample_every=N  sample every Nth request (default 64)
 //
 // SIGTERM/SIGINT triggers a graceful drain: stop accepting, answer every
 // accepted request, flush sockets, quiesce compactions, close the DB,
@@ -39,6 +50,7 @@
 #include <string>
 
 #include "src/db/db.h"
+#include "src/obs/trace.h"
 #include "src/server/server.h"
 #include "src/shard/sharded_db.h"
 
@@ -85,6 +97,7 @@ int main(int argc, char** argv) {
   bool arbiter = true;
   int arbiter_io_lanes = 4;
   int arbiter_compute_workers = 4;
+  std::string trace_file;
   pipelsm::server::ServerOptions sopts;
 
   for (int i = 1; i < argc; i++) {
@@ -107,7 +120,16 @@ int main(int argc, char** argv) {
         ParseFlag(argv[i], "shard_boundaries", &shard_boundaries) ||
         ParseNumFlag(argv[i], "arbiter_io_lanes", &arbiter_io_lanes) ||
         ParseNumFlag(argv[i], "arbiter_compute_workers",
-                     &arbiter_compute_workers)) {
+                     &arbiter_compute_workers) ||
+        ParseNumFlag(argv[i], "slow_request_micros",
+                     &sopts.slow_request_micros) ||
+        ParseFlag(argv[i], "trace_file", &trace_file) ||
+        ParseNumFlag(argv[i], "trace_sample_every",
+                     &sopts.trace_sample_every)) {
+      continue;
+    }
+    if (std::strncmp(argv[i], "--admin_port=", 13) == 0) {
+      sopts.admin_port = std::atoi(argv[i] + 13);  // -1 stays "disabled"
       continue;
     }
     if (std::strcmp(argv[i], "--nosync") == 0) {
@@ -185,6 +207,11 @@ int main(int argc, char** argv) {
                  s.ToString().c_str());
     return 1;
   }
+  std::unique_ptr<pipelsm::obs::TraceCollector> trace;
+  if (!trace_file.empty()) {
+    trace = std::make_unique<pipelsm::obs::TraceCollector>();
+    sopts.trace = trace.get();
+  }
   pipelsm::server::Server server(db.get(), sopts);
 
   if (::pipe(g_signal_pipe) != 0) {
@@ -206,6 +233,10 @@ int main(int argc, char** argv) {
   std::printf("pipelsm_server listening on %s:%d (db=%s, shards=%zu)\n",
               sopts.host.c_str(), server.port(), db_path.c_str(),
               shards > 1 ? shards : 1);
+  if (server.admin_port() >= 0) {
+    std::printf("admin endpoint on %s:%d (/metrics /stats /healthz)\n",
+                sopts.host.c_str(), server.admin_port());
+  }
   std::fflush(stdout);
 
   // Block until SIGTERM/SIGINT.
@@ -220,6 +251,13 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   server.Drain();
+  if (trace) {
+    pipelsm::Status ts = trace->WriteFile(trace_file);
+    if (!ts.ok()) {
+      std::fprintf(stderr, "trace dump %s: %s\n", trace_file.c_str(),
+                   ts.ToString().c_str());
+    }
+  }
   s = db->WaitForCompactions();
   if (!s.ok()) {
     std::fprintf(stderr, "compaction drain: %s\n", s.ToString().c_str());

@@ -1,0 +1,421 @@
+// pipelsm_top: terminal dashboard for a live pipelsm_server, driven
+// entirely by the admin endpoint's GET /metrics Prometheus exposition
+// (docs/OBSERVABILITY.md). No server-side support beyond --admin_port is
+// needed, and anything this tool shows a Prometheus scraper sees too.
+//
+//   pipelsm_top --port=ADMIN_PORT [--host=ADDR] [--interval_ms=N]
+//               [--iterations=N] [--once]
+//
+// Flags:
+//   --port=N          the server's --admin_port (required)
+//   --host=ADDR       default 127.0.0.1
+//   --interval_ms=N   poll period (default 1000)
+//   --iterations=N    exit after N refreshes (default 0 = run until ^C)
+//   --once            one poll, one machine-readable "TOP {json}" line on
+//                     stdout, exit 0 — for scripts and CI smoke tests
+//
+// The dashboard shows fleet request throughput (rates are deltas between
+// polls), per-shard write throughput and stall state, arbiter lane/worker
+// occupancy, the bottleneck-advisor regime, and drain state.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+struct Snapshot {
+  std::vector<Sample> samples;
+  std::chrono::steady_clock::time_point taken;
+  bool ok = false;
+
+  const Sample* Find(const std::string& name,
+                     const std::map<std::string, std::string>& labels = {})
+      const {
+    for (const Sample& s : samples) {
+      if (s.name != name) continue;
+      bool match = true;
+      for (const auto& [k, v] : labels) {
+        auto it = s.labels.find(k);
+        if (it == s.labels.end() || it->second != v) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return &s;
+    }
+    return nullptr;
+  }
+
+  double Value(const std::string& name,
+               const std::map<std::string, std::string>& labels = {},
+               double fallback = 0) const {
+    const Sample* s = Find(name, labels);
+    return s != nullptr ? s->value : fallback;
+  }
+
+  // shard label -> value, for families exported per shard.
+  std::map<int, double> PerShard(const std::string& name) const {
+    std::map<int, double> out;
+    for (const Sample& s : samples) {
+      if (s.name != name) continue;
+      auto it = s.labels.find("shard");
+      if (it != s.labels.end()) out[std::atoi(it->second.c_str())] = s.value;
+    }
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------
+// HTTP GET /metrics (HTTP/1.0, Connection: close — read to EOF).
+
+bool FetchBody(const std::string& host, int port, const std::string& path,
+               std::string* body) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    ssize_t n = ::send(fd, request.data() + off, request.size() - off,
+                       MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buf[8192];
+  while (true) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (raw.rfind("HTTP/1.0 200", 0) != 0) return false;
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return false;
+  *body = raw.substr(head_end + 4);
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text-exposition parsing (the subset the server emits).
+
+void ParseLabels(const std::string& text, Sample* out) {
+  // text is the inside of {...}: k="v",k2="v2" with \" \\ \n escapes.
+  size_t i = 0;
+  while (i < text.size()) {
+    const size_t eq = text.find('=', i);
+    if (eq == std::string::npos || eq + 1 >= text.size() ||
+        text[eq + 1] != '"') {
+      return;
+    }
+    const std::string key = text.substr(i, eq - i);
+    std::string value;
+    size_t j = eq + 2;
+    while (j < text.size() && text[j] != '"') {
+      if (text[j] == '\\' && j + 1 < text.size()) {
+        j++;
+        value.push_back(text[j] == 'n' ? '\n' : text[j]);
+      } else {
+        value.push_back(text[j]);
+      }
+      j++;
+    }
+    out->labels[key] = value;
+    i = j + 1;
+    if (i < text.size() && text[i] == ',') i++;
+  }
+}
+
+Snapshot ParseExposition(const std::string& text) {
+  Snapshot snap;
+  snap.taken = std::chrono::steady_clock::now();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    Sample s;
+    const size_t brace = line.find('{');
+    const size_t space = line.find(' ');
+    if (brace != std::string::npos && brace < space) {
+      const size_t close = line.rfind('}');
+      if (close == std::string::npos) continue;
+      s.name = line.substr(0, brace);
+      ParseLabels(line.substr(brace + 1, close - brace - 1), &s);
+      s.value = std::strtod(line.c_str() + close + 1, nullptr);
+    } else {
+      if (space == std::string::npos) continue;
+      s.name = line.substr(0, space);
+      s.value = std::strtod(line.c_str() + space + 1, nullptr);
+    }
+    if (!std::isnan(s.value)) snap.samples.push_back(std::move(s));
+  }
+  snap.ok = !snap.samples.empty();
+  return snap;
+}
+
+Snapshot Poll(const std::string& host, int port) {
+  std::string body;
+  if (!FetchBody(host, port, "/metrics", &body)) return Snapshot{};
+  return ParseExposition(body);
+}
+
+// ---------------------------------------------------------------------
+// Rendering.
+
+const char* StallName(double state) {
+  if (state >= 2) return "STOPPED";
+  if (state >= 1) return "delayed";
+  return "normal";
+}
+
+// The regime rides a label on the info series; value is always 1.
+std::string Regime(const Snapshot& snap, int shard) {
+  for (const Sample& s : snap.samples) {
+    if (s.name != "pipelsm_advisor_regime_info") continue;
+    auto it = s.labels.find("shard");
+    if (shard >= 0) {
+      if (it == s.labels.end() ||
+          std::atoi(it->second.c_str()) != shard) {
+        continue;
+      }
+    } else if (it != s.labels.end()) {
+      continue;
+    }
+    auto r = s.labels.find("regime");
+    if (r != s.labels.end()) return r->second;
+  }
+  return "?";
+}
+
+double Rate(const Snapshot& cur, const Snapshot& prev,
+            const std::string& name,
+            const std::map<std::string, std::string>& labels = {}) {
+  if (!prev.ok) return 0;
+  const double dt =
+      std::chrono::duration<double>(cur.taken - prev.taken).count();
+  if (dt <= 0) return 0;
+  return (cur.Value(name, labels) - prev.Value(name, labels)) / dt;
+}
+
+double TotalRequests(const Snapshot& snap) {
+  double total = 0;
+  for (const char* op : {"ping", "get", "put", "del", "batch", "scan",
+                         "stats"}) {
+    total += snap.Value(std::string("pipelsm_server_req_") + op);
+  }
+  return total;
+}
+
+void RenderDashboard(const Snapshot& cur, const Snapshot& prev,
+                     const std::string& host, int port) {
+  std::printf("\x1b[H\x1b[2J");  // home + clear
+  std::printf("pipelsm_top — %s:%d\n\n", host.c_str(), port);
+
+  const double req_rate = prev.ok ? (TotalRequests(cur) - TotalRequests(prev)) /
+                                        std::chrono::duration<double>(
+                                            cur.taken - prev.taken)
+                                            .count()
+                                  : 0;
+  std::printf("requests  %8.0f/s   (put %.0f/s  get %.0f/s  scan %.0f/s)\n",
+              req_rate, Rate(cur, prev, "pipelsm_server_req_put"),
+              Rate(cur, prev, "pipelsm_server_req_get"),
+              Rate(cur, prev, "pipelsm_server_req_scan"));
+  std::printf("bytes     in %8.0f/s   out %8.0f/s\n",
+              Rate(cur, prev, "pipelsm_server_bytes_in"),
+              Rate(cur, prev, "pipelsm_server_bytes_out"));
+  std::printf("conns     %.0f client   %.0f admin   inflight %.0f   "
+              "slow_total %.0f\n",
+              cur.Value("pipelsm_server_conns_active"),
+              cur.Value("pipelsm_server_admin_conns_active"),
+              cur.Value("pipelsm_server_requests_inflight"),
+              cur.Value("pipelsm_server_slow_requests"));
+  std::printf("draining  %s\n",
+              cur.Value("pipelsm_server_draining") > 0 ? "YES" : "no");
+
+  if (cur.Find("pipelsm_arbiter_io_lanes_in_use") != nullptr) {
+    std::printf("arbiter   io_lanes %.0f in use   compute %.0f in use   "
+                "waiting %.0f\n",
+                cur.Value("pipelsm_arbiter_io_lanes_in_use"),
+                cur.Value("pipelsm_arbiter_compute_workers_in_use"),
+                cur.Value("pipelsm_arbiter_waiting"));
+  }
+
+  const std::map<int, double> stalls =
+      cur.PerShard("pipelsm_db_write_stall_state");
+  if (!stalls.empty()) {
+    std::printf("\n%-6s %12s %10s %-10s %s\n", "shard", "writes/s",
+                "stall", "regime", "");
+    for (const auto& [shard, stall] : stalls) {
+      const std::map<std::string, std::string> label = {
+          {"shard", std::to_string(shard)}};
+      std::printf("%-6d %12.0f %10s %-10s\n", shard,
+                  Rate(cur, prev, "pipelsm_server_write_ops", label),
+                  StallName(stall), Regime(cur, shard).c_str());
+    }
+  } else {
+    std::printf("\nengine    writes %8.0f/s   stall %s   regime %s\n",
+                Rate(cur, prev, "pipelsm_server_req_put"),
+                StallName(cur.Value("pipelsm_db_write_stall_state")),
+                Regime(cur, -1).c_str());
+  }
+  std::fflush(stdout);
+}
+
+// One-line machine-readable snapshot for scripts/CI: TOP {json}.
+void RenderOnce(const Snapshot& snap) {
+  std::string out = "TOP {";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"requests_total\":%.0f,\"conns\":%.0f,\"admin_conns\":%.0f,"
+                "\"inflight\":%.0f,\"slow_requests\":%.0f,\"draining\":%d",
+                TotalRequests(snap),
+                snap.Value("pipelsm_server_conns_active"),
+                snap.Value("pipelsm_server_admin_conns_active"),
+                snap.Value("pipelsm_server_requests_inflight"),
+                snap.Value("pipelsm_server_slow_requests"),
+                snap.Value("pipelsm_server_draining") > 0 ? 1 : 0);
+  out += buf;
+  if (snap.Find("pipelsm_arbiter_io_lanes_in_use") != nullptr) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"arbiter\":{\"io_lanes_in_use\":%.0f,"
+                  "\"compute_workers_in_use\":%.0f,\"waiting\":%.0f}",
+                  snap.Value("pipelsm_arbiter_io_lanes_in_use"),
+                  snap.Value("pipelsm_arbiter_compute_workers_in_use"),
+                  snap.Value("pipelsm_arbiter_waiting"));
+    out += buf;
+  }
+  out += ",\"shards\":[";
+  const std::map<int, double> stalls =
+      snap.PerShard("pipelsm_db_write_stall_state");
+  if (stalls.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"shard\":-1,\"stall_state\":%.0f,\"regime\":\"%s\"}",
+                  snap.Value("pipelsm_db_write_stall_state"),
+                  Regime(snap, -1).c_str());
+    out += buf;
+  } else {
+    bool first = true;
+    for (const auto& [shard, stall] : stalls) {
+      const std::map<std::string, std::string> label = {
+          {"shard", std::to_string(shard)}};
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"shard\":%d,\"stall_state\":%.0f,"
+                    "\"write_ops\":%.0f,\"regime\":\"%s\"}",
+                    first ? "" : ",", shard, stall,
+                    snap.Value("pipelsm_server_write_ops", label),
+                    Regime(snap, shard).c_str());
+      out += buf;
+      first = false;
+    }
+  }
+  out += "]}";
+  std::printf("%s\n", out.c_str());
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  int interval_ms = 1000;
+  int iterations = 0;
+  bool once = false;
+  for (int i = 1; i < argc; i++) {
+    std::string v;
+    if (ParseFlag(argv[i], "host", &host)) continue;
+    if (ParseFlag(argv[i], "port", &v)) {
+      port = std::atoi(v.c_str());
+      continue;
+    }
+    if (ParseFlag(argv[i], "interval_ms", &v)) {
+      interval_ms = std::atoi(v.c_str());
+      continue;
+    }
+    if (ParseFlag(argv[i], "iterations", &v)) {
+      iterations = std::atoi(v.c_str());
+      continue;
+    }
+    if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+      continue;
+    }
+    std::fprintf(stderr, "unrecognized flag: %s (see header comment)\n",
+                 argv[i]);
+    return 2;
+  }
+  if (port <= 0) {
+    std::fprintf(stderr,
+                 "usage: pipelsm_top --port=ADMIN_PORT [--host=ADDR] "
+                 "[--interval_ms=N] [--iterations=N] [--once]\n");
+    return 2;
+  }
+  if (interval_ms < 10) interval_ms = 10;
+
+  if (once) {
+    const Snapshot snap = Poll(host, port);
+    if (!snap.ok) {
+      std::fprintf(stderr, "no /metrics from %s:%d\n", host.c_str(), port);
+      return 1;
+    }
+    RenderOnce(snap);
+    return 0;
+  }
+
+  Snapshot prev;
+  for (int i = 0; iterations == 0 || i < iterations; i++) {
+    const Snapshot cur = Poll(host, port);
+    if (!cur.ok) {
+      std::fprintf(stderr, "no /metrics from %s:%d (server gone?)\n",
+                   host.c_str(), port);
+      return 1;
+    }
+    RenderDashboard(cur, prev, host, port);
+    prev = cur;
+    if (iterations == 0 || i + 1 < iterations) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+  }
+  return 0;
+}
