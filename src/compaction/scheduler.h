@@ -82,8 +82,13 @@ struct CompactionAdmissionRequest {
   int shard_id = -1;                // Options::shard_id (-1: unsharded)
   model::StepTimes profile;         // advisor's decayed per-step times
   uint64_t advisor_jobs = 0;        // jobs the advisor has digested
-  int level = 0;                    // compaction input level
+  int level = 0;                    // compaction input level (-1 for GC)
   uint64_t input_bytes = 0;         // sum of input file sizes
+  // Value-log garbage collection (docs/VALUE_LOG.md): competes for the
+  // same lane/worker budget as compactions but ranks below every
+  // non-forced compaction — reclaiming dead value bytes is maintenance,
+  // shrinking read amplification is not.
+  bool is_gc = false;
 };
 
 // The governor's answer. `granted == false` means the engine must yield

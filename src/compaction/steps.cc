@@ -287,6 +287,10 @@ Status ComputeSubTask(const CompactionJobOptions& options, RawSubTask raw,
         first_occurrence = false;
       }
 
+      if (drop && in_range && options.on_drop_entry) {
+        options.on_drop_entry(parsed.type, best->value());
+      }
+
       if (!drop) {
         if (out->entries == 0) {
           out->smallest_key.assign(key.data(), key.size());

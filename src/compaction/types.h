@@ -140,6 +140,16 @@ struct CompactionJobOptions {
   // policy the table readers use. nullptr = no filter blocks.
   const class FilterPolicy* filter_policy = nullptr;
 
+  // Optional: invoked for every in-range entry the merge drops (hidden
+  // by a newer entry or a droppable tombstone) with the entry's type and
+  // raw value bytes. Out-of-range entries are excluded — they are merely
+  // this sub-task's overlap margin and get output by a neighboring
+  // sub-task. The DB uses this to credit dropped kTypeValuePointer
+  // entries to value-log discard statistics (docs/VALUE_LOG.md). May be
+  // called from concurrent compute workers (C-PPCP) — must be
+  // thread-safe.
+  std::function<void(ValueType, const Slice&)> on_drop_entry;
+
   // Parallelism (paper §III-C): readers = S-PPCP k, computers = C-PPCP k.
   int read_parallelism = 1;
   int compute_parallelism = 1;

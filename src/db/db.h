@@ -103,6 +103,10 @@ class DB {
   //   "pipelsm.background-error"         "OK", or the sticky background
   //                                      error freezing writes (clear it
   //                                      with Resume())
+  //   "pipelsm.vlog"                     JSON state of the value log
+  //                                      (segments, dead bytes, GC
+  //                                      counters); only when key-value
+  //                                      separation is active
   virtual bool GetProperty(const Slice& property, std::string* value) = 0;
 
   // For each i in [0,n-1], store in "sizes[i]" the approximate file
@@ -117,6 +121,13 @@ class DB {
 
   // Block until every queued background compaction has finished.
   virtual Status WaitForCompactions() = 0;
+
+  // Key-value separation (docs/VALUE_LOG.md): force a full value-log GC
+  // sweep — seal the active segment, then garbage-collect every sealed
+  // segment regardless of its dead ratio (live values are rewritten,
+  // dead segments deleted). Blocks until the sweep finishes. A no-op
+  // when separation is off and the DB holds no value-log segments.
+  virtual Status CompactValueLog() { return Status::OK(); }
 
   // Recover from the sticky background-error state without reopening the
   // DB (docs/FAULT_INJECTION.md). After transient-error retries are

@@ -50,6 +50,17 @@ Options SanitizeOptions(const Options& src) {
   if (result.scheduler_min_gain < 1.0) result.scheduler_min_gain = 1.0;
   if (result.pipeline_queue_depth < 1) result.pipeline_queue_depth = 1;
   if (result.max_background_retries < 0) result.max_background_retries = 0;
+  // Value-log knobs (docs/VALUE_LOG.md): a frame must fit its segment,
+  // and a dead ratio of 0 would GC segments that lost a single byte.
+  if (result.value_separation_threshold > 0) {
+    result.vlog_segment_size =
+        clip(result.vlog_segment_size, 64 << 10, 1 << 30);
+    if (result.value_separation_threshold > result.vlog_segment_size / 2) {
+      result.value_separation_threshold = result.vlog_segment_size / 2;
+    }
+  }
+  if (result.vlog_gc_dead_ratio < 0.01) result.vlog_gc_dead_ratio = 0.01;
+  if (result.vlog_gc_dead_ratio > 1.0) result.vlog_gc_dead_ratio = 1.0;
   if (result.background_retry_backoff_micros < 1) {
     result.background_retry_backoff_micros = 1;
   }
@@ -285,6 +296,7 @@ DBImpl::~DBImpl() {
     shutting_down_.store(true, std::memory_order_release);
     background_work_signal_.notify_all();
     stats_cv_.notify_all();
+    vlog_gc_signal_.notify_all();
     while (background_work_active_) {
       background_done_signal_.wait(lock);
     }
@@ -295,6 +307,9 @@ DBImpl::~DBImpl() {
   }
   if (stats_thread_.joinable()) {
     stats_thread_.join();
+  }
+  if (vlog_gc_thread_.joinable()) {
+    vlog_gc_thread_.join();
   }
 
   if (mem_ != nullptr) mem_->Unref();
@@ -402,8 +417,17 @@ Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
   uint64_t number;
   FileType type;
   std::vector<uint64_t> logs;
+  bool saw_vlog = false;
+  uint64_t max_vlog = 0;
   for (const std::string& filename : filenames) {
     if (ParseFileName(filename, &number, &type)) {
+      if (type == kVlogFile) {
+        // Value-log segments live outside the manifest; the VlogManager
+        // recovers them below.
+        saw_vlog = true;
+        max_vlog = std::max(max_vlog, number);
+        continue;
+      }
       expected.erase(number);
       if (type == kLogFile && number >= min_log) {
         logs.push_back(number);
@@ -415,6 +439,38 @@ Status DBImpl::Recover(VersionEdit* edit, bool* save_manifest) {
     std::snprintf(buf, sizeof(buf), "%d missing table files",
                   static_cast<int>(expected.size()));
     return Status::Corruption(buf);
+  }
+
+  // Key-value separation (docs/VALUE_LOG.md): bring up the value log
+  // before WAL replay so the file-number counter is already past every
+  // existing segment when replay flushes allocate table numbers. Also
+  // created when separation is off but segments exist from a previous
+  // run, so old pointers stay resolvable.
+  if (options_.value_separation_threshold > 0 || saw_vlog) {
+    while (versions_->NewFileNumber() < max_vlog) {
+      // Advance the shared counter past recovered segment numbers.
+    }
+    vlog::VlogOptions vopts;
+    vopts.segment_size = options_.vlog_segment_size;
+    vopts.gc_dead_ratio = options_.vlog_gc_dead_ratio;
+    vlog_ = std::make_unique<vlog::VlogManager>(
+        env_, dbname_, vopts, &metrics_registry_, info_log_, [this] {
+          std::lock_guard<std::mutex> l(mutex_);
+          return versions_->NewFileNumber();
+        });
+    // The append path locks vlog-then-mutex_ (the segment-number
+    // allocator re-locks mutex_), so recovery must not call into the
+    // vlog while holding mutex_ — allocate the active segment's number
+    // first, then drop the lock for the (vlog-locking) calls. Nothing
+    // else can touch the half-open DB yet: background work needs a
+    // memtable and the GC thread starts after Recover returns.
+    const uint64_t active_number = versions_->NewFileNumber();
+    uint64_t max_recovered = 0;
+    mutex_.unlock();
+    s = vlog_->Recover(&max_recovered);
+    if (s.ok()) s = vlog_->OpenActive(active_number);
+    mutex_.lock();
+    if (!s.ok()) return s;
   }
 
   // Recover in the order in which the logs were generated.
@@ -667,6 +723,11 @@ void DBImpl::RemoveObsoleteFiles() {
           break;
         case kTempFile:
           keep = (live.find(number) != live.end());
+          break;
+        case kVlogFile:
+          // The value log manages its own segment lifecycle (GC +
+          // retirement sweeps, docs/VALUE_LOG.md).
+          keep = true;
           break;
         case kCurrentFile:
         case kDBLockFile:
@@ -997,6 +1058,14 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
   job.filter_policy = table_options_.filter_policy;
   job.metrics = &metrics_registry_;
   job.trace = trace_.get();
+  if (vlog_ != nullptr) {
+    // Dropped pointer entries mean their value-log frames just became
+    // dead bytes. CreditDiscard is thread-safe (C-PPCP fires it from
+    // several compute workers at once) and never touches mutex_.
+    job.on_drop_entry = [this](ValueType type, const Slice& value) {
+      if (type == kTypeValuePointer) vlog_->CreditDiscard(value);
+    };
+  }
 
   obs::CompactionJobInfo job_info;
   job_info.job_id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
@@ -1096,6 +1165,10 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
   PIPELSM_LOG_INFO("compacted to: %s (%.1f MB in, wall %.0f ms)",
                    versions_->LevelSummary().c_str(),
                    input_bytes / 1048576.0, total_sw.ElapsedNanos() * 1e-6);
+
+  // The drop credits above may have pushed a segment past the GC dead
+  // ratio; wake the value-log GC thread to check (NeedsGc is lock-free).
+  if (vlog_ != nullptr && vlog_->NeedsGc()) vlog_gc_signal_.notify_one();
   return status;
 }
 
@@ -1125,11 +1198,22 @@ Iterator* DBImpl::NewInternalIterator(const ReadOptions& options,
                          static_cast<int>(list.size()));
   current->Ref();
 
-  internal_iter->RegisterCleanup([this, mem, imm, current] {
-    std::lock_guard<std::mutex> lock(mutex_);
-    mem->Unref();
-    if (imm != nullptr) imm->Unref();
-    current->Unref();
+  // Pin the latest sequence while the iterator lives so value-log GC
+  // cannot delete a retired segment the iterator may still resolve
+  // pointers from. (Explicit-snapshot reads are covered by snapshots_.)
+  std::multiset<SequenceNumber>::iterator pin;
+  const bool pinned = (vlog_ != nullptr);
+  if (pinned) pin = vlog_pins_.insert(*latest_snapshot);
+
+  internal_iter->RegisterCleanup([this, mem, imm, current, pin, pinned] {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      mem->Unref();
+      if (imm != nullptr) imm->Unref();
+      current->Unref();
+      if (pinned) vlog_pins_.erase(pin);
+    }
+    if (pinned) SweepRetiredVlogSegments();
   });
   return internal_iter;
 }
@@ -1154,20 +1238,38 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   if (imm != nullptr) imm->Ref();
   current->Ref();
 
+  // Pin the read sequence so value-log GC cannot delete a retired
+  // segment between us reading a pointer and resolving it.
+  std::multiset<SequenceNumber>::iterator pin;
+  if (vlog_ != nullptr) pin = vlog_pins_.insert(snapshot);
+
+  bool is_pointer = false;
   {
     lock.unlock();
     // First look in the memtable, then in the immutable memtable (if
     // any), then in the sorted files.
     LookupKey lkey(key, snapshot);
-    if (mem->Get(lkey, value, &s)) {
+    if (mem->Get(lkey, value, &s, &is_pointer)) {
       // Done
-    } else if (imm != nullptr && imm->Get(lkey, value, &s)) {
+    } else if (imm != nullptr && imm->Get(lkey, value, &s, &is_pointer)) {
       // Done
     } else {
       TableReadOptions tro;
       tro.verify_checksums = options.verify_checksums;
       tro.fill_cache = options.fill_cache;
-      s = current->Get(tro, lkey, value);
+      s = current->Get(tro, lkey, value, &is_pointer);
+    }
+    if (s.ok() && is_pointer) {
+      // Swap the encoded location for the value it points at.
+      vlog::ValueLocation loc;
+      if (vlog_ == nullptr || !vlog::DecodeValueLocation(Slice(*value), &loc)) {
+        s = Status::Corruption(
+            "value pointer without a value log to resolve it");
+      } else {
+        std::string resolved;
+        s = vlog_->Read(loc, &resolved);
+        if (s.ok()) value->swap(resolved);
+      }
     }
     lock.lock();
   }
@@ -1175,6 +1277,7 @@ Status DBImpl::Get(const ReadOptions& options, const Slice& key,
   mem->Unref();
   if (imm != nullptr) imm->Unref();
   current->Unref();
+  if (vlog_ != nullptr) vlog_pins_.erase(pin);
   lock.unlock();
   get_micros_hist_->Observe(op_sw.ElapsedNanos() / 1e3);
   return s;
@@ -1188,7 +1291,8 @@ Iterator* DBImpl::NewIterator(const ReadOptions& options) {
       (options.snapshot != nullptr
            ? static_cast<const SnapshotImpl*>(options.snapshot)
                  ->sequence_number()
-           : latest_snapshot));
+           : latest_snapshot),
+      vlog_.get());
 }
 
 const Snapshot* DBImpl::GetSnapshot() {
@@ -1200,10 +1304,15 @@ const Snapshot* DBImpl::GetSnapshot() {
 }
 
 void DBImpl::ReleaseSnapshot(const Snapshot* snapshot) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const SnapshotImpl* impl = static_cast<const SnapshotImpl*>(snapshot);
-  snapshots_.erase(impl->pos_);
-  delete impl;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const SnapshotImpl* impl = static_cast<const SnapshotImpl*>(snapshot);
+    snapshots_.erase(impl->pos_);
+    delete impl;
+  }
+  // The released snapshot may have been the last pin holding a retired
+  // value-log segment alive (lock order: never call vlog_ under mutex_).
+  SweepRetiredVlogSegments();
 }
 
 Status DBImpl::Put(const WriteOptions& o, const Slice& key,
@@ -1251,18 +1360,37 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
     // released here: &w is the only writer allowed to touch the log and
     // the memtable while it heads the queue (same protocol as LevelDB).
     bool sync_error = false;
+    std::vector<uint64_t> vlog_touched;
     {
       lock.unlock();
-      status = log_->AddRecord(WriteBatchInternal::Contents(write_batch));
-      if (!status.ok()) {
-        sync_error = true;  // AddRecord may have written a partial record
-      } else if (options.sync) {
-        status = logfile_->Sync();
-        sync_error = !status.ok();
+      WriteBatch* final_batch = write_batch;
+      if (vlog_ != nullptr && options_.value_separation_threshold > 0) {
+        bool any = false;
+        status = SeparateLargeValues(write_batch, &vlog_batch_, &vlog_touched,
+                                     &any);
+        if (status.ok() && any) {
+          // Durability order (docs/VALUE_LOG.md): the value frames must
+          // be on stable storage before their pointers can enter the
+          // WAL, so a WAL-durable pointer never dangles. On failure the
+          // whole group fails; the appended frames become dead bytes GC
+          // reclaims.
+          status = vlog_->Sync();
+          final_batch = &vlog_batch_;
+        }
       }
       if (status.ok()) {
-        status = WriteBatchInternal::InsertInto(write_batch, mem_);
+        status = log_->AddRecord(WriteBatchInternal::Contents(final_batch));
+        if (!status.ok()) {
+          sync_error = true;  // AddRecord may have written a partial record
+        } else if (options.sync) {
+          status = logfile_->Sync();
+          sync_error = !status.ok();
+        }
+        if (status.ok()) {
+          status = WriteBatchInternal::InsertInto(final_batch, mem_);
+        }
       }
+      if (!vlog_touched.empty()) vlog_->ReleaseAppends(vlog_touched);
       lock.lock();
     }
     if (sync_error) {
@@ -1273,6 +1401,7 @@ Status DBImpl::Write(const WriteOptions& options, WriteBatch* updates) {
       RecordBackgroundError(status, "wal");
     }
     if (write_batch == &tmp_batch_) tmp_batch_.Clear();
+    vlog_batch_.Clear();
 
     versions_->SetLastSequence(last_sequence);
   }
@@ -1346,6 +1475,402 @@ WriteBatch* DBImpl::BuildBatchGroup(Writer** last_writer) {
     *last_writer = w;
   }
   return result;
+}
+
+namespace {
+
+// Rewrites a write group so every Put whose value crosses the separation
+// threshold becomes a value-log append + a PutPointer record; everything
+// else passes through unchanged. One output record per input record, so
+// the sequence/count bookkeeping of the group is preserved.
+class SeparatingHandler : public WriteBatch::Handler {
+ public:
+  SeparatingHandler(vlog::VlogManager* vlog, size_t threshold,
+                    WriteBatch* out, std::vector<uint64_t>* touched)
+      : vlog_(vlog), threshold_(threshold), out_(out), touched_(touched) {}
+
+  void Put(const Slice& key, const Slice& value) override {
+    if (!status_.ok()) return;
+    if (value.size() >= threshold_) {
+      vlog::ValueLocation loc;
+      status_ = vlog_->Add(key, value, &loc);
+      if (!status_.ok()) return;
+      touched_->push_back(loc.segment);
+      any_ = true;
+      encoded_.clear();
+      vlog::EncodeValueLocation(&encoded_, loc);
+      out_->PutPointer(key, Slice(encoded_));
+    } else {
+      out_->Put(key, value);
+    }
+  }
+  void PutPointer(const Slice& key, const Slice& location) override {
+    // Already separated (a GC rewrite, or a batch replayed through the
+    // shard router): the pointer is opaque here.
+    if (status_.ok()) out_->PutPointer(key, location);
+  }
+  void Delete(const Slice& key) override {
+    if (status_.ok()) out_->Delete(key);
+  }
+
+  Status status() const { return status_; }
+  bool any() const { return any_; }
+
+ private:
+  vlog::VlogManager* const vlog_;
+  const size_t threshold_;
+  WriteBatch* const out_;
+  std::vector<uint64_t>* const touched_;
+  std::string encoded_;
+  Status status_;
+  bool any_ = false;
+};
+
+}  // namespace
+
+// REQUIRES: called from the write-queue leader, mutex_ NOT held.
+Status DBImpl::SeparateLargeValues(WriteBatch* input, WriteBatch* out,
+                                   std::vector<uint64_t>* touched,
+                                   bool* any) {
+  out->Clear();
+  SeparatingHandler handler(vlog_.get(),
+                            options_.value_separation_threshold, out,
+                            touched);
+  Status s = input->Iterate(&handler);
+  if (s.ok()) s = handler.status();
+  *any = handler.any();
+  if (s.ok() && *any) {
+    WriteBatchInternal::SetSequence(out, WriteBatchInternal::Sequence(input));
+  }
+  return s;
+}
+
+bool DBImpl::GetPointerUnlocked(const Slice& key, SequenceNumber sequence,
+                                MemTable* mem, MemTable* imm,
+                                Version* current,
+                                vlog::ValueLocation* loc) {
+  LookupKey lkey(key, sequence);
+  std::string raw;
+  Status s;
+  bool is_pointer = false;
+  if (mem->Get(lkey, &raw, &s, &is_pointer)) {
+    // Found in the live memtable.
+  } else if (imm != nullptr && imm->Get(lkey, &raw, &s, &is_pointer)) {
+    // Found in the immutable memtable.
+  } else {
+    s = current->Get(TableReadOptions(), lkey, &raw, &is_pointer);
+  }
+  return s.ok() && is_pointer && vlog::DecodeValueLocation(Slice(raw), loc);
+}
+
+SequenceNumber DBImpl::MinPinnedSequenceLocked() const {
+  SequenceNumber min_pinned = kMaxSequenceNumber;
+  if (!snapshots_.empty()) {
+    min_pinned = snapshots_.front()->sequence_number();
+  }
+  if (!vlog_pins_.empty() && *vlog_pins_.begin() < min_pinned) {
+    min_pinned = *vlog_pins_.begin();
+  }
+  return min_pinned;
+}
+
+void DBImpl::SweepRetiredVlogSegments() {
+  if (vlog_ == nullptr) return;
+  SequenceNumber min_pinned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    min_pinned = MinPinnedSequenceLocked();
+  }
+  vlog_->SweepRetired(min_pinned);
+}
+
+void DBImpl::VlogGcThreadMain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    // Woken by compactions that credited discards; the timeout catches
+    // credits from CreditDiscard paths with nobody to signal.
+    vlog_gc_signal_.wait_for(lock, std::chrono::milliseconds(250));
+    if (shutting_down_.load(std::memory_order_acquire)) break;
+    if (!bg_error_.ok() || !vlog_->NeedsGc()) continue;
+    lock.unlock();
+    uint64_t segment;
+    while (!shutting_down_.load(std::memory_order_acquire) &&
+           vlog_->PickGcSegment(&segment)) {
+      Status s = VlogGcPass(segment);
+      if (!s.ok()) {
+        PIPELSM_LOG_WARN("vlog GC of segment %llu failed: %s",
+                         static_cast<unsigned long long>(segment),
+                         s.ToString().c_str());
+        break;
+      }
+    }
+    SweepRetiredVlogSegments();
+    lock.lock();
+  }
+}
+
+// One GC pass over a sealed segment: scan every frame, consult the LSM
+// for liveness, re-append live values, commit their new pointers through
+// the writer queue, then retire the segment. Runs on the dedicated GC
+// thread (or a caller of CompactValueLog); never holds mutex_ while
+// calling into vlog_.
+Status DBImpl::VlogGcPass(uint64_t segment) {
+  if (!vlog_->BeginGc(segment)) return Status::OK();
+
+  obs::Log(info_log_, "EVENT vlog_gc_begin segment=%llu",
+           static_cast<unsigned long long>(segment));
+
+  // GC competes for the same fleet I/O budget as compactions, at the
+  // lowest admission tier (request.is_gc — see src/shard/arbiter.cc).
+  uint64_t grant_id = 0;
+  CompactionGovernor* const governor = options_.compaction_governor;
+  if (governor != nullptr) {
+    CompactionAdmissionRequest request;
+    request.shard_id = options_.shard_id;
+    request.level = -1;
+    request.is_gc = true;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      request.profile = advisor_.Profile();
+      request.advisor_jobs = advisor_.jobs();
+    }
+    CompactionGrant grant = governor->Admit(request, [this] {
+      return shutting_down_.load(std::memory_order_acquire);
+    });
+    if (!grant.granted) {
+      vlog_->FinishGc(segment, false, 0);
+      return Status::OK();
+    }
+    grant_id = grant.id;
+  }
+
+  // Pin the current state for the liveness prefilter. The prefilter only
+  // rejects frames that are already dead at `seq` (dead entries never
+  // come back to life); survivors are re-checked authoritatively at
+  // commit time under writer-queue leadership.
+  MemTable* mem;
+  MemTable* imm;
+  Version* current;
+  SequenceNumber seq;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mem = mem_;
+    imm = imm_;
+    current = versions_->current();
+    mem->Ref();
+    if (imm != nullptr) imm->Ref();
+    current->Ref();
+    seq = versions_->LastSequence();
+  }
+
+  // GC is a data-movement job like any compaction, so it reports a
+  // StepProfile to the bottleneck advisor: the segment scan is S1 READ,
+  // the per-frame liveness checks are its (small) compute, the copies +
+  // sync + pointer commit are S7 WRITE. On a separated workload GC moves
+  // the value bytes compaction no longer touches, and folding its
+  // profile in is what lets the advisor's regime verdict track where the
+  // machine's work actually went.
+  std::vector<GcRewrite> rewrites;
+  std::vector<uint64_t> touched;
+  uint64_t live_bytes = 0;
+  uint64_t scanned_bytes = 0;
+  uint64_t liveness_nanos = 0;
+  uint64_t append_nanos = 0;
+  Stopwatch pass_timer;
+  Status s = vlog_->ScanSegment(
+      segment, [&](const Slice& key, const Slice& value,
+                   const vlog::ValueLocation& loc) -> Status {
+        if (shutting_down_.load(std::memory_order_acquire)) {
+          return Status::IOError("deleting DB during vlog GC");
+        }
+        scanned_bytes += key.size() + value.size() + 10;  // ≈ frame header
+        Stopwatch step;
+        vlog::ValueLocation cur;
+        const bool live =
+            GetPointerUnlocked(key, seq, mem, imm, current, &cur) &&
+            cur == loc;
+        liveness_nanos += step.ElapsedNanos();
+        if (!live) return Status::OK();  // dead: deleted or overwritten
+        GcRewrite rw;
+        rw.key.assign(key.data(), key.size());
+        rw.old_loc = loc;
+        step.Restart();
+        Status add = vlog_->Add(key, value, &rw.new_loc);
+        append_nanos += step.ElapsedNanos();
+        if (!add.ok()) return add;
+        touched.push_back(rw.new_loc.segment);
+        live_bytes += value.size();
+        rewrites.push_back(std::move(rw));
+        return Status::OK();
+      });
+  const uint64_t scan_nanos = pass_timer.ElapsedNanos();
+
+  // The copies must be durable before their pointers can commit (same
+  // order as the foreground write path).
+  Stopwatch write_timer;
+  if (s.ok() && !rewrites.empty()) s = vlog_->Sync();
+
+  SequenceNumber commit_seq = 0;
+  std::vector<vlog::ValueLocation> dead_new;
+  if (s.ok()) {
+    if (rewrites.empty()) {
+      // Whole segment dead: safe to retire once readers pinned at or
+      // below the current last sequence are gone.
+      std::lock_guard<std::mutex> lock(mutex_);
+      commit_seq = versions_->LastSequence();
+    } else {
+      s = CommitGcRewrites(rewrites, &commit_seq, &dead_new);
+    }
+  }
+  const uint64_t commit_nanos = write_timer.ElapsedNanos();
+
+  if (s.ok() && scanned_bytes > 0) {
+    StepProfile profile;
+    profile.wall_nanos = pass_timer.ElapsedNanos();
+    profile.input_bytes = scanned_bytes;
+    profile.output_bytes = live_bytes;
+    profile.subtasks =
+        std::max<uint64_t>(1, scanned_bytes / options_.subtask_bytes);
+    // The scan interleaves frame reads with liveness checks and live-copy
+    // appends; subtract those to leave S1's share, and classify the
+    // per-frame liveness lookups as the merge-analog compute step.
+    const uint64_t overlap = liveness_nanos + append_nanos;
+    profile.AddStep(kStepRead, scan_nanos > overlap ? scan_nanos - overlap : 0,
+                    scanned_bytes);
+    profile.AddStep(kStepSort, liveness_nanos, scanned_bytes);
+    profile.AddStep(kStepWrite, append_nanos + commit_nanos, live_bytes);
+    advisor_.AddJob(profile);
+  }
+
+  if (!touched.empty()) vlog_->ReleaseAppends(touched);
+  // Copies whose commit re-check lost a race to a newer write are dead
+  // on arrival in their new segment; credit them so its stats stay true.
+  for (const vlog::ValueLocation& loc : dead_new) {
+    std::string encoded;
+    vlog::EncodeValueLocation(&encoded, loc);
+    vlog_->CreditDiscard(Slice(encoded));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mem->Unref();
+    if (imm != nullptr) imm->Unref();
+    current->Unref();
+  }
+
+  vlog_->FinishGc(segment, s.ok(), commit_seq);
+  obs::Log(info_log_,
+           "EVENT vlog_gc_end segment=%llu live_values=%zu "
+           "live_bytes=%llu status=%s",
+           static_cast<unsigned long long>(segment), rewrites.size(),
+           static_cast<unsigned long long>(live_bytes),
+           s.ToString().c_str());
+  if (governor != nullptr) governor->Release(grant_id);
+  return s;
+}
+
+// Install the new pointers of a GC pass. Takes writer-queue leadership
+// (null-batch, like Resume) so it owns log_/mem_ exclusively; re-checks
+// each rewrite's old pointer is still current before installing the new
+// one, so a foreground overwrite that raced the scan always wins.
+// Rewrites that lost the race are reported through *dead_new.
+Status DBImpl::CommitGcRewrites(const std::vector<GcRewrite>& rewrites,
+                                SequenceNumber* commit_seq,
+                                std::vector<vlog::ValueLocation>* dead_new) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Writer w(&mutex_);
+  w.batch = nullptr;
+  for (;;) {
+    w.done = false;
+    writers_.push_back(&w);
+    while (!w.done && &w != writers_.front()) {
+      w.cv.wait(lock);
+    }
+    if (!w.done) break;  // we are the leader
+  }
+
+  Status status = bg_error_;
+  if (status.ok()) {
+    MemTable* mem = mem_;
+    MemTable* imm = imm_;
+    Version* current = versions_->current();
+    mem->Ref();
+    if (imm != nullptr) imm->Ref();
+    current->Ref();
+    const SequenceNumber last_sequence = versions_->LastSequence();
+    *commit_seq = last_sequence;
+
+    bool sync_error = false;
+    SequenceNumber new_last = last_sequence;
+    {
+      lock.unlock();
+      WriteBatch batch;
+      std::string encoded;
+      for (const GcRewrite& rw : rewrites) {
+        vlog::ValueLocation cur;
+        if (GetPointerUnlocked(rw.key, last_sequence, mem, imm, current,
+                               &cur) &&
+            cur == rw.old_loc) {
+          encoded.clear();
+          vlog::EncodeValueLocation(&encoded, rw.new_loc);
+          batch.PutPointer(rw.key, Slice(encoded));
+        } else {
+          dead_new->push_back(rw.new_loc);
+        }
+      }
+      if (WriteBatchInternal::Count(&batch) > 0) {
+        WriteBatchInternal::SetSequence(&batch, last_sequence + 1);
+        new_last = last_sequence + WriteBatchInternal::Count(&batch);
+        status = log_->AddRecord(WriteBatchInternal::Contents(&batch));
+        if (!status.ok()) {
+          sync_error = true;
+        } else {
+          // Unconditional sync (even for async workloads): FinishGc will
+          // delete the old segment, so losing these records in a crash
+          // would lose the only surviving copies of the values.
+          status = logfile_->Sync();
+          sync_error = !status.ok();
+        }
+        if (status.ok()) {
+          // The batch is tiny (pointers only), so skipping
+          // MakeRoomForWrite cannot meaningfully overfill the memtable.
+          status = WriteBatchInternal::InsertInto(&batch, mem);
+        }
+      }
+      lock.lock();
+    }
+    if (sync_error) {
+      RecordBackgroundError(status, "wal");
+    }
+    if (status.ok()) {
+      versions_->SetLastSequence(new_last);
+      *commit_seq = new_last;
+    }
+    mem->Unref();
+    if (imm != nullptr) imm->Unref();
+    current->Unref();
+  }
+
+  // Release write-queue leadership.
+  assert(writers_.front() == &w);
+  writers_.pop_front();
+  if (!writers_.empty()) {
+    writers_.front()->cv.notify_one();
+  }
+  return status;
+}
+
+Status DBImpl::CompactValueLog() {
+  if (vlog_ == nullptr) return Status::OK();
+  Status s = vlog_->RollActive();
+  if (!s.ok()) return s;
+  for (uint64_t segment : vlog_->SealedSegments()) {
+    if (shutting_down_.load(std::memory_order_acquire)) break;
+    Status pass = VlogGcPass(segment);
+    if (s.ok()) s = pass;
+  }
+  SweepRetiredVlogSegments();
+  return s;
 }
 
 // REQUIRES: mutex_ is held via `lock`.
@@ -1452,6 +1977,14 @@ Status DBImpl::MakeRoomForWrite(std::unique_lock<std::mutex>& lock,
 
 bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   value->clear();
+  // "pipelsm.vlog" is answered before taking mutex_: VlogManager has its
+  // own lock and its segment-number allocator takes mutex_ (lock order is
+  // vlog mutex -> mutex_, never the reverse).
+  if (property == Slice("pipelsm.vlog")) {
+    if (vlog_ == nullptr) return false;
+    *value = vlog_->ToJson();
+    return true;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   Slice in = property;
   Slice prefix("pipelsm.");
@@ -1714,7 +2247,12 @@ Status DBImpl::WaitForCompactions() {
   // re-triggers collection until the next compaction, which may never
   // come. (No-op while a background error is sticky.)
   RemoveObsoleteFiles();
-  return bg_error_;
+  Status result = bg_error_;
+  lock.unlock();
+  // Mirror sweep for retired value-log segments (outside mutex_ per the
+  // vlog lock-order rule).
+  SweepRetiredVlogSegments();
+  return result;
 }
 
 CompactionMetrics DBImpl::GetCompactionMetrics() {
@@ -1763,6 +2301,11 @@ Status DB::Open(const Options& options, const std::string& dbname,
   lock.unlock();
   if (s.ok()) {
     assert(impl->mem_ != nullptr);
+    if (impl->vlog_ != nullptr) {
+      // The GC thread starts only after recovery has fully succeeded, so
+      // it never races the bring-up sequence above.
+      impl->vlog_gc_thread_ = std::thread([impl] { impl->VlogGcThreadMain(); });
+    }
     *dbptr = impl;
   } else {
     delete impl;

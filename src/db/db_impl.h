@@ -14,6 +14,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/db/db.h"
 #include "src/db/dbformat.h"
@@ -28,6 +29,7 @@
 #include "src/obs/trace.h"
 #include "src/table/block_cache.h"
 #include "src/version/version_set.h"
+#include "src/vlog/vlog.h"
 #include "src/wal/log_writer.h"
 
 namespace pipelsm {
@@ -71,6 +73,7 @@ class DBImpl final : public DB {
                            uint64_t* sizes) override;
   void CompactRange(const Slice* begin, const Slice* end) override;
   Status WaitForCompactions() override;
+  Status CompactValueLog() override;
   Status Resume() override;
   CompactionMetrics GetCompactionMetrics() override;
 
@@ -107,6 +110,48 @@ class DBImpl final : public DB {
   // Flush a pending immutable memtable from the compaction write stage
   // (keeps the write path unblocked during long major compactions).
   void MaybeFlushImmFromSink();
+
+  // ---- key-value separation (docs/VALUE_LOG.md) ----
+  // One live value GC decided to rewrite: its key and its frame's old
+  // and new locations. The commit step re-checks old_loc is still the
+  // key's current pointer under writer-queue leadership before
+  // installing new_loc.
+  struct GcRewrite {
+    std::string key;
+    vlog::ValueLocation old_loc;
+    vlog::ValueLocation new_loc;
+  };
+
+  // Rewrite the group's large-value Puts as value-log appends +
+  // PutPointer records into *out. Appends one entry per separated value
+  // to *touched (for VlogManager::ReleaseAppends after the commit).
+  // *any is false when nothing crossed the threshold (use the input
+  // batch unchanged).
+  Status SeparateLargeValues(WriteBatch* input, WriteBatch* out,
+                             std::vector<uint64_t>* touched, bool* any);
+
+  // Read key's current entry without resolving pointers. Returns true on
+  // a pointer hit and stores its decoded location.
+  // REQUIRES: mem/imm/current are reffed by the caller; mutex_ NOT held.
+  bool GetPointerUnlocked(const Slice& key, SequenceNumber sequence,
+                          MemTable* mem, MemTable* imm, Version* current,
+                          vlog::ValueLocation* loc);
+
+  // Dedicated GC thread: picks over-threshold segments, scans them,
+  // rewrites live values, retires the segment. Separate from the
+  // background flush/compaction thread so a GC commit waiting in the
+  // writer queue can never deadlock against a stalled leader that needs
+  // the background thread to make progress.
+  void VlogGcThreadMain();
+  Status VlogGcPass(uint64_t segment);
+  Status CommitGcRewrites(const std::vector<GcRewrite>& rewrites,
+                          SequenceNumber* commit_seq,
+                          std::vector<vlog::ValueLocation>* dead_new);
+  SequenceNumber MinPinnedSequenceLocked() const
+      /* REQUIRES: holding mutex_ */;
+  // Compute the min pin under mutex_ and sweep retired segments without
+  // holding it (never call into vlog_ with mutex_ held).
+  void SweepRetiredVlogSegments();
 
   // Group commit: one queued writer becomes the leader, folds the batches
   // of followers behind it into one WAL record + memtable apply, and
@@ -202,6 +247,24 @@ class DBImpl final : public DB {
   // Queue of writers waiting to commit (front = leader).
   std::deque<Writer*> writers_;
   WriteBatch tmp_batch_;  // scratch for group commit
+  WriteBatch vlog_batch_;  // leader's scratch for separated groups
+
+  // Key-value separation (docs/VALUE_LOG.md). Created during Recover()
+  // when Options::value_separation_threshold > 0 or the directory holds
+  // .vlog segments from a previous run (so pointers stay resolvable even
+  // if separation was since turned off); immutable afterwards. Its own
+  // mutex orders BELOW mutex_: never call into vlog_ while holding
+  // mutex_ (the file-number allocator re-locks mutex_).
+  std::unique_ptr<vlog::VlogManager> vlog_;
+
+  // Sequence numbers pinned by live internal iterators and in-flight
+  // Gets. Retired value-log segments are physically deleted only once
+  // the minimum pin passes their retire sequence, so a read that saw an
+  // old pointer can still resolve it. Guarded by mutex_.
+  std::multiset<SequenceNumber> vlog_pins_;
+
+  std::thread vlog_gc_thread_;
+  std::condition_variable vlog_gc_signal_;
 
   // Files being generated by in-flight compactions (protected from GC).
   std::set<uint64_t> pending_outputs_;

@@ -5,6 +5,7 @@
 
 #include "src/util/coding.h"
 #include "src/util/logging.h"
+#include "src/vlog/vlog.h"
 
 namespace pipelsm {
 
@@ -24,10 +25,12 @@ class DBIter final : public Iterator {
   //     before all entries whose user key == this->key().
   enum Direction { kForward, kReverse };
 
-  DBIter(const Comparator* cmp, Iterator* iter, SequenceNumber s)
+  DBIter(const Comparator* cmp, Iterator* iter, SequenceNumber s,
+         vlog::VlogManager* vlog)
       : user_comparator_(cmp),
         iter_(iter),
         sequence_(s),
+        vlog_(vlog),
         direction_(kForward),
         valid_(false) {}
 
@@ -44,7 +47,13 @@ class DBIter final : public Iterator {
   }
   Slice value() const override {
     assert(valid_);
-    return (direction_ == kForward) ? iter_->value() : saved_value_;
+    if (direction_ == kForward) {
+      // A kTypeValuePointer entry was resolved through the value log at
+      // the yield point; hand out the resolved bytes instead of the raw
+      // encoded location.
+      return resolved_ ? Slice(resolved_value_) : iter_->value();
+    }
+    return saved_value_;
   }
   Status status() const override {
     if (status_.ok()) {
@@ -63,6 +72,7 @@ class DBIter final : public Iterator {
   void FindNextUserEntry(bool skipping, std::string* skip);
   void FindPrevUserEntry();
   bool ParseKey(ParsedInternalKey* key);
+  bool ResolvePointer(const Slice& raw_location, std::string* out);
 
   inline void SaveKey(const Slice& k, std::string* dst) {
     dst->assign(k.data(), k.size());
@@ -80,12 +90,30 @@ class DBIter final : public Iterator {
   const Comparator* const user_comparator_;
   std::unique_ptr<Iterator> iter_;
   SequenceNumber const sequence_;
+  vlog::VlogManager* const vlog_;  // null = key-value separation off
   Status status_;
   std::string saved_key_;    // == current key when direction_==kReverse
-  std::string saved_value_;  // == current raw value when direction_==kReverse
+  std::string saved_value_;  // == current value when direction_==kReverse
+  std::string resolved_value_;  // forward: resolved pointer value
   Direction direction_;
   bool valid_;
+  bool resolved_ = false;  // forward position is a resolved pointer
 };
+
+bool DBIter::ResolvePointer(const Slice& raw_location, std::string* out) {
+  vlog::ValueLocation loc;
+  if (vlog_ == nullptr || !vlog::DecodeValueLocation(raw_location, &loc)) {
+    status_ = Status::Corruption(
+        "value pointer without a value log to resolve it");
+    return false;
+  }
+  Status s = vlog_->Read(loc, out);
+  if (!s.ok()) {
+    status_ = s;
+    return false;
+  }
+  return true;
+}
 
 inline bool DBIter::ParseKey(ParsedInternalKey* ikey) {
   Slice k = iter_->key();
@@ -136,6 +164,7 @@ void DBIter::FindNextUserEntry(bool skipping, std::string* skip) {
   // Loop until we hit an acceptable entry to yield.
   assert(iter_->Valid());
   assert(direction_ == kForward);
+  resolved_ = false;
   do {
     ParsedInternalKey ikey;
     if (ParseKey(&ikey) && ikey.sequence <= sequence_) {
@@ -147,10 +176,19 @@ void DBIter::FindNextUserEntry(bool skipping, std::string* skip) {
           skipping = true;
           break;
         case kTypeValue:
+        case kTypeValuePointer:
           if (skipping &&
               user_comparator_->Compare(ikey.user_key, *skip) <= 0) {
             // Entry hidden.
           } else {
+            if (ikey.type == kTypeValuePointer) {
+              if (!ResolvePointer(iter_->value(), &resolved_value_)) {
+                saved_key_.clear();
+                valid_ = false;
+                return;
+              }
+              resolved_ = true;
+            }
             valid_ = true;
             saved_key_.clear();
             return;
@@ -230,6 +268,18 @@ void DBIter::FindPrevUserEntry() {
     ClearSavedValue();
     direction_ = kForward;
   } else {
+    if (value_type == kTypeValuePointer) {
+      // saved_value_ holds the raw encoded location; swap in the value.
+      std::string resolved;
+      if (!ResolvePointer(Slice(saved_value_), &resolved)) {
+        valid_ = false;
+        saved_key_.clear();
+        ClearSavedValue();
+        direction_ = kForward;
+        return;
+      }
+      saved_value_.swap(resolved);
+    }
     valid_ = true;
   }
 }
@@ -269,8 +319,9 @@ void DBIter::SeekToLast() {
 }  // anonymous namespace
 
 Iterator* NewDBIterator(const Comparator* user_key_comparator,
-                        Iterator* internal_iter, SequenceNumber sequence) {
-  return new DBIter(user_key_comparator, internal_iter, sequence);
+                        Iterator* internal_iter, SequenceNumber sequence,
+                        vlog::VlogManager* vlog) {
+  return new DBIter(user_key_comparator, internal_iter, sequence, vlog);
 }
 
 }  // namespace pipelsm

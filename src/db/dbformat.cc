@@ -18,7 +18,7 @@ bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result) {
   result->sequence = num >> 8;
   result->type = static_cast<ValueType>(c);
   result->user_key = Slice(internal_key.data(), n - 8);
-  return c <= static_cast<uint8_t>(kTypeValue);
+  return c <= static_cast<uint8_t>(kTypeValuePointer);
 }
 
 std::string ParsedInternalKey::DebugString() const {

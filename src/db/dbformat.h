@@ -35,6 +35,11 @@ static const int kL0_StopWritesTrigger = 12;
 enum ValueType : uint8_t {
   kTypeDeletion = 0x0,
   kTypeValue = 0x1,
+  // Key-value separation (docs/VALUE_LOG.md): the entry's "value" bytes
+  // are an encoded vlog::ValueLocation pointing into the value log, not
+  // the user value itself. Compaction moves these 20-byte pointers
+  // around opaquely; Get/iterators resolve them on read.
+  kTypeValuePointer = 0x2,
 };
 
 // kValueTypeForSeek defines the ValueType that should be passed when
@@ -43,7 +48,7 @@ enum ValueType : uint8_t {
 // and the value type is embedded as the low 8 bits in the sequence
 // number in internal keys, we need to use the highest-numbered
 // ValueType, not the lowest).
-static const ValueType kValueTypeForSeek = kTypeValue;
+static const ValueType kValueTypeForSeek = kTypeValuePointer;
 
 typedef uint64_t SequenceNumber;
 

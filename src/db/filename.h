@@ -1,6 +1,7 @@
 // File naming scheme within a DB directory:
 //   <dbname>/<number>.log      — WAL
 //   <dbname>/<number>.pst      — SSTable
+//   <dbname>/<number>.vlog     — value-log segment (docs/VALUE_LOG.md)
 //   <dbname>/MANIFEST-<number> — version log
 //   <dbname>/CURRENT           — points at the live MANIFEST
 //   <dbname>/<number>.dbtmp    — temporary files
@@ -23,10 +24,12 @@ enum FileType {
   kDescriptorFile,
   kCurrentFile,
   kTempFile,
+  kVlogFile,
 };
 
 std::string LogFileName(const std::string& dbname, uint64_t number);
 std::string TableFileName(const std::string& dbname, uint64_t number);
+std::string VlogFileName(const std::string& dbname, uint64_t number);
 std::string DescriptorFileName(const std::string& dbname, uint64_t number);
 std::string CurrentFileName(const std::string& dbname);
 std::string TempFileName(const std::string& dbname, uint64_t number);

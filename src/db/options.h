@@ -157,6 +157,23 @@ struct Options {
   // Verify block checksums (S2) on every read path.
   bool verify_checksums = true;
 
+  // -------- key-value separation (docs/VALUE_LOG.md) --------
+  // Values at least this many bytes are stored in the append-only value
+  // log; the LSM keeps a fixed-size location pointer instead, so
+  // compaction moves 20 bytes per large value instead of the value
+  // itself. Get/iterators resolve pointers transparently. 0 (default) =
+  // separation off; every value inlines into the LSM as before.
+  size_t value_separation_threshold = 0;
+
+  // Target size of one value-log segment file. The active segment rolls
+  // (sync + seal + fresh file) when an append pushes it past this.
+  size_t vlog_segment_size = 32 * 1024 * 1024;
+
+  // A sealed segment becomes a GC candidate once the fraction of its
+  // bytes known dead (from compaction discard stats) reaches this ratio.
+  // GC rewrites the remaining live values and retires the segment.
+  double vlog_gc_dead_ratio = 0.5;
+
   // -------- fault handling (docs/FAULT_INJECTION.md) --------
   // Transient background I/O errors (failed flush or compaction) are
   // retried with bounded exponential backoff before the DB gives up and

@@ -84,6 +84,10 @@ class Repairer {
             table_numbers_.push_back(number);
           }
           // kTempFile / kCurrentFile are regenerated or ignored.
+          // kVlogFile segments stay in place untouched: bumping
+          // next_file_number_ past them (above) prevents number reuse,
+          // and VlogManager::Recover re-adopts them at the next open so
+          // rebuilt pointer entries keep resolving.
         }
       }
     }

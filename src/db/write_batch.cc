@@ -39,6 +39,14 @@ Status WriteBatch::Iterate(Handler* handler) const {
           return Status::Corruption("bad WriteBatch Put");
         }
         break;
+      case kTypeValuePointer:
+        if (GetLengthPrefixedSlice(&input, &key) &&
+            GetLengthPrefixedSlice(&input, &value)) {
+          handler->PutPointer(key, value);
+        } else {
+          return Status::Corruption("bad WriteBatch PutPointer");
+        }
+        break;
       case kTypeDeletion:
         if (GetLengthPrefixedSlice(&input, &key)) {
           handler->Delete(key);
@@ -79,6 +87,13 @@ void WriteBatch::Put(const Slice& key, const Slice& value) {
   PutLengthPrefixedSlice(&rep_, value);
 }
 
+void WriteBatch::PutPointer(const Slice& key, const Slice& location) {
+  WriteBatchInternal::SetCount(this, WriteBatchInternal::Count(this) + 1);
+  rep_.push_back(static_cast<char>(kTypeValuePointer));
+  PutLengthPrefixedSlice(&rep_, key);
+  PutLengthPrefixedSlice(&rep_, location);
+}
+
 void WriteBatch::Delete(const Slice& key) {
   WriteBatchInternal::SetCount(this, WriteBatchInternal::Count(this) + 1);
   rep_.push_back(static_cast<char>(kTypeDeletion));
@@ -101,6 +116,10 @@ class MemTableInserter final : public WriteBatch::Handler {
   }
   void Delete(const Slice& key) override {
     mem_->Add(sequence_, kTypeDeletion, key, Slice());
+    sequence_++;
+  }
+  void PutPointer(const Slice& key, const Slice& location) override {
+    mem_->Add(sequence_, kTypeValuePointer, key, location);
     sequence_++;
   }
 };

@@ -5,8 +5,14 @@
 //   count: fixed32
 //   data: record[count]
 // record :=
-//   kTypeValue    varstring varstring |
-//   kTypeDeletion varstring
+//   kTypeValue        varstring varstring |
+//   kTypeValuePointer varstring varstring |
+//   kTypeDeletion     varstring
+//
+// kTypeValuePointer records carry an encoded vlog::ValueLocation instead
+// of the user value (key-value separation, docs/VALUE_LOG.md). They are
+// produced internally by the DB write path and value-log GC — user
+// batches only ever contain Put/Delete.
 #pragma once
 
 #include <string>
@@ -25,6 +31,11 @@ class WriteBatch {
     virtual ~Handler() = default;
     virtual void Put(const Slice& key, const Slice& value) = 0;
     virtual void Delete(const Slice& key) = 0;
+    // `location` is an encoded vlog::ValueLocation. Handlers that can
+    // never see separated batches (user-batch-only paths) still must
+    // route it explicitly — silently treating a pointer as a value
+    // would hand raw location bytes to readers.
+    virtual void PutPointer(const Slice& key, const Slice& location) = 0;
   };
 
   WriteBatch();
@@ -34,6 +45,9 @@ class WriteBatch {
 
   void Put(const Slice& key, const Slice& value);
   void Delete(const Slice& key);
+  // Internal (write path / vlog GC): record a key whose value lives in
+  // the value log. `location` is an encoded vlog::ValueLocation.
+  void PutPointer(const Slice& key, const Slice& location);
   void Clear();
 
   // The size of the database changes caused by this batch.

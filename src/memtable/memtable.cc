@@ -88,7 +88,9 @@ void MemTable::Add(SequenceNumber s, ValueType type, const Slice& key,
   table_.Insert(buf);
 }
 
-bool MemTable::Get(const LookupKey& key, std::string* value, Status* s) {
+bool MemTable::Get(const LookupKey& key, std::string* value, Status* s,
+                   bool* is_pointer) {
+  if (is_pointer != nullptr) *is_pointer = false;
   Slice memkey = key.memtable_key();
   Table::Iterator iter(&table_);
   iter.Seek(memkey.data());
@@ -113,6 +115,12 @@ bool MemTable::Get(const LookupKey& key, std::string* value, Status* s) {
         case kTypeValue: {
           Slice v = GetLengthPrefixedSliceAt(key_ptr + key_length);
           value->assign(v.data(), v.size());
+          return true;
+        }
+        case kTypeValuePointer: {
+          Slice v = GetLengthPrefixedSliceAt(key_ptr + key_length);
+          value->assign(v.data(), v.size());
+          if (is_pointer != nullptr) *is_pointer = true;
           return true;
         }
         case kTypeDeletion:

@@ -45,8 +45,12 @@ class MemTable {
 
   // If the memtable contains a value for key, store it in *value and
   // return true. If it contains a deletion for key, store NotFound() in
-  // *s and return true. Else return false.
-  bool Get(const LookupKey& key, std::string* value, Status* s);
+  // *s and return true. Else return false. When the stored entry is a
+  // value-log pointer (kTypeValuePointer), *value receives the raw
+  // encoded vlog::ValueLocation and *is_pointer (if non-null) is set;
+  // the caller resolves it.
+  bool Get(const LookupKey& key, std::string* value, Status* s,
+           bool* is_pointer = nullptr);
 
  private:
   friend class MemTableIterator;

@@ -175,12 +175,14 @@ void PrometheusExposition::AddRegistry(const MetricsRegistry& registry,
       case MetricSample::Kind::kHistogram: {
         Family* f = Upsert(family, s.help, "summary");
         const Histogram& h = s.histogram;
+        // Percentile() returns 0 on an empty histogram; never emit a
+        // literal `nan`, which breaks strict exposition parsers.
         AddSample(f, family, sample_labels, "quantile", "0.5", "",
-                  h.Num() > 0 ? h.Median() : std::nan(""));
+                  h.Median());
         AddSample(f, family, sample_labels, "quantile", "0.95", "",
-                  h.Num() > 0 ? h.Percentile(95) : std::nan(""));
+                  h.Percentile(95));
         AddSample(f, family, sample_labels, "quantile", "0.99", "",
-                  h.Num() > 0 ? h.Percentile(99) : std::nan(""));
+                  h.Percentile(99));
         AddSample(f, family, sample_labels, nullptr, "", "_sum", h.Sum());
         AddSample(f, family, sample_labels, nullptr, "", "_count", h.Num());
         break;

@@ -1009,13 +1009,20 @@ void Server::HandleReadTask(ReadTask& task) {
         s = Status::InvalidArgument("malformed request body");
         break;
       }
+      // Clamp BEFORE any allocation sized from the wire value: limit is
+      // attacker-controlled (a huge varint32 must not size a reserve or
+      // drive the loop), and limit=0 means "server default".
       if (limit == 0 || limit > options_.max_scan_entries) {
         limit = options_.max_scan_entries;
       }
       std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
       std::vector<std::pair<std::string, std::string>> entries;
+      size_t scan_bytes = 0;
       for (start.empty() ? it->SeekToFirst() : it->Seek(start);
-           it->Valid() && entries.size() < limit; it->Next()) {
+           it->Valid() && entries.size() < limit &&
+           scan_bytes < options_.max_scan_bytes;
+           it->Next()) {
+        scan_bytes += it->key().size() + it->value().size();
         entries.emplace_back(it->key().ToString(), it->value().ToString());
       }
       s = it->status();

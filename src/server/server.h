@@ -146,8 +146,15 @@ struct ServerOptions {
   bool sync_writes = true;
 
   // Hard cap on SCAN result entries (requests asking for more are
-  // truncated to this).
+  // truncated to this; limit=0 also means this default).
   uint32_t max_scan_entries = 10000;
+
+  // Hard cap on SCAN result payload bytes (keys + values). A hostile
+  // limit can otherwise multiply with large (value-log separated)
+  // values into an oversized reply allocation that blows straight past
+  // max_outbox_bytes in one request. The scan stops early at whichever
+  // cap hits first; the reply is still well-formed.
+  size_t max_scan_bytes = 4 * 1024 * 1024;
 
   // How long Drain() waits for outboxes to reach the wire.
   uint64_t drain_flush_timeout_micros = 5 * 1000 * 1000;

@@ -65,8 +65,11 @@ CompactionMode ModeOf(model::Prescription::Procedure procedure) {
 
 const CompactionArbiter::Waiter* CompactionArbiter::FrontLocked() const {
   // Ranking: (1) forced waiters (passovers >= max) in FIFO order, so a
-  // starving shard is next no matter what arrives; (2) highest predicted
-  // solo gain — the fleet's units buy the most bandwidth there; (3) FIFO.
+  // starving shard is next no matter what arrives; (2) compactions over
+  // value-log GC — reclaiming dead value bytes is maintenance and can
+  // wait (GC still escapes starvation via the passover rule); (3)
+  // highest predicted solo gain — the fleet's units buy the most
+  // bandwidth there; (4) FIFO.
   const Waiter* best = nullptr;
   for (const auto& [seq, w] : waiters_) {
     const bool w_forced = w.passovers >= opts_.max_passovers;
@@ -80,6 +83,10 @@ const CompactionArbiter::Waiter* CompactionArbiter::FrontLocked() const {
       continue;
     }
     if (w_forced) continue;  // both forced: keep FIFO (map order)
+    if (w.request.is_gc != best->request.is_gc) {
+      if (!w.request.is_gc) best = &w;
+      continue;
+    }
     if (w.solo_gain > best->solo_gain) best = &w;
   }
   return best;

@@ -32,6 +32,11 @@ class SplittingHandler : public WriteBatch::Handler {
   void Delete(const Slice& key) override {
     (*out_)[router_->ShardOf(key)].Delete(key);
   }
+  void PutPointer(const Slice& key, const Slice& location) override {
+    // Only user batches are split, and value pointers are produced
+    // inside the member engines — but route faithfully if one appears.
+    (*out_)[router_->ShardOf(key)].PutPointer(key, location);
+  }
 
  private:
   const ShardRouter* const router_;

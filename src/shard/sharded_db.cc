@@ -453,9 +453,11 @@ bool ShardedDB::GetProperty(const Slice& property, std::string* value) {
     return true;
   }
 
-  // JSON payloads become a JSON array, one element per shard.
+  // JSON payloads become a JSON array, one element per shard. (All
+  // shards share one Options, so pipelsm.vlog is all-or-none.)
   if (prop == "pipelsm.metrics" || prop == "pipelsm.advisor" ||
-      prop == "pipelsm.scheduler" || prop == "pipelsm.timeseries") {
+      prop == "pipelsm.scheduler" || prop == "pipelsm.timeseries" ||
+      prop == "pipelsm.vlog") {
     *value = "[";
     for (size_t i = 0; i < shards_.size(); i++) {
       std::string v;
@@ -518,6 +520,15 @@ void ShardedDB::CompactRange(const Slice* begin, const Slice* end) {
   for (auto& shard : shards_) {
     shard->CompactRange(begin, end);
   }
+}
+
+Status ShardedDB::CompactValueLog() {
+  Status result = Status::OK();
+  for (auto& shard : shards_) {
+    Status s = shard->CompactValueLog();
+    if (result.ok() && !s.ok()) result = s;
+  }
+  return result;
 }
 
 Status ShardedDB::WaitForCompactions() {

@@ -97,13 +97,15 @@ class ShardedDB final : public DB {
   //   "pipelsm.shard<N>.<p>" forwards "pipelsm.<p>" to shard N
   // Numeric engine properties (num-files-at-level<N>,
   // approximate-memory-usage) sum across shards; JSON ones (metrics,
-  // advisor, scheduler) return a JSON array with one element per shard;
-  // stats concatenates with per-shard headers; background-error reports
-  // the first non-OK shard.
+  // advisor, scheduler, vlog) return a JSON array with one element per
+  // shard; stats concatenates with per-shard headers; background-error
+  // reports the first non-OK shard.
   bool GetProperty(const Slice& property, std::string* value) override;
   void GetApproximateSizes(const Range* range, int n,
                            uint64_t* sizes) override;
   void CompactRange(const Slice* begin, const Slice* end) override;
+  // Full value-log GC sweep on every shard (first error wins).
+  Status CompactValueLog() override;
   Status WaitForCompactions() override;
   Status Resume() override;
   CompactionMetrics GetCompactionMetrics() override;

@@ -61,6 +61,12 @@ void Histogram::Merge(const Histogram& other) {
 double Histogram::Median() const { return Percentile(50.0); }
 
 double Histogram::Percentile(double p) const {
+  // Empty: every bucket matches threshold 0 and the result would clamp
+  // up to the min_ sentinel (the top bucket limit, ~1e12). Report 0.
+  if (num_ == 0.0) return 0;
+  // One sample: interpolation inside its bucket is meaningless spread;
+  // the only defensible percentile is the sample itself.
+  if (num_ == 1.0) return max_;
   double threshold = num_ * (p / 100.0);
   double sum = 0;
   for (int b = 0; b < kNumBuckets_; b++) {

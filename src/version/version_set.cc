@@ -237,6 +237,7 @@ struct Saver {
   const Comparator* ucmp;
   Slice user_key;
   std::string* value;
+  bool is_pointer = false;
 };
 }  // namespace
 
@@ -246,9 +247,13 @@ static void SaveValue(Saver* s, const Slice& ikey, const Slice& v) {
     s->state = kCorrupt;
   } else {
     if (s->ucmp->Compare(parsed_key.user_key, s->user_key) == 0) {
-      s->state = (parsed_key.type == kTypeValue) ? kFound : kDeleted;
+      s->state = (parsed_key.type == kTypeValue ||
+                  parsed_key.type == kTypeValuePointer)
+                     ? kFound
+                     : kDeleted;
       if (s->state == kFound) {
         s->value->assign(v.data(), v.size());
+        s->is_pointer = (parsed_key.type == kTypeValuePointer);
       }
     }
   }
@@ -259,7 +264,8 @@ static bool NewestFirst(FileMetaData* a, FileMetaData* b) {
 }
 
 Status Version::Get(const TableReadOptions& read_options, const LookupKey& k,
-                    std::string* value) {
+                    std::string* value, bool* is_pointer) {
+  if (is_pointer != nullptr) *is_pointer = false;
   Slice ikey = k.internal_key();
   Slice user_key = k.user_key();
   const Comparator* ucmp = vset_->icmp_.user_comparator();
@@ -321,6 +327,7 @@ Status Version::Get(const TableReadOptions& read_options, const LookupKey& k,
         case kNotFound:
           break;  // Keep searching in other files
         case kFound:
+          if (is_pointer != nullptr) *is_pointer = saver.is_pointer;
           return Status::OK();
         case kDeleted:
           return Status::NotFound(Slice());

@@ -55,9 +55,12 @@ class Version {
   void AddIterators(const TableReadOptions& read_options,
                     std::vector<Iterator*>* iters);
 
-  // Lookup the value for key. On hit stores it in *val.
+  // Lookup the value for key. On hit stores it in *val. When the entry
+  // is a value-log pointer (kTypeValuePointer), *val receives the raw
+  // encoded vlog::ValueLocation and *is_pointer (if non-null) is set;
+  // the caller resolves it against the value log.
   Status Get(const TableReadOptions& read_options, const LookupKey& key,
-             std::string* val);
+             std::string* val, bool* is_pointer = nullptr);
 
   // Reference count management (so Versions do not disappear out from
   // under live iterators).

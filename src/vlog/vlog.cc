@@ -1,0 +1,604 @@
+#include "src/vlog/vlog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+#include <sstream>
+
+#include "src/db/filename.h"
+#include "src/obs/logger.h"
+#include "src/obs/metrics.h"
+#include "src/util/coding.h"
+#include "src/util/crc32c.h"
+
+namespace pipelsm {
+namespace vlog {
+
+namespace {
+
+// fixed32 crc + up-to-5-byte varints for klen/vlen.
+constexpr size_t kFrameHeaderMax = 4 + 5 + 5;
+constexpr size_t kFrameMin = 4 + 1 + 1;  // crc + two zero-length varints
+
+// Decode one frame starting at `input` (which must hold the full
+// remainder of the segment's valid region). On success sets *key,
+// *value, *frame_len and returns true; a short or CRC-corrupt frame
+// returns false.
+bool DecodeFrame(const Slice& input, Slice* key, Slice* value,
+                 uint64_t* frame_len) {
+  if (input.size() < kFrameMin) return false;
+  const char* base = input.data();
+  uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(base));
+  const char* p = base + 4;
+  const char* limit = base + input.size();
+  uint32_t klen = 0;
+  uint32_t vlen = 0;
+  p = GetVarint32Ptr(p, limit, &klen);
+  if (p == nullptr) return false;
+  p = GetVarint32Ptr(p, limit, &vlen);
+  if (p == nullptr) return false;
+  if (static_cast<uint64_t>(limit - p) <
+      static_cast<uint64_t>(klen) + static_cast<uint64_t>(vlen)) {
+    return false;
+  }
+  const char* payload = base + 4;
+  const size_t payload_len = static_cast<size_t>(p - payload) + klen + vlen;
+  if (crc32c::Value(payload, payload_len) != expected_crc) return false;
+  *key = Slice(p, klen);
+  *value = Slice(p + klen, vlen);
+  *frame_len = 4 + payload_len;
+  return true;
+}
+
+void EncodeFrame(std::string* dst, const Slice& key, const Slice& value) {
+  dst->clear();
+  dst->reserve(kFrameHeaderMax + key.size() + value.size());
+  dst->append(4, '\0');  // crc placeholder
+  PutVarint32(dst, static_cast<uint32_t>(key.size()));
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(key.data(), key.size());
+  dst->append(value.data(), value.size());
+  const uint32_t crc = crc32c::Value(dst->data() + 4, dst->size() - 4);
+  EncodeFixed32(dst->data(), crc32c::Mask(crc));
+}
+
+}  // namespace
+
+void EncodeValueLocation(std::string* dst, const ValueLocation& loc) {
+  PutFixed64(dst, loc.segment);
+  PutFixed64(dst, loc.offset);
+  PutFixed32(dst, loc.length);
+}
+
+bool DecodeValueLocation(const Slice& src, ValueLocation* loc) {
+  if (src.size() != kValueLocationSize) return false;
+  loc->segment = DecodeFixed64(src.data());
+  loc->offset = DecodeFixed64(src.data() + 8);
+  loc->length = DecodeFixed32(src.data() + 16);
+  return true;
+}
+
+VlogManager::VlogManager(Env* env, const std::string& dbname,
+                         const VlogOptions& options,
+                         obs::MetricsRegistry* metrics, obs::Logger* info_log,
+                         std::function<uint64_t()> file_number_allocator)
+    : env_(env),
+      dbname_(dbname),
+      opts_(options),
+      info_log_(info_log),
+      next_file_number_(std::move(file_number_allocator)) {
+  if (metrics != nullptr) {
+    appends_counter_ =
+        metrics->RegisterCounter("vlog.appends", "Value frames appended");
+    append_bytes_counter_ = metrics->RegisterCounter(
+        "vlog.append_bytes", "Frame bytes appended to the value log");
+    resolves_counter_ = metrics->RegisterCounter(
+        "vlog.resolves", "Value pointers resolved on the read path");
+    resolve_error_counter_ = metrics->RegisterCounter(
+        "vlog.resolve_errors", "Pointer resolutions that failed");
+    rolls_counter_ = metrics->RegisterCounter(
+        "vlog.segments_rolled", "Active segments sealed and replaced");
+    gc_runs_counter_ =
+        metrics->RegisterCounter("vlog.gc_runs", "Completed GC passes");
+    gc_rewritten_counter_ = metrics->RegisterCounter(
+        "vlog.gc_bytes_rewritten", "Live frame bytes GC rewrote");
+    gc_reclaimed_counter_ = metrics->RegisterCounter(
+        "vlog.gc_bytes_reclaimed", "Segment bytes GC retired");
+    retired_counter_ = metrics->RegisterCounter(
+        "vlog.segments_retired", "Segments retired and deleted by GC");
+    segments_gauge_ =
+        metrics->RegisterGauge("vlog.segments", "Live segment files");
+    dead_bytes_gauge_ = metrics->RegisterGauge(
+        "vlog.dead_bytes", "Bytes known dead across sealed segments");
+    live_bytes_gauge_ = metrics->RegisterGauge(
+        "vlog.bytes", "Total valid frame bytes across segments");
+    pending_retire_gauge_ = metrics->RegisterGauge(
+        "vlog.pending_retire", "Retired segments awaiting reader drain");
+  }
+}
+
+VlogManager::~VlogManager() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_file_ != nullptr) {
+    active_file_->Sync();
+    active_file_->Close();
+    active_file_.reset();
+  }
+}
+
+Status VlogManager::Recover(uint64_t* max_recovered) {
+  *max_recovered = 0;
+  std::vector<std::string> children;
+  Status s = env_->GetChildren(dbname_, &children);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::string& child : children) {
+    uint64_t number;
+    FileType type;
+    if (!ParseFileName(child, &number, &type) || type != kVlogFile) continue;
+    const std::string path = VlogFileName(dbname_, number);
+    std::string contents;
+    s = ReadFileToString(env_, path, &contents);
+    if (!s.ok()) return s;
+    // Find the end of the last whole frame.
+    uint64_t valid = 0;
+    Slice rest(contents);
+    Slice key, value;
+    uint64_t frame_len = 0;
+    while (DecodeFrame(rest, &key, &value, &frame_len)) {
+      valid += frame_len;
+      rest.remove_prefix(frame_len);
+    }
+    if (valid == 0) {
+      // Empty or all-garbage: nothing a committed pointer could
+      // reference (pointers only commit after a successful sync).
+      env_->RemoveFile(path);
+      obs::Log(info_log_, "EVENT vlog_segment_dropped segment=%llu bytes=%llu",
+               (unsigned long long)number,
+               (unsigned long long)contents.size());
+      continue;
+    }
+    if (valid < contents.size()) {
+      // Torn tail (crash mid-append): rewrite the valid prefix through a
+      // synced temp file + atomic rename. The Env has no truncate.
+      const std::string tmp = TempFileName(dbname_, number);
+      s = WriteStringToFile(env_, Slice(contents.data(), valid), tmp, true);
+      if (s.ok()) s = env_->RenameFile(tmp, path);
+      if (s.ok()) s = env_->SyncDir(dbname_);
+      if (!s.ok()) {
+        env_->RemoveFile(tmp);
+        return s;
+      }
+      obs::Log(info_log_,
+               "EVENT vlog_segment_truncated segment=%llu from=%llu to=%llu",
+               (unsigned long long)number, (unsigned long long)contents.size(),
+               (unsigned long long)valid);
+    }
+    SegmentInfo info;
+    info.size = valid;
+    info.state = SegmentState::kSealed;
+    segments_[number] = info;
+    *max_recovered = std::max(*max_recovered, number);
+  }
+  UpdateGaugesLocked();
+  return Status::OK();
+}
+
+Status VlogManager::OpenActive(uint64_t number) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(active_file_ == nullptr);
+  Status s = env_->NewWritableFile(VlogFileName(dbname_, number), &active_file_);
+  if (!s.ok()) return s;
+  active_number_ = number;
+  active_size_ = 0;
+  active_poisoned_ = false;
+  SegmentInfo info;
+  info.state = SegmentState::kActive;
+  segments_[number] = info;
+  UpdateGaugesLocked();
+  return Status::OK();
+}
+
+Status VlogManager::RollActiveLocked() {
+  // Seal the current active segment at its synced size and open a fresh
+  // one. Called with data already appended (or the segment poisoned).
+  Status s;
+  if (active_file_ != nullptr) {
+    s = active_file_->Sync();
+    if (s.ok()) s = active_file_->Close();
+    active_file_.reset();
+    auto it = segments_.find(active_number_);
+    if (it != segments_.end()) {
+      // active_size_ only counts successful appends; committed pointers
+      // can only reference frames that were also synced, so sealing a
+      // poisoned segment at this size at worst over-counts dead bytes.
+      it->second.size = active_size_;
+      it->second.state = SegmentState::kSealed;
+    }
+    unsynced_ = false;
+  }
+  const uint64_t number = next_file_number_();
+  std::unique_ptr<WritableFile> file;
+  Status open_s = env_->NewWritableFile(VlogFileName(dbname_, number), &file);
+  if (!open_s.ok()) return s.ok() ? open_s : s;
+  active_file_ = std::move(file);
+  active_number_ = number;
+  active_size_ = 0;
+  active_poisoned_ = false;
+  SegmentInfo info;
+  info.state = SegmentState::kActive;
+  segments_[number] = info;
+  if (rolls_counter_ != nullptr) rolls_counter_->Add(1);
+  obs::Log(info_log_, "EVENT vlog_segment_rolled segment=%llu",
+           (unsigned long long)number);
+  RecomputeGcFlagLocked();
+  UpdateGaugesLocked();
+  return s;
+}
+
+Status VlogManager::Add(const Slice& key, const Slice& value,
+                        ValueLocation* loc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_file_ == nullptr) {
+    return Status::IOError("value log not open");
+  }
+  EncodeFrame(&frame_scratch_, key, value);
+  if (active_poisoned_ ||
+      (active_size_ > 0 &&
+       active_size_ + frame_scratch_.size() > opts_.segment_size)) {
+    Status rs = RollActiveLocked();
+    if (!rs.ok() && active_file_ == nullptr) return rs;
+  }
+  Status s = active_file_->Append(frame_scratch_);
+  if (!s.ok()) {
+    // The tail of the file is now suspect; never hand out locations past
+    // this point in this segment.
+    active_poisoned_ = true;
+    return s;
+  }
+  loc->segment = active_number_;
+  loc->offset = active_size_;
+  loc->length = static_cast<uint32_t>(frame_scratch_.size());
+  active_size_ += frame_scratch_.size();
+  unsynced_ = true;
+  segments_[active_number_].append_pending++;
+  if (appends_counter_ != nullptr) appends_counter_->Add(1);
+  if (append_bytes_counter_ != nullptr)
+    append_bytes_counter_->Add(frame_scratch_.size());
+  // Keep vlog.bytes tracking the active segment between rolls; the
+  // segment count stays small, so the walk is cheap.
+  UpdateGaugesLocked();
+  return Status::OK();
+}
+
+Status VlogManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_file_ == nullptr || !unsynced_) return Status::OK();
+  Status s = active_file_->Sync();
+  if (!s.ok()) {
+    active_poisoned_ = true;
+    return s;
+  }
+  unsynced_ = false;
+  return Status::OK();
+}
+
+void VlogManager::ReleaseAppends(const std::vector<uint64_t>& segment_numbers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint64_t number : segment_numbers) {
+    auto it = segments_.find(number);
+    if (it != segments_.end() && it->second.append_pending > 0) {
+      it->second.append_pending--;
+    }
+  }
+}
+
+Status VlogManager::EnsureReadableLocked(
+    uint64_t segment, std::shared_ptr<RandomAccessFile>* file) {
+  auto rit = readers_.find(segment);
+  if (rit != readers_.end()) {
+    *file = rit->second;
+    return Status::OK();
+  }
+  if (segments_.find(segment) == segments_.end()) {
+    return Status::NotFound("unknown vlog segment");
+  }
+  if (segment == active_number_ && active_file_ != nullptr) {
+    // The writable handle may hold user-space-buffered bytes a separate
+    // read handle cannot see yet.
+    Status fs = active_file_->Flush();
+    if (!fs.ok()) return fs;
+  }
+  std::unique_ptr<RandomAccessFile> raw;
+  Status s = env_->NewRandomAccessFile(VlogFileName(dbname_, segment), &raw);
+  if (!s.ok()) return s;
+  std::shared_ptr<RandomAccessFile> shared(raw.release());
+  readers_[segment] = shared;
+  *file = shared;
+  return Status::OK();
+}
+
+Status VlogManager::Read(const ValueLocation& loc, std::string* value) {
+  std::shared_ptr<RandomAccessFile> file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Status s = EnsureReadableLocked(loc.segment, &file);
+    if (!s.ok()) {
+      if (resolve_error_counter_ != nullptr) resolve_error_counter_->Add(1);
+      return s;
+    }
+    if (loc.segment == active_number_ && active_file_ != nullptr) {
+      // Re-flush in case frames were appended after the reader was
+      // cached; sealed segments never grow.
+      Status fs = active_file_->Flush();
+      if (!fs.ok()) return fs;
+    }
+  }
+  if (loc.length < kFrameMin) {
+    if (resolve_error_counter_ != nullptr) resolve_error_counter_->Add(1);
+    return Status::Corruption("value location length too small");
+  }
+  std::string scratch(loc.length, '\0');
+  Slice frame;
+  Status s = file->Read(loc.offset, loc.length, &frame, scratch.data());
+  if (s.ok() && frame.size() != loc.length) {
+    s = Status::Corruption("short value log read");
+  }
+  Slice key, val;
+  uint64_t frame_len = 0;
+  if (s.ok() &&
+      (!DecodeFrame(frame, &key, &val, &frame_len) || frame_len != loc.length)) {
+    s = Status::Corruption("corrupt value log frame");
+  }
+  if (!s.ok()) {
+    if (resolve_error_counter_ != nullptr) resolve_error_counter_->Add(1);
+    return s;
+  }
+  value->assign(val.data(), val.size());
+  if (resolves_counter_ != nullptr) resolves_counter_->Add(1);
+  return Status::OK();
+}
+
+void VlogManager::CreditDiscard(const Slice& encoded_location) {
+  ValueLocation loc;
+  if (!DecodeValueLocation(encoded_location, &loc)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(loc.segment);
+  if (it == segments_.end()) return;
+  it->second.dead += loc.length;
+  if (it->second.dead > it->second.size &&
+      it->second.state != SegmentState::kActive) {
+    it->second.dead = it->second.size;
+  }
+  RecomputeGcFlagLocked();
+  UpdateGaugesLocked();
+}
+
+void VlogManager::RecomputeGcFlagLocked() {
+  bool needs = false;
+  for (const auto& [number, info] : segments_) {
+    if (info.state != SegmentState::kSealed || info.size == 0) continue;
+    if (static_cast<double>(info.dead) >=
+        opts_.gc_dead_ratio * static_cast<double>(info.size)) {
+      needs = true;
+      break;
+    }
+  }
+  needs_gc_.store(needs, std::memory_order_release);
+}
+
+void VlogManager::UpdateGaugesLocked() {
+  if (segments_gauge_ == nullptr) return;
+  int64_t total = 0;
+  int64_t dead = 0;
+  int64_t pending = 0;
+  for (const auto& [number, info] : segments_) {
+    if (info.state == SegmentState::kRetiring) {
+      pending++;
+      continue;
+    }
+    total += static_cast<int64_t>(number == active_number_ ? active_size_
+                                                           : info.size);
+    dead += static_cast<int64_t>(info.dead);
+  }
+  segments_gauge_->Set(static_cast<int64_t>(segments_.size()) - pending);
+  dead_bytes_gauge_->Set(dead);
+  live_bytes_gauge_->Set(total);
+  pending_retire_gauge_->Set(pending);
+}
+
+bool VlogManager::PickGcSegment(uint64_t* segment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double best_ratio = 0;
+  bool found = false;
+  for (const auto& [number, info] : segments_) {
+    if (info.state != SegmentState::kSealed || info.size == 0 ||
+        info.append_pending > 0) {
+      continue;
+    }
+    const double ratio =
+        static_cast<double>(info.dead) / static_cast<double>(info.size);
+    if (ratio >= opts_.gc_dead_ratio && ratio >= best_ratio) {
+      best_ratio = ratio;
+      *segment = number;
+      found = true;
+    }
+  }
+  return found;
+}
+
+std::vector<uint64_t> VlogManager::SealedSegments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> result;
+  for (const auto& [number, info] : segments_) {
+    if (info.state == SegmentState::kSealed) result.push_back(number);
+  }
+  return result;
+}
+
+Status VlogManager::RollActive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_file_ == nullptr) return Status::OK();
+  if (active_size_ == 0 && !active_poisoned_) return Status::OK();
+  return RollActiveLocked();
+}
+
+bool VlogManager::BeginGc(uint64_t segment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(segment);
+  if (it == segments_.end() || it->second.state != SegmentState::kSealed ||
+      it->second.append_pending > 0) {
+    return false;
+  }
+  it->second.state = SegmentState::kGcInProgress;
+  return true;
+}
+
+Status VlogManager::ScanSegment(
+    uint64_t segment,
+    const std::function<Status(const Slice& key, const Slice& value,
+                               const ValueLocation& loc)>& cb) {
+  uint64_t limit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = segments_.find(segment);
+    if (it == segments_.end()) return Status::NotFound("unknown vlog segment");
+    limit = it->second.size;
+  }
+  std::string contents;
+  Status s = ReadFileToString(env_, VlogFileName(dbname_, segment), &contents);
+  if (!s.ok()) return s;
+  if (contents.size() < limit) {
+    return Status::Corruption("vlog segment shorter than sealed size");
+  }
+  Slice rest(contents.data(), limit);
+  uint64_t offset = 0;
+  while (!rest.empty()) {
+    Slice key, value;
+    uint64_t frame_len = 0;
+    if (!DecodeFrame(rest, &key, &value, &frame_len)) {
+      return Status::Corruption("corrupt frame in sealed vlog segment");
+    }
+    ValueLocation loc;
+    loc.segment = segment;
+    loc.offset = offset;
+    loc.length = static_cast<uint32_t>(frame_len);
+    s = cb(key, value, loc);
+    if (!s.ok()) return s;
+    offset += frame_len;
+    rest.remove_prefix(frame_len);
+  }
+  return Status::OK();
+}
+
+void VlogManager::FinishGc(uint64_t segment, bool retire,
+                           SequenceNumber retire_seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(segment);
+  if (it == segments_.end()) return;
+  assert(it->second.state == SegmentState::kGcInProgress);
+  if (retire) {
+    it->second.state = SegmentState::kRetiring;
+    it->second.retire_seq = retire_seq;
+    gc_runs_.fetch_add(1, std::memory_order_relaxed);
+    if (gc_runs_counter_ != nullptr) gc_runs_counter_->Add(1);
+    if (gc_reclaimed_counter_ != nullptr)
+      gc_reclaimed_counter_->Add(it->second.size);
+  } else {
+    it->second.state = SegmentState::kSealed;
+  }
+  RecomputeGcFlagLocked();
+  UpdateGaugesLocked();
+}
+
+void VlogManager::SweepRetired(SequenceNumber min_pinned) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    if (it->second.state == SegmentState::kRetiring &&
+        it->second.retire_seq <= min_pinned) {
+      const uint64_t number = it->first;
+      readers_.erase(number);  // in-flight reads keep their shared_ptr
+      env_->RemoveFile(VlogFileName(dbname_, number));
+      obs::Log(info_log_,
+               "EVENT vlog_segment_retired segment=%llu bytes=%llu",
+               (unsigned long long)number,
+               (unsigned long long)it->second.size);
+      retired_count_.fetch_add(1, std::memory_order_relaxed);
+      if (retired_counter_ != nullptr) retired_counter_->Add(1);
+      it = segments_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  UpdateGaugesLocked();
+}
+
+std::string VlogManager::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"active_segment\":" << active_number_
+      << ",\"active_bytes\":" << active_size_ << ",\"gc_runs\":"
+      << gc_runs_.load(std::memory_order_relaxed) << ",\"segments_retired\":"
+      << retired_count_.load(std::memory_order_relaxed) << ",\"segments\":[";
+  bool first = true;
+  for (const auto& [number, info] : segments_) {
+    if (!first) out << ",";
+    first = false;
+    const char* state = "sealed";
+    switch (info.state) {
+      case SegmentState::kActive:
+        state = "active";
+        break;
+      case SegmentState::kSealed:
+        state = "sealed";
+        break;
+      case SegmentState::kGcInProgress:
+        state = "gc";
+        break;
+      case SegmentState::kRetiring:
+        state = "retiring";
+        break;
+    }
+    out << "{\"number\":" << number << ",\"bytes\":"
+        << (number == active_number_ ? active_size_ : info.size)
+        << ",\"dead_bytes\":" << info.dead << ",\"state\":\"" << state
+        << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+uint64_t VlogManager::active_segment() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_number_;
+}
+
+size_t VlogManager::segment_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [number, info] : segments_) {
+    if (info.state != SegmentState::kRetiring) n++;
+  }
+  return n;
+}
+
+size_t VlogManager::pending_retire_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [number, info] : segments_) {
+    if (info.state == SegmentState::kRetiring) n++;
+  }
+  return n;
+}
+
+uint64_t VlogManager::dead_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& [number, info] : segments_) {
+    if (info.state != SegmentState::kRetiring) n += info.dead;
+  }
+  return n;
+}
+
+}  // namespace vlog
+}  // namespace pipelsm

@@ -193,15 +193,26 @@ TEST(PrometheusExpositionTest, HistogramsRenderAsSummaries) {
   EXPECT_EQ(parsed.type.count("pipelsm_db_get_micros_sum"), 0u);
 }
 
-TEST(PrometheusExpositionTest, EmptyHistogramQuantilesAreNaN) {
+// Regression: empty-histogram quantiles used to render as literal NaN,
+// which strict exposition parsers reject. They must be 0, and no
+// quantile line (or any line) may carry nan in any casing.
+TEST(PrometheusExpositionTest, EmptyHistogramQuantilesAreZeroNeverNaN) {
   MetricsRegistry registry;
   registry.RegisterHistogram("db.get_micros", "Get latency");
   PrometheusExposition exp;
   exp.AddRegistry(registry, {});
+  const std::string text = exp.Render();
+  std::string lowered = text;
+  for (char& c : lowered) c = static_cast<char>(std::tolower(c));
+  EXPECT_EQ(std::string::npos, lowered.find("nan")) << text;
+
   ParsedExposition parsed;
-  ASSERT_NO_FATAL_FAILURE(ParseExpositionInto(exp.Render(), &parsed));
-  for (const ParsedSample& q : SamplesNamed(parsed, "pipelsm_db_get_micros")) {
-    EXPECT_TRUE(q.is_nan);
+  ASSERT_NO_FATAL_FAILURE(ParseExpositionInto(text, &parsed));
+  auto quantiles = SamplesNamed(parsed, "pipelsm_db_get_micros");
+  ASSERT_EQ(quantiles.size(), 3u);
+  for (const ParsedSample& q : quantiles) {
+    EXPECT_FALSE(q.is_nan);
+    EXPECT_EQ(q.value, 0);
   }
   auto count = SamplesNamed(parsed, "pipelsm_db_get_micros_count");
   ASSERT_EQ(count.size(), 1u);

@@ -103,6 +103,49 @@ TEST(ProtocolTest, ScanRoundTrip) {
   EXPECT_EQ(99u, limit);
 }
 
+// Fuzz-style SCAN limit cases: the limit varint is attacker-controlled,
+// so every extreme must parse cleanly (clamping is the server's job) and
+// every malformed encoding must be rejected rather than misread.
+TEST(ProtocolTest, ScanLimitExtremesParseCleanly) {
+  for (uint32_t hostile : {0u, 1u, 0x7fffffffu, 0xffffffffu}) {
+    std::string wire;
+    EncodeScanRequest(5, "k", hostile, &wire);
+    const DecodedFrame frame = DecodeOne(wire);
+    Slice start;
+    uint32_t limit = 0;
+    ASSERT_TRUE(ParseScanRequest(Slice(frame.body), &start, &limit))
+        << hostile;
+    EXPECT_EQ(hostile, limit);
+  }
+
+  // Truncated limit varint (five 0x80 continuation bytes, no terminator)
+  // and trailing bytes after the limit are malformed, not huge values.
+  std::string body;
+  PutLengthPrefixedSlice(&body, "k");
+  body.append(5, '\x80');
+  Slice start;
+  uint32_t limit = 0;
+  EXPECT_FALSE(ParseScanRequest(Slice(body), &start, &limit));
+
+  body.clear();
+  PutLengthPrefixedSlice(&body, "k");
+  PutVarint32(&body, 10);
+  body.append("extra");
+  EXPECT_FALSE(ParseScanRequest(Slice(body), &start, &limit));
+}
+
+// A hostile count in a scan REPLY payload must not drive reservation:
+// count is validated against the bytes actually present.
+TEST(ProtocolTest, ScanPayloadHostileCountRejected) {
+  std::string payload;
+  PutVarint32(&payload, 0xffffffff);
+  PutLengthPrefixedSlice(&payload, "k1");
+  PutLengthPrefixedSlice(&payload, "v1");
+  std::vector<std::pair<std::string, std::string>> entries;
+  EXPECT_FALSE(ParseScanPayload(Slice(payload), &entries));
+  EXPECT_TRUE(entries.empty());
+}
+
 TEST(ProtocolTest, ReplyRoundTrip) {
   std::string wire;
   EncodeReply(MessageType::kGet, 11, Status::OK(), "payload", &wire);

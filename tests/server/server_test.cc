@@ -165,6 +165,40 @@ TEST_F(ServerTest, PutGetDeleteScanStats) {
   EXPECT_TRUE(cli->Stats("no.such.property", &stats).IsInvalidArgument());
 }
 
+// SCAN limit hardening: limit=0 means the server default cap, a hostile
+// huge limit is clamped server-side, and the payload byte cap truncates
+// large-value scans before they can balloon the reply allocation.
+TEST_F(ServerTest, ScanLimitsAreClampedServerSide) {
+  ServerOptions sopts;
+  sopts.max_scan_entries = 4;
+  sopts.max_scan_bytes = 3000;
+  StartServer(sopts);
+  client::Client* cli = NewClient();
+
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(cli->Put("small" + std::to_string(i), "v").ok());
+  }
+
+  // limit=0 -> default cap; hostile 0xffffffff -> same cap, no error,
+  // no oversized reply.
+  std::vector<std::pair<std::string, std::string>> entries;
+  ASSERT_TRUE(cli->Scan("", 0, &entries).ok());
+  EXPECT_EQ(4u, entries.size());
+  ASSERT_TRUE(cli->Scan("", 0xffffffffu, &entries).ok());
+  EXPECT_EQ(4u, entries.size());
+
+  // Byte cap: 2KB values mean the third entry crosses 3000 payload
+  // bytes, so the reply carries fewer than the entry cap.
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(
+        cli->Put("big" + std::to_string(i), std::string(2048, 'x')).ok());
+  }
+  ASSERT_TRUE(cli->Scan("big", 0xffffffffu, &entries).ok());
+  ASSERT_EQ(2u, entries.size());  // 2 * (3 + 2048) >= 3000 stops the scan
+  EXPECT_EQ("big0", entries[0].first);
+  EXPECT_EQ(std::string(2048, 'x'), entries[0].second);
+}
+
 TEST_F(ServerTest, PipelinedAsyncRequests) {
   StartServer();
   client::Client* cli = NewClient(2);

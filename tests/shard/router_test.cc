@@ -22,6 +22,9 @@ struct Collector : public WriteBatch::Handler {
   void Delete(const Slice& key) override {
     ops.push_back("D:" + key.ToString());
   }
+  void PutPointer(const Slice& key, const Slice& location) override {
+    ops.push_back("V:" + key.ToString() + "=" + location.ToString());
+  }
 };
 
 TEST(ShardRouter, BoundaryKeysBelongToTheShardAbove) {

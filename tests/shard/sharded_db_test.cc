@@ -124,6 +124,82 @@ TEST(ShardedDB, ScanWalksShardSeamsInBothDirections) {
   EXPECT_EQ(reversed, backward);
 }
 
+// Reverse iteration across EMPTY shards: SeekToLast with an empty last
+// shard, Prev off the first entry of a shard whose predecessor is empty,
+// and Seek past a shard's data followed by Prev — with both an empty
+// middle shard and empty edge shards.
+TEST(ShardedDB, ReverseIterationSkipsEmptyShards) {
+  SimEnv env;
+  Options options = BaseOptions(&env);
+  std::unique_ptr<ShardedDB> db = MustOpen(options, FourShards(), "/sdb");
+
+  // Shard 0 ["", f) and shard 2 [m, s) stay empty; shard 1 [f, m) and
+  // shard 3 [s, inf) hold two keys each... then flip to empty edges.
+  WriteOptions wo;
+  ASSERT_TRUE(db->Put(wo, "ff", "v").ok());
+  ASSERT_TRUE(db->Put(wo, "kk", "v").ok());
+  ASSERT_TRUE(db->Put(wo, "ss", "v").ok());
+  ASSERT_TRUE(db->Put(wo, "zz", "v").ok());
+
+  ReadOptions ro;
+  {
+    std::unique_ptr<Iterator> it(db->NewIterator(ro));
+    // Full reverse walk crosses the empty middle shard (2) and stops
+    // cleanly before the empty first shard (0).
+    std::vector<std::string> backward;
+    for (it->SeekToLast(); it->Valid(); it->Prev()) {
+      backward.push_back(it->key().ToString());
+    }
+    EXPECT_EQ((std::vector<std::string>{"zz", "ss", "kk", "ff"}), backward);
+    EXPECT_TRUE(it->status().ok()) << it->status().ToString();
+
+    // Prev off the first entry of shard 1 when shard 0 is empty: ends.
+    it->Seek("ff");
+    ASSERT_TRUE(it->Valid());
+    it->Prev();
+    EXPECT_FALSE(it->Valid());
+    EXPECT_TRUE(it->status().ok());
+
+    // Seek past shard 1's data (lands in shard 3 across empty shard 2),
+    // then Prev returns to shard 1's last key.
+    it->Seek("kz");
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ("ss", it->key().ToString());
+    it->Prev();
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ("kk", it->key().ToString());
+  }
+
+  // Empty LAST shard: delete shard 3's keys; SeekToLast must fall back
+  // across the seam to shard 1's last key.
+  ASSERT_TRUE(db->Delete(wo, "ss").ok());
+  ASSERT_TRUE(db->Delete(wo, "zz").ok());
+  {
+    std::unique_ptr<Iterator> it(db->NewIterator(ro));
+    it->SeekToLast();
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ("kk", it->key().ToString());
+    it->Prev();
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ("ff", it->key().ToString());
+    it->Prev();
+    EXPECT_FALSE(it->Valid());
+    EXPECT_TRUE(it->status().ok());
+  }
+
+  // Every shard empty: both entry points terminate invalid, no error.
+  ASSERT_TRUE(db->Delete(wo, "ff").ok());
+  ASSERT_TRUE(db->Delete(wo, "kk").ok());
+  {
+    std::unique_ptr<Iterator> it(db->NewIterator(ro));
+    it->SeekToLast();
+    EXPECT_FALSE(it->Valid());
+    it->SeekToFirst();
+    EXPECT_FALSE(it->Valid());
+    EXPECT_TRUE(it->status().ok());
+  }
+}
+
 TEST(ShardedDB, SnapshotCoversEveryShard) {
   SimEnv env;
   Options options = BaseOptions(&env);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <string>
 
@@ -24,6 +25,40 @@ TEST(Histogram, SingleValue) {
   EXPECT_EQ(42.0, h.Min());
   EXPECT_EQ(42.0, h.Max());
   EXPECT_NEAR(42.0, h.Median(), 42.0 * 0.25);
+}
+
+// Regression: an empty histogram's Percentile used to fall into bucket 0
+// and clamp the result UP to the min_ sentinel (the top bucket limit,
+// ~1e12) — every percentile must be exactly 0, finite, with no NaN/inf.
+TEST(Histogram, EmptyPercentilesAreZero) {
+  Histogram h;
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    const double v = h.Percentile(p);
+    EXPECT_TRUE(std::isfinite(v)) << p;
+    EXPECT_EQ(0.0, v) << p;
+  }
+  EXPECT_EQ(0.0, h.Median());
+}
+
+// A single sample defines every percentile: interpolating inside its
+// bucket would report spread that does not exist.
+TEST(Histogram, SingleSamplePercentilesAreTheSample) {
+  Histogram h;
+  h.Add(7.0);
+  for (double p : {1.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(7.0, h.Percentile(p)) << p;
+  }
+  // Sub-unit samples (bucket 0) too: no clamp to bucket limits.
+  Histogram tiny;
+  tiny.Add(0.25);
+  EXPECT_DOUBLE_EQ(0.25, tiny.Percentile(95));
+}
+
+TEST(Histogram, ClearResetsPercentilesToZero) {
+  Histogram h;
+  h.Add(1e9);
+  h.Clear();
+  EXPECT_EQ(0.0, h.Percentile(99));
 }
 
 TEST(Histogram, UniformMedianApproximation) {

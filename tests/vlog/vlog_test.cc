@@ -1,0 +1,294 @@
+// VlogManager unit tests: frame encoding, segment rolling, torn-tail
+// recovery, the append-pending protocol that fences GC off segments with
+// in-flight pointer commits, and retirement pinning.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/db/filename.h"
+#include "src/env/sim_env.h"
+#include "src/util/coding.h"
+#include "src/vlog/vlog.h"
+
+namespace pipelsm {
+namespace vlog {
+namespace {
+
+class VlogTest : public ::testing::Test {
+ protected:
+  VlogTest() { env_.CreateDir("/db"); }
+
+  // Fresh manager over /db with its own monotonic number allocator.
+  std::unique_ptr<VlogManager> NewManager(size_t segment_size = 1 << 20,
+                                          double gc_dead_ratio = 0.5) {
+    VlogOptions opts;
+    opts.segment_size = segment_size;
+    opts.gc_dead_ratio = gc_dead_ratio;
+    return std::unique_ptr<VlogManager>(new VlogManager(
+        &env_, "/db", opts, nullptr, nullptr, [this] { return next_++; }));
+  }
+
+  // Recover + open the first active segment, asserting success.
+  void Start(VlogManager* vlog) {
+    uint64_t max_recovered = 0;
+    ASSERT_TRUE(vlog->Recover(&max_recovered).ok());
+    if (max_recovered >= next_) next_ = max_recovered + 1;
+    ASSERT_TRUE(vlog->OpenActive(next_++).ok());
+  }
+
+  std::set<std::string> VlogFilesOnDisk() {
+    std::vector<std::string> children;
+    env_.GetChildren("/db", &children);
+    std::set<std::string> out;
+    for (const std::string& c : children) {
+      if (c.size() > 5 && c.compare(c.size() - 5, 5, ".vlog") == 0) {
+        out.insert(c);
+      }
+    }
+    return out;
+  }
+
+  SimEnv env_;
+  uint64_t next_ = 1;
+};
+
+TEST_F(VlogTest, ValueLocationRoundTrip) {
+  ValueLocation loc;
+  loc.segment = 42;
+  loc.offset = 123456789;
+  loc.length = 4096;
+  std::string encoded;
+  EncodeValueLocation(&encoded, loc);
+  EXPECT_EQ(kValueLocationSize, encoded.size());
+
+  ValueLocation decoded;
+  ASSERT_TRUE(DecodeValueLocation(Slice(encoded), &decoded));
+  EXPECT_TRUE(decoded == loc);
+
+  // Wrong length is rejected, not misparsed.
+  EXPECT_FALSE(DecodeValueLocation(Slice(encoded.data(), 19), &decoded));
+  encoded.push_back('x');
+  EXPECT_FALSE(DecodeValueLocation(Slice(encoded), &decoded));
+}
+
+TEST_F(VlogTest, AddSyncReadRoundTrip) {
+  auto vlog = NewManager();
+  Start(vlog.get());
+
+  std::vector<ValueLocation> locs(3);
+  ASSERT_TRUE(vlog->Add("a", std::string(100, 'A'), &locs[0]).ok());
+  ASSERT_TRUE(vlog->Add("b", std::string(5000, 'B'), &locs[1]).ok());
+  ASSERT_TRUE(vlog->Add("c", "tiny", &locs[2]).ok());
+  ASSERT_TRUE(vlog->Sync().ok());
+  vlog->ReleaseAppends(
+      {locs[0].segment, locs[1].segment, locs[2].segment});
+
+  std::string value;
+  ASSERT_TRUE(vlog->Read(locs[0], &value).ok());
+  EXPECT_EQ(std::string(100, 'A'), value);
+  ASSERT_TRUE(vlog->Read(locs[1], &value).ok());
+  EXPECT_EQ(std::string(5000, 'B'), value);
+  ASSERT_TRUE(vlog->Read(locs[2], &value).ok());
+  EXPECT_EQ("tiny", value);
+
+  // A bogus offset inside a real segment must fail CRC, not crash.
+  ValueLocation bogus = locs[1];
+  bogus.offset += 1;
+  EXPECT_FALSE(vlog->Read(bogus, &value).ok());
+}
+
+TEST_F(VlogTest, RollsActiveSegmentWhenFull) {
+  auto vlog = NewManager(/*segment_size=*/4096);
+  Start(vlog.get());
+
+  std::set<uint64_t> segments;
+  std::vector<ValueLocation> locs(8);
+  std::vector<uint64_t> touched;
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(vlog->Add("k" + std::to_string(i), std::string(2000, 'v'),
+                          &locs[i])
+                    .ok());
+    segments.insert(locs[i].segment);
+    touched.push_back(locs[i].segment);
+  }
+  ASSERT_TRUE(vlog->Sync().ok());
+  vlog->ReleaseAppends(touched);
+  EXPECT_GT(segments.size(), 2u);
+
+  // Every frame still resolves after its segment was sealed.
+  for (int i = 0; i < 8; i++) {
+    std::string value;
+    ASSERT_TRUE(vlog->Read(locs[i], &value).ok()) << i;
+    EXPECT_EQ(std::string(2000, 'v'), value);
+  }
+}
+
+TEST_F(VlogTest, RecoverKeepsValidFramesAndTruncatesTornTail) {
+  std::vector<ValueLocation> locs(2);
+  {
+    auto vlog = NewManager();
+    Start(vlog.get());
+    ASSERT_TRUE(vlog->Add("a", std::string(500, 'A'), &locs[0]).ok());
+    ASSERT_TRUE(vlog->Add("b", std::string(500, 'B'), &locs[1]).ok());
+    ASSERT_TRUE(vlog->Sync().ok());
+    vlog->ReleaseAppends({locs[0].segment, locs[1].segment});
+  }
+
+  // Simulate a torn append: garbage bytes after the last whole frame.
+  const std::string path = VlogFileName("/db", locs[0].segment);
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(&env_, path, &data).ok());
+  const size_t valid_size = data.size();
+  data.append("torn-tail-garbage");
+  ASSERT_TRUE(env_.RemoveFile(path).ok());
+  ASSERT_TRUE(WriteStringToFile(&env_, data, path, true).ok());
+
+  auto vlog = NewManager();
+  Start(vlog.get());
+  uint64_t size = 0;
+  ASSERT_TRUE(env_.GetFileSize(path, &size).ok());
+  EXPECT_EQ(valid_size, size);  // tail gone, frames kept
+  std::string value;
+  ASSERT_TRUE(vlog->Read(locs[0], &value).ok());
+  EXPECT_EQ(std::string(500, 'A'), value);
+  ASSERT_TRUE(vlog->Read(locs[1], &value).ok());
+  EXPECT_EQ(std::string(500, 'B'), value);
+}
+
+TEST_F(VlogTest, RecoverRemovesGarbageOnlySegments) {
+  ASSERT_TRUE(
+      WriteStringToFile(&env_, "not a frame", VlogFileName("/db", 7), true)
+          .ok());
+  auto vlog = NewManager();
+  Start(vlog.get());
+  EXPECT_EQ(0u, VlogFilesOnDisk().count("000007.vlog"));
+}
+
+TEST_F(VlogTest, AppendPendingFencesGcUntilReleased) {
+  auto vlog = NewManager();
+  Start(vlog.get());
+
+  ValueLocation loc;
+  ASSERT_TRUE(vlog->Add("k", std::string(100, 'v'), &loc).ok());
+  ASSERT_TRUE(vlog->Sync().ok());
+  const uint64_t segment = loc.segment;
+
+  // Seal it so it is GC-eligible by state — but the pointer commit is
+  // still in flight (no ReleaseAppends yet), so BeginGc must refuse.
+  ASSERT_TRUE(vlog->RollActive().ok());
+  EXPECT_FALSE(vlog->BeginGc(segment));
+
+  vlog->ReleaseAppends({segment});
+  EXPECT_TRUE(vlog->BeginGc(segment));
+  vlog->FinishGc(segment, false, 0);
+}
+
+TEST_F(VlogTest, DiscardCreditsDriveGcSelection) {
+  auto vlog = NewManager(1 << 20, /*gc_dead_ratio=*/0.5);
+  Start(vlog.get());
+
+  std::vector<ValueLocation> locs(4);
+  std::vector<uint64_t> touched;
+  for (int i = 0; i < 4; i++) {
+    ASSERT_TRUE(
+        vlog->Add("k" + std::to_string(i), std::string(1000, 'v'), &locs[i])
+            .ok());
+    touched.push_back(locs[i].segment);
+  }
+  ASSERT_TRUE(vlog->Sync().ok());
+  vlog->ReleaseAppends(touched);
+  ASSERT_TRUE(vlog->RollActive().ok());
+  EXPECT_FALSE(vlog->NeedsGc());
+
+  // Credit 3 of 4 frames dead: 75% > 50% ratio.
+  for (int i = 0; i < 3; i++) {
+    std::string encoded;
+    EncodeValueLocation(&encoded, locs[i]);
+    vlog->CreditDiscard(Slice(encoded));
+  }
+  EXPECT_TRUE(vlog->NeedsGc());
+  uint64_t segment = 0;
+  ASSERT_TRUE(vlog->PickGcSegment(&segment));
+  EXPECT_EQ(locs[0].segment, segment);
+}
+
+TEST_F(VlogTest, ScanSegmentYieldsEveryFrameWithItsLocation) {
+  auto vlog = NewManager();
+  Start(vlog.get());
+
+  std::vector<ValueLocation> locs(3);
+  std::vector<uint64_t> touched;
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(
+        vlog->Add("key" + std::to_string(i), "value" + std::to_string(i),
+                  &locs[i])
+            .ok());
+    touched.push_back(locs[i].segment);
+  }
+  ASSERT_TRUE(vlog->Sync().ok());
+  vlog->ReleaseAppends(touched);
+  const uint64_t segment = locs[0].segment;
+  ASSERT_TRUE(vlog->RollActive().ok());
+  ASSERT_TRUE(vlog->BeginGc(segment));
+
+  int i = 0;
+  Status s = vlog->ScanSegment(
+      segment, [&](const Slice& key, const Slice& value,
+                   const ValueLocation& loc) -> Status {
+        EXPECT_EQ("key" + std::to_string(i), key.ToString());
+        EXPECT_EQ("value" + std::to_string(i), value.ToString());
+        EXPECT_TRUE(loc == locs[i]);
+        i++;
+        return Status::OK();
+      });
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(3, i);
+  vlog->FinishGc(segment, false, 0);
+}
+
+TEST_F(VlogTest, RetiredSegmentWaitsForPinnedReaders) {
+  auto vlog = NewManager();
+  Start(vlog.get());
+
+  ValueLocation loc;
+  ASSERT_TRUE(vlog->Add("k", std::string(64, 'v'), &loc).ok());
+  ASSERT_TRUE(vlog->Sync().ok());
+  vlog->ReleaseAppends({loc.segment});
+  ASSERT_TRUE(vlog->RollActive().ok());
+
+  ASSERT_TRUE(vlog->BeginGc(loc.segment));
+  vlog->FinishGc(loc.segment, /*retire=*/true, /*retire_seq=*/100);
+  EXPECT_EQ(1u, vlog->pending_retire_count());
+
+  // A reader pinned at seq 50 (< 100) still holds the file alive.
+  vlog->SweepRetired(/*min_pinned=*/50);
+  EXPECT_EQ(1u, vlog->pending_retire_count());
+  const std::string path = VlogFileName("/db", loc.segment);
+  EXPECT_TRUE(env_.FileExists(path));
+
+  vlog->SweepRetired(/*min_pinned=*/100);
+  EXPECT_EQ(0u, vlog->pending_retire_count());
+  EXPECT_FALSE(env_.FileExists(path));
+  EXPECT_EQ(1u, vlog->segments_retired());
+}
+
+TEST_F(VlogTest, ToJsonListsSegments) {
+  auto vlog = NewManager();
+  Start(vlog.get());
+  ValueLocation loc;
+  ASSERT_TRUE(vlog->Add("k", std::string(64, 'v'), &loc).ok());
+  ASSERT_TRUE(vlog->Sync().ok());
+  vlog->ReleaseAppends({loc.segment});
+
+  const std::string json = vlog->ToJson();
+  EXPECT_NE(std::string::npos, json.find("\"active_segment\""));
+  EXPECT_NE(std::string::npos, json.find("\"segments\""));
+  EXPECT_NE(std::string::npos, json.find("\"dead_bytes\""));
+}
+
+}  // namespace
+}  // namespace vlog
+}  // namespace pipelsm

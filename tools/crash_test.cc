@@ -24,12 +24,13 @@
 //
 //   crash_test [--iterations=N] [--ops=N] [--mode=all|scp|pcp|sppcp|cppcp]
 //              [--env=sim|posix] [--db=PATH] [--seed=N] [--sync_every=N]
-//              [--verbose]
+//              [--value_threshold=N] [--verbose]
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <set>
@@ -54,6 +55,10 @@ struct Flags {
   std::string db = "/crashdb";
   uint32_t seed = 301;
   int sync_every = 16;
+  // > 0 turns on key-value separation: values this size or larger go to
+  // the value log, vlog-targeted crash points join the rotation, and the
+  // workload mixes in 4 KiB values plus periodic CompactValueLog() calls.
+  int value_threshold = 0;
   bool verbose = false;
 };
 
@@ -121,6 +126,7 @@ void PromoteAll(Model* model) {
 struct CrashPoint {
   FaultOp op;
   int max_countdown;
+  const char* path_filter = nullptr;  // restrict the op to matching paths
 };
 const CrashPoint kCrashPoints[] = {
     {FaultOp::kAppend, 300},        // WAL records + table blocks
@@ -129,6 +135,14 @@ const CrashPoint kCrashPoints[] = {
     {FaultOp::kClose, 8},
     {FaultOp::kRenameFile, 2},      // CURRENT install
     {FaultOp::kSyncDir, 2},
+};
+// Joined in when --value_threshold is set: crash inside vlog appends
+// (user writes + GC rewrites), vlog syncs (the pre-WAL durability
+// barrier), and segment retirement unlinks.
+const CrashPoint kVlogCrashPoints[] = {
+    {FaultOp::kAppend, 40, ".vlog"},
+    {FaultOp::kSync, 10, ".vlog"},
+    {FaultOp::kRemoveFile, 2, ".vlog"},
 };
 
 CompactionMode ModeFromName(const std::string& name) {
@@ -152,6 +166,14 @@ class CrashTester {
     options_.max_background_retries = 1;    // fail fast once crashed
     options_.background_retry_backoff_micros = 100;
     options_.background_retry_backoff_max_micros = 100;
+    crash_points_.assign(std::begin(kCrashPoints), std::end(kCrashPoints));
+    if (flags.value_threshold > 0) {
+      options_.value_separation_threshold =
+          static_cast<size_t>(flags.value_threshold);
+      options_.vlog_segment_size = 64 << 10;  // several segments per iter
+      crash_points_.insert(crash_points_.end(), std::begin(kVlogCrashPoints),
+                           std::end(kVlogCrashPoints));
+    }
   }
 
   // Returns the number of verification failures.
@@ -174,16 +196,20 @@ class CrashTester {
   int RunIteration(int iter) {
     // Arm one crash point before open, so recovery/flush/compaction code
     // paths can be hit too, not just the write path.
-    const CrashPoint& point = kCrashPoints[rng_.Uniform(
-        sizeof(kCrashPoints) / sizeof(kCrashPoints[0]))];
+    const CrashPoint& point =
+        crash_points_[rng_.Uniform(static_cast<int>(crash_points_.size()))];
     const FaultOp op = point.op;
     const int countdown =
         1 + static_cast<int>(rng_.Uniform(point.max_countdown));
     fault_.ClearFaults();
     fault_.CrashAfter(op, countdown);
+    if (point.path_filter != nullptr) {
+      fault_.SetPathFilter(op, point.path_filter);
+    }
     if (flags_.verbose) {
-      std::printf("iter %d: crash after %d x %s\n", iter, countdown,
-                  FaultOpName(op));
+      std::printf("iter %d: crash after %d x %s%s%s\n", iter, countdown,
+                  FaultOpName(op), point.path_filter != nullptr ? " @" : "",
+                  point.path_filter != nullptr ? point.path_filter : "");
     }
 
     DB* raw = nullptr;
@@ -234,9 +260,13 @@ class CrashTester {
         s = db->Delete(wo, key);
       } else {
         // Padded so a full iteration overflows the write buffer and
-        // rotates the WAL mid-workload (the rotation fsync path).
+        // rotates the WAL mid-workload (the rotation fsync path). With
+        // separation on, half the values are large enough to take the
+        // value-log path instead.
+        const bool separated =
+            flags_.value_threshold > 0 && rng_.OneIn(2);
         value = "v" + std::to_string(iter) + "-" + std::to_string(op) +
-                std::string(80, 'p');
+                std::string(separated ? 4096 : 80, 'p');
         s = db->Put(wo, key, value);
       }
       if (!s.ok()) {
@@ -251,6 +281,12 @@ class CrashTester {
       if (sync) {
         // This sync persisted every record before it.
         PromoteAll(&model_);
+      }
+      // Periodically drive GC so rewrite commits and segment retirement
+      // sit inside the crash window too.
+      if (flags_.value_threshold > 0 && (op % 257) == 256 &&
+          !fault_.crashed()) {
+        db->CompactValueLog();
       }
     }
   }
@@ -312,15 +348,30 @@ class CrashTester {
       p++;
     }
 
+    // With separation on, every .vlog segment on disk must be tracked by
+    // the manager ("number":N in the pipelsm.vlog JSON) — anything else
+    // leaked from a crashed GC rewrite or half-finished retirement.
+    std::string vlog_json;
+    if (flags_.value_threshold > 0 &&
+        !db->GetProperty("pipelsm.vlog", &vlog_json)) {
+      return 1;
+    }
+
     std::vector<std::string> children;
     if (!fault_.GetChildren(flags_.db, &children).ok()) return 1;
     int leaks = 0;
     for (const std::string& c : children) {
       uint64_t number;
       FileType type;
-      if (ParseFileName(c, &number, &type) && type == kTableFile &&
-          live.find(number) == live.end()) {
+      if (!ParseFileName(c, &number, &type)) continue;
+      if (type == kTableFile && live.find(number) == live.end()) {
         std::fprintf(stderr, "iter %d: leaked table file %s\n", iter,
+                     c.c_str());
+        leaks++;
+      } else if (type == kVlogFile &&
+                 vlog_json.find("\"number\":" + std::to_string(number)) ==
+                     std::string::npos) {
+        std::fprintf(stderr, "iter %d: leaked vlog segment %s\n", iter,
                      c.c_str());
         leaks++;
       }
@@ -340,6 +391,7 @@ class CrashTester {
 
   const Flags flags_;
   const CompactionMode mode_;
+  std::vector<CrashPoint> crash_points_;
   FaultInjectionEnv fault_;
   Random rng_;
   Options options_;
@@ -395,7 +447,9 @@ int main(int argc, char** argv) {
         pipelsm::ParseFlag(argv[i], "mode", &flags.mode) ||
         pipelsm::ParseFlag(argv[i], "env", &flags.env) ||
         pipelsm::ParseFlag(argv[i], "db", &flags.db) ||
-        pipelsm::ParseIntFlag(argv[i], "sync_every", &flags.sync_every)) {
+        pipelsm::ParseIntFlag(argv[i], "sync_every", &flags.sync_every) ||
+        pipelsm::ParseIntFlag(argv[i], "value_threshold",
+                              &flags.value_threshold)) {
       continue;
     } else if (pipelsm::ParseFlag(argv[i], "seed", &v)) {
       flags.seed = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));

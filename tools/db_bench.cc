@@ -33,6 +33,8 @@
 //                            storage: the real FS or a simulated device
 //   --compaction=scp|pcp|sppcp|cppcp
 //   --num=N --reads=N --key_size=N --value_size=N --batch=N
+//   --value_threshold=N      key-value separation: values >= N bytes go
+//                            to the value log (0 = off)
 //   --write_buffer_kb=N --file_kb=N --subtask_kb=N --block=N
 //   --compute_parallelism=N --io_parallelism=N --queue_depth=N
 //   --adaptive               per-job executor choice by the compaction
@@ -47,6 +49,9 @@
 //                            Gets (default 50)
 //   --dist=uniform|zipfian   mixedwhilewriting key distribution
 //   --zipf_theta=X           Zipfian skew (default 0.99)
+//   --value_compressibility=X
+//                            fraction of each value that compresses away
+//                            (default 0.5; 0 = incompressible)
 //   --dilation=X             compaction slow-motion factor
 //   --histogram              print full latency histograms
 //   --trace_path=PATH        write a Chrome trace_event JSON of every
@@ -93,6 +98,7 @@ struct Flags {
   uint64_t reads = 10000;
   size_t key_size = 16;
   size_t value_size = 100;
+  size_t value_threshold = 0;  // 0 = key-value separation off
   uint64_t batch = 1;
   size_t write_buffer_kb = 4096;
   size_t file_kb = 2048;
@@ -110,6 +116,7 @@ struct Flags {
   int read_ratio = 50;
   std::string dist = "uniform";
   double zipf_theta = 0.99;
+  double value_compressibility = 0.5;
   double dilation = 1.0;
   bool histogram = false;
   uint32_t seed = 301;
@@ -193,6 +200,7 @@ class Benchmark {
     options_.scheduler_hysteresis_jobs = flags_.hysteresis;
     options_.scheduler_warmup_jobs = flags_.warmup_jobs;
     options_.compaction_time_dilation = flags_.dilation;
+    options_.value_separation_threshold = flags_.value_threshold;
     options_.trace_path = flags_.trace_path;
     options_.stats_dump_period_sec =
         static_cast<unsigned int>(flags_.stats_interval_seconds);
@@ -256,7 +264,8 @@ class Benchmark {
  private:
   WorkloadGenerator Gen(KeyOrder order) const {
     return WorkloadGenerator(flags_.num, flags_.key_size, flags_.value_size,
-                             order, flags_.seed);
+                             order, flags_.seed,
+                             flags_.value_compressibility);
   }
 
   void Report(const std::string& name, uint64_t ops, double seconds,
@@ -550,6 +559,7 @@ int main(int argc, char** argv) {
         ParseNumFlag(argv[i], "reads", &flags.reads) ||
         ParseNumFlag(argv[i], "key_size", &flags.key_size) ||
         ParseNumFlag(argv[i], "value_size", &flags.value_size) ||
+        ParseNumFlag(argv[i], "value_threshold", &flags.value_threshold) ||
         ParseNumFlag(argv[i], "batch", &flags.batch) ||
         ParseNumFlag(argv[i], "write_buffer_kb", &flags.write_buffer_kb) ||
         ParseNumFlag(argv[i], "file_kb", &flags.file_kb) ||
@@ -585,6 +595,10 @@ int main(int argc, char** argv) {
     std::string v;
     if (ParseFlag(argv[i], "dilation", &v)) {
       flags.dilation = std::atof(v.c_str());
+      continue;
+    }
+    if (ParseFlag(argv[i], "value_compressibility", &v)) {
+      flags.value_compressibility = std::atof(v.c_str());
       continue;
     }
     if (ParseFlag(argv[i], "zipf_theta", &v)) {

@@ -15,6 +15,8 @@
 //   --group_window_micros=N group-commit gather window (default 100)
 //   --nosync                WriteOptions::sync=false for group commits
 //   --create_if_missing=0|1 (default 1)
+//   --value_threshold=N     key-value separation: values >= N bytes live
+//                           in the value log (0 = off, docs/VALUE_LOG.md)
 //   --shards=N              serve a range-sharded fleet of N engines
 //                           under one root (default 1 = plain DB)
 //   --shard_boundaries=a,b  comma-separated boundary keys (N-1 of them,
@@ -91,6 +93,7 @@ int main(int argc, char** argv) {
   int compute_parallelism = 1;
   int io_parallelism = 1;
   size_t queue_depth = 4;
+  size_t value_threshold = 0;
   int create_if_missing = 1;
   size_t shards = 1;
   std::string shard_boundaries;
@@ -116,6 +119,7 @@ int main(int argc, char** argv) {
         ParseNumFlag(argv[i], "group_window_micros",
                      &sopts.group_commit_window_micros) ||
         ParseNumFlag(argv[i], "create_if_missing", &create_if_missing) ||
+        ParseNumFlag(argv[i], "value_threshold", &value_threshold) ||
         ParseNumFlag(argv[i], "shards", &shards) ||
         ParseFlag(argv[i], "shard_boundaries", &shard_boundaries) ||
         ParseNumFlag(argv[i], "arbiter_io_lanes", &arbiter_io_lanes) ||
@@ -157,6 +161,7 @@ int main(int argc, char** argv) {
   options.compute_parallelism = compute_parallelism;
   options.io_parallelism = io_parallelism;
   options.pipeline_queue_depth = queue_depth;
+  options.value_separation_threshold = value_threshold;
   if (compaction == "scp") {
     options.compaction_mode = pipelsm::CompactionMode::kSCP;
   } else if (compaction == "pcp") {

@@ -71,6 +71,19 @@ struct Snapshot {
     return s != nullptr ? s->value : fallback;
   }
 
+  // Sum across every label set — fleet totals for per-shard families.
+  // Returns -1 when the family is absent so callers can gate display.
+  double Sum(const std::string& name) const {
+    double total = 0;
+    bool any = false;
+    for (const Sample& s : samples) {
+      if (s.name != name) continue;
+      total += s.value;
+      any = true;
+    }
+    return any ? total : -1;
+  }
+
   // shard label -> value, for families exported per shard.
   std::map<int, double> PerShard(const std::string& name) const {
     std::map<int, double> out;
@@ -273,6 +286,19 @@ void RenderDashboard(const Snapshot& cur, const Snapshot& prev,
                 cur.Value("pipelsm_arbiter_waiting"));
   }
 
+  // Value-log line, present only when key-value separation is on
+  // (--value_threshold). Sums across shards.
+  if (cur.Sum("pipelsm_vlog_segments") >= 0) {
+    const double bytes = cur.Sum("pipelsm_vlog_bytes");
+    const double dead = cur.Sum("pipelsm_vlog_dead_bytes");
+    std::printf("vlog      %.0f segs  %.1f MiB (%.0f%% dead)   "
+                "gc %.0f runs   reclaimed %.1f MiB\n",
+                cur.Sum("pipelsm_vlog_segments"), bytes / (1 << 20),
+                bytes > 0 ? 100.0 * dead / bytes : 0.0,
+                cur.Sum("pipelsm_vlog_gc_runs"),
+                cur.Sum("pipelsm_vlog_gc_bytes_reclaimed") / (1 << 20));
+  }
+
   const std::map<int, double> stalls =
       cur.PerShard("pipelsm_db_write_stall_state");
   if (!stalls.empty()) {
@@ -315,6 +341,18 @@ void RenderOnce(const Snapshot& snap) {
                   snap.Value("pipelsm_arbiter_io_lanes_in_use"),
                   snap.Value("pipelsm_arbiter_compute_workers_in_use"),
                   snap.Value("pipelsm_arbiter_waiting"));
+    out += buf;
+  }
+  if (snap.Sum("pipelsm_vlog_segments") >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"vlog\":{\"segments\":%.0f,\"bytes\":%.0f,"
+                  "\"dead_bytes\":%.0f,\"gc_runs\":%.0f,"
+                  "\"gc_bytes_reclaimed\":%.0f}",
+                  snap.Sum("pipelsm_vlog_segments"),
+                  snap.Sum("pipelsm_vlog_bytes"),
+                  snap.Sum("pipelsm_vlog_dead_bytes"),
+                  snap.Sum("pipelsm_vlog_gc_runs"),
+                  snap.Sum("pipelsm_vlog_gc_bytes_reclaimed"));
     out += buf;
   }
   out += ",\"shards\":[";
