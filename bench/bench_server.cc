@@ -22,6 +22,15 @@
 //   --read_ratio=N   percent of served ops that are GETs (default 0,
 //                    i.e. pure fill; use 50 for a mixed comparison
 //                    against db_bench mixedwhilewriting)
+//   --dist=uniform|zipfian
+//                    GET key distribution (default uniform). zipfian
+//                    concentrates reads on hot keys — the block-cache
+//                    regime the sharded-cache gate measures
+//   --zipf_theta=X   Zipfian skew (default 0.99)
+//   --cache_size=N   block cache capacity in bytes (default 8MiB)
+//   --cache_shards=N block cache lock shards (0 = auto; 1 = the
+//                    single-mutex baseline for the read-scaling gate)
+//   --bloom_bits_per_key=N  bloom filters for served Gets (default 0)
 //   --sync           sync WAL on every group commit (default off, to
 //                    match the in-process fillrandom baseline)
 //   --shards=N       serve a ShardedDB of N key-range shards (default 1;
@@ -89,6 +98,11 @@ struct Flags {
   int compute_workers = 4;
   std::string device = "posix";
   int stripes = 4;
+  std::string dist = "uniform";
+  double zipf_theta = 0.99;
+  size_t cache_size = 8 << 20;
+  size_t cache_shards = 0;
+  int bloom_bits_per_key = 0;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -120,11 +134,14 @@ std::unique_ptr<Env> MakeSimEnv(const Flags& flags) {
   return nullptr;
 }
 
-Options MakeDbOptions(Env* env) {
+Options MakeDbOptions(const Flags& flags, Env* env) {
   Options options;
   options.env = env != nullptr ? env : Env::Posix();
   options.create_if_missing = true;
   options.compaction_mode = CompactionMode::kPCP;
+  options.block_cache_size = flags.cache_size;
+  options.block_cache_shards = flags.cache_shards;
+  options.bloom_bits_per_key = flags.bloom_bits_per_key;
   return options;
 }
 
@@ -143,7 +160,7 @@ std::unique_ptr<DB> OpenFresh(const std::string& path,
 // Phase 1: the db_bench fillrandom loop, verbatim shape.
 double InProcessFill(const Flags& flags, const std::string& path) {
   std::unique_ptr<Env> sim = MakeSimEnv(flags);  // outlives the DB
-  Options options = MakeDbOptions(sim.get());
+  Options options = MakeDbOptions(flags, sim.get());
   std::unique_ptr<DB> db = OpenFresh(path, options);
   WorkloadGenerator gen(flags.num, flags.key_size, flags.value_size,
                         KeyOrder::kRandom, flags.seed);
@@ -179,6 +196,8 @@ void DriveSlice(client::Client* cli, const WorkloadGenerator& gen,
                 size_t sub_index, size_t sub_count) {
   std::deque<std::future<client::Result>> inflight;
   Random rnd(thread_seed);
+  ZipfianGenerator zipf(flags.num, flags.zipf_theta, thread_seed + 17);
+  const bool zipfian = flags.dist == "zipfian";
   auto reap = [&](size_t keep) {
     cli->Flush();  // buffered frames must hit the wire before we block
     while (inflight.size() > keep) {
@@ -200,7 +219,8 @@ void DriveSlice(client::Client* cli, const WorkloadGenerator& gen,
         flags.read_ratio > 0 &&
         static_cast<int>(rnd.Next() % 100) < flags.read_ratio;
     if (is_get) {
-      inflight.push_back(cli->AsyncGet(gen.Key(rnd.Next() % flags.num)));
+      const uint64_t idx = zipfian ? zipf.Next() : rnd.Next() % flags.num;
+      inflight.push_back(cli->AsyncGet(gen.Key(idx)));
     } else {
       inflight.push_back(cli->AsyncPut(key, gen.Value(i)));
     }
@@ -230,12 +250,37 @@ struct LatencySummary {
 
 struct ServedStats {
   double ops_per_sec = 0;
+  double read_ops_per_sec = 0;  // served GETs only
+  uint64_t gets = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
   std::vector<uint64_t> shard_write_ops;  // empty when unsharded
   std::string arbiter_json;               // "{}" when unsharded / off
   std::string batch_histogram;
   LatencySummary put_latency;  // server-side dispatch-to-reply micros
   LatencySummary get_latency;
+
+  double hit_rate() const {
+    const uint64_t lookups = cache_hits + cache_misses;
+    return lookups > 0
+               ? static_cast<double>(cache_hits) / static_cast<double>(lookups)
+               : 0.0;
+  }
 };
+
+// First "hits"/"misses" in the "pipelsm.cache" JSON belong to the block
+// section (it precedes the table section).
+void ParseCacheCounters(const std::string& json, uint64_t* hits,
+                        uint64_t* misses) {
+  const size_t h = json.find("\"hits\":");
+  const size_t m = json.find("\"misses\":");
+  if (h != std::string::npos) {
+    *hits = std::strtoull(json.c_str() + h + 7, nullptr, 10);
+  }
+  if (m != std::string::npos) {
+    *misses = std::strtoull(json.c_str() + m + 9, nullptr, 10);
+  }
+}
 
 LatencySummary SummarizeLatency(obs::MetricsRegistry* registry,
                                 const std::string& name) {
@@ -253,7 +298,7 @@ LatencySummary SummarizeLatency(obs::MetricsRegistry* registry,
 // Phase 2: the same workload through the loopback server.
 ServedStats ServedFill(const Flags& flags, const std::string& path) {
   std::unique_ptr<Env> sim = MakeSimEnv(flags);  // outlives the DB
-  Options options = MakeDbOptions(sim.get());
+  Options options = MakeDbOptions(flags, sim.get());
   // Unsharded, the DB-wide stall gate is the right backpressure. Sharded,
   // it is NOT wired: one shard's hard stall would park reads on EVERY
   // connection and serialize the whole fleet on the slowest shard. The
@@ -383,6 +428,13 @@ ServedStats ServedFill(const Flags& flags, const std::string& path) {
   stats.ops_per_sec = flags.num / seconds;
   stats.batch_histogram = buf;
   stats.arbiter_json = "{}";
+  stats.gets =
+      srv.metrics_registry()->RegisterCounter("server.req.get", "")->value();
+  stats.read_ops_per_sec = seconds > 0 ? stats.gets / seconds : 0;
+  std::string cache_json;
+  if (db->GetProperty("pipelsm.cache", &cache_json)) {
+    ParseCacheCounters(cache_json, &stats.cache_hits, &stats.cache_misses);
+  }
   stats.put_latency =
       SummarizeLatency(srv.metrics_registry(), "server.req_micros.put");
   stats.get_latency =
@@ -426,10 +478,20 @@ int main(int argc, char** argv) {
         pipelsm::ParseNumFlag(argv[i], "io_lanes", &flags.io_lanes) ||
         pipelsm::ParseNumFlag(argv[i], "stripes", &flags.stripes) ||
         pipelsm::ParseNumFlag(argv[i], "compute_workers",
-                              &flags.compute_workers)) {
+                              &flags.compute_workers) ||
+        pipelsm::ParseNumFlag(argv[i], "cache_size", &flags.cache_size) ||
+        pipelsm::ParseNumFlag(argv[i], "cache_shards", &flags.cache_shards) ||
+        pipelsm::ParseNumFlag(argv[i], "bloom_bits_per_key",
+                              &flags.bloom_bits_per_key)) {
       continue;
     }
     if (pipelsm::ParseFlag(argv[i], "device", &flags.device)) continue;
+    if (pipelsm::ParseFlag(argv[i], "dist", &flags.dist)) continue;
+    std::string theta;
+    if (pipelsm::ParseFlag(argv[i], "zipf_theta", &theta)) {
+      flags.zipf_theta = std::atof(theta.c_str());
+      continue;
+    }
     if (std::strcmp(argv[i], "--sync") == 0) {
       flags.sync = true;
       continue;
@@ -449,14 +511,21 @@ int main(int argc, char** argv) {
                  flags.device.c_str());
     return 2;
   }
+  if (flags.dist != "uniform" && flags.dist != "zipfian") {
+    std::fprintf(stderr, "unknown --dist=%s (uniform|zipfian)\n",
+                 flags.dist.c_str());
+    return 2;
+  }
 
   std::printf("bench_server: %llu ops, %d connections, %d threads, "
-              "window %zu, read_ratio %d%%, sync=%d, shards=%zu, "
-              "arbiter=%d, device=%s\n",
+              "window %zu, read_ratio %d%%, dist=%s, sync=%d, shards=%zu, "
+              "arbiter=%d, device=%s, cache=%zuKB/%zu shards, bloom=%d\n",
               static_cast<unsigned long long>(flags.num), flags.connections,
               flags.threads, flags.window, flags.read_ratio,
-              flags.sync ? 1 : 0, flags.shards, flags.arbiter ? 1 : 0,
-              flags.device.c_str());
+              flags.dist.c_str(), flags.sync ? 1 : 0, flags.shards,
+              flags.arbiter ? 1 : 0, flags.device.c_str(),
+              flags.cache_size >> 10, flags.cache_shards,
+              flags.bloom_bits_per_key);
 
   const double local =
       pipelsm::InProcessFill(flags, "/tmp/pipelsm_bench_server_local");
@@ -482,6 +551,13 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < served.shard_write_ops.size(); i++) {
     std::printf("shard %zu: %llu write ops routed\n", i,
                 static_cast<unsigned long long>(served.shard_write_ops[i]));
+  }
+  if (served.gets > 0) {
+    std::printf("read throughput: %10.0f gets/s  (block cache: %.1f%% hit "
+                "rate, %llu hits, %llu misses)\n",
+                served.read_ops_per_sec, 100.0 * served.hit_rate(),
+                static_cast<unsigned long long>(served.cache_hits),
+                static_cast<unsigned long long>(served.cache_misses));
   }
   const double ratio = local > 0 ? served.ops_per_sec / local : 0;
   std::printf("served/in-process ratio: %.2f  (acceptance floor 0.50)\n",
@@ -518,6 +594,15 @@ int main(int argc, char** argv) {
                 served.get_latency.p50, served.get_latency.p95,
                 served.get_latency.p99);
   result += lat;
+  char cache[256];
+  std::snprintf(cache, sizeof(cache),
+                ",\"dist\":\"%s\",\"cache_shards\":%zu,\"read_ops_s\":%.0f,"
+                "\"cache\":{\"hits\":%llu,\"misses\":%llu,\"hit_rate\":%.4f}",
+                flags.dist.c_str(), flags.cache_shards, served.read_ops_per_sec,
+                static_cast<unsigned long long>(served.cache_hits),
+                static_cast<unsigned long long>(served.cache_misses),
+                served.hit_rate());
+  result += cache;
   result += ",\"arbiter_state\":" + served.arbiter_json + "}";
   std::printf("%s\n", result.c_str());
   return ratio >= 0.5 ? 0 : 1;

@@ -232,6 +232,12 @@ void Client::ReaderLoop(Connection* conn) {
           if (!server::ParseScanPayload(payload, &result.entries)) {
             result.status = Status::Corruption("malformed scan payload");
           }
+        } else if (frame.type == MessageType::kScanOpen ||
+                   frame.type == MessageType::kScanNext) {
+          if (!server::ParseScanBatchPayload(payload, &result.cursor_id,
+                                             &result.entries, &result.done)) {
+            result.status = Status::Corruption("malformed cursor payload");
+          }
         } else {
           result.value.assign(payload.data(), payload.size());
         }
@@ -268,8 +274,8 @@ std::future<Result> Client::FailedFuture(const Status& status) {
 }
 
 std::future<Result> Client::Submit(MessageType type, const std::string& body,
-                                   const Slice* key) {
-  Connection& conn = *PickConnection(key);
+                                   const Slice* key, Connection* pinned) {
+  Connection& conn = pinned != nullptr ? *pinned : *PickConnection(key);
   const uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   std::string wire;
   server::EncodeFrame(type, false, seq, body, &wire);
@@ -447,6 +453,134 @@ Status Client::Stats(const Slice& property, std::string* value) {
   Result r = SyncWait(AsyncStats(property));
   if (r.status.ok()) *value = std::move(r.value);
   return r.status;
+}
+
+// ---- streaming scan cursors ----
+
+Status Client::ScanOpen(const Slice& start_key, uint32_t limit,
+                        CursorBatch* batch) {
+  std::string body;
+  PutLengthPrefixedSlice(&body, start_key);
+  PutVarint32(&body, limit);
+  Connection* conn = PickConnection(nullptr);
+  Result r = SyncWait(Submit(MessageType::kScanOpen, body, nullptr, conn));
+  if (!r.status.ok()) return r.status;
+  batch->cursor_id = r.cursor_id;
+  batch->done = r.done;
+  batch->entries = std::move(r.entries);
+  if (!r.done) {
+    std::lock_guard<std::mutex> l(cursor_conns_mu_);
+    cursor_conns_[r.cursor_id] = conn;
+  }
+  return r.status;
+}
+
+Status Client::ScanNext(uint64_t cursor_id, CursorBatch* batch) {
+  Connection* conn = nullptr;
+  {
+    std::lock_guard<std::mutex> l(cursor_conns_mu_);
+    auto it = cursor_conns_.find(cursor_id);
+    if (it != cursor_conns_.end()) conn = it->second;
+  }
+  std::string body;
+  PutFixed64(&body, cursor_id);
+  Result r = SyncWait(Submit(MessageType::kScanNext, body, nullptr, conn));
+  if (r.status.ok()) {
+    batch->cursor_id = cursor_id;
+    batch->done = r.done;
+    batch->entries = std::move(r.entries);
+  }
+  if (!r.status.ok() || r.done) {
+    std::lock_guard<std::mutex> l(cursor_conns_mu_);
+    cursor_conns_.erase(cursor_id);
+  }
+  return r.status;
+}
+
+Status Client::ScanClose(uint64_t cursor_id) {
+  Connection* conn = nullptr;
+  {
+    std::lock_guard<std::mutex> l(cursor_conns_mu_);
+    auto it = cursor_conns_.find(cursor_id);
+    if (it != cursor_conns_.end()) {
+      conn = it->second;
+      cursor_conns_.erase(it);
+    }
+  }
+  std::string body;
+  PutFixed64(&body, cursor_id);
+  return SyncWait(Submit(MessageType::kScanClose, body, nullptr, conn)).status;
+}
+
+std::unique_ptr<ScanStream> Client::NewScanStream(const Slice& start_key,
+                                                  uint32_t limit) {
+  return std::unique_ptr<ScanStream>(new ScanStream(this, start_key, limit));
+}
+
+ScanStream::ScanStream(Client* client, const Slice& start_key, uint32_t limit)
+    : client_(client) {
+  conn_ = client_->PickConnection(nullptr);
+  std::string body;
+  PutLengthPrefixedSlice(&body, start_key);
+  PutVarint32(&body, limit);
+  Result r = client_->SyncWait(
+      client_->Submit(MessageType::kScanOpen, body, nullptr, conn_));
+  status_ = r.status;
+  if (!status_.ok()) {
+    done_ = true;
+    return;
+  }
+  cursor_id_ = r.cursor_id;
+  done_ = r.done;
+  batch_ = std::move(r.entries);
+  MaybePrefetch();
+}
+
+ScanStream::~ScanStream() { Close(); }
+
+void ScanStream::MaybePrefetch() {
+  if (done_ || prefetch_active_ || !status_.ok()) return;
+  std::string body;
+  PutFixed64(&body, cursor_id_);
+  prefetch_ = client_->Submit(MessageType::kScanNext, body, nullptr, conn_);
+  // The request must actually reach the wire NOW — with send coalescing
+  // on, an unflushed prefetch would deadlock the consumer against its
+  // own buffer.
+  client_->Flush();
+  prefetch_active_ = true;
+}
+
+void ScanStream::Next() {
+  if (pos_ < batch_.size()) pos_++;
+  while (pos_ >= batch_.size() && !done_ && status_.ok()) {
+    if (!prefetch_active_) MaybePrefetch();
+    Result r = client_->Wait(prefetch_);
+    prefetch_active_ = false;
+    status_ = r.status;
+    if (!status_.ok()) return;
+    done_ = r.done;
+    batch_ = std::move(r.entries);
+    pos_ = 0;
+    MaybePrefetch();
+  }
+}
+
+Status ScanStream::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  if (prefetch_active_) {
+    // Absorb the in-flight batch; it may carry the done flag that tells
+    // us the server already dropped the cursor.
+    Result r = client_->Wait(prefetch_);
+    prefetch_active_ = false;
+    if (r.status.ok()) done_ = r.done;
+  }
+  if (done_ || cursor_id_ == 0) return Status::OK();
+  std::string body;
+  PutFixed64(&body, cursor_id_);
+  return client_
+      ->SyncWait(client_->Submit(MessageType::kScanClose, body, nullptr, conn_))
+      .status;
 }
 
 }  // namespace pipelsm::client

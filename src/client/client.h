@@ -79,12 +79,17 @@ struct ClientOptions {
 };
 
 // Outcome of one request. `value` holds GET/STATS payloads; `entries`
-// holds SCAN results.
+// holds SCAN / cursor-batch results; `cursor_id`/`done` are set on
+// SCAN_OPEN / SCAN_NEXT replies.
 struct Result {
   Status status;
   std::string value;
   std::vector<std::pair<std::string, std::string>> entries;
+  uint64_t cursor_id = 0;
+  bool done = false;
 };
+
+class ScanStream;
 
 class Client {
  public:
@@ -103,6 +108,31 @@ class Client {
   Status Scan(const Slice& start_key, uint32_t limit,
               std::vector<std::pair<std::string, std::string>>* entries);
   Status Stats(const Slice& property, std::string* value);
+
+  // ---- streaming scan (server-side cursor; docs/READ_PATH.md) ----
+  // One bounded batch from a server cursor. `done` means the server
+  // exhausted the scan (or hit the limit) and already released the
+  // cursor — no SCAN_CLOSE needed.
+  struct CursorBatch {
+    uint64_t cursor_id = 0;
+    bool done = false;
+    std::vector<std::pair<std::string, std::string>> entries;
+  };
+
+  // Low-level, one frame per call. Every op for a cursor rides the
+  // connection that opened it (the server drops a cursor when its
+  // opening connection dies); the client tracks that internally, so
+  // callers just pass the id around. limit 0 = scan to the end.
+  Status ScanOpen(const Slice& start_key, uint32_t limit, CursorBatch* batch);
+  Status ScanNext(uint64_t cursor_id, CursorBatch* batch);
+  Status ScanClose(uint64_t cursor_id);  // idempotent
+
+  // Pipelined iteration: opens a cursor and keeps ONE prefetched batch
+  // in flight, so the server builds batch N+1 while the caller consumes
+  // batch N. Must not outlive the client. Not thread-safe (one thread
+  // per stream; other threads may still use the client).
+  std::unique_ptr<ScanStream> NewScanStream(const Slice& start_key,
+                                            uint32_t limit);
 
   // ---- async API ----
   std::future<Result> AsyncPing();
@@ -123,6 +153,8 @@ class Client {
   void Flush();
 
  private:
+  friend class ScanStream;
+
   struct Connection;
 
   // Allocates a sequence number, frames `body` onto a pooled connection
@@ -130,8 +162,11 @@ class Client {
   // The frame goes out immediately unless pipeline_buffer_bytes holds it
   // back for coalescing. `key` (nullable) steers the connection choice
   // under shard_affinity_boundaries; it does not change the wire format.
+  // `pinned` (nullable) bypasses PickConnection entirely — cursor ops
+  // must stick to the connection that opened the cursor.
   std::future<Result> Submit(server::MessageType type, const std::string& body,
-                             const Slice* key = nullptr);
+                             const Slice* key = nullptr,
+                             Connection* pinned = nullptr);
   // Flush() + Wait(): the sync API lands here so buffered frames always
   // reach the wire before the caller blocks.
   Result SyncWait(std::future<Result> future);
@@ -145,6 +180,61 @@ class Client {
   std::atomic<uint64_t> next_seq_{1};
   std::atomic<size_t> next_conn_{0};
   std::vector<std::unique_ptr<Connection>> pool_;
+
+  // cursor id -> the pooled connection that opened it (raw pointers into
+  // pool_, which outlives every cursor). Entries retire on done / close
+  // / error.
+  std::mutex cursor_conns_mu_;
+  std::unordered_map<uint64_t, Connection*> cursor_conns_;
+};
+
+// Streaming scan handle (Client::NewScanStream). Usage mirrors a DB
+// iterator:
+//
+//   auto stream = client.NewScanStream("user.", 0);
+//   for (; stream->Valid(); stream->Next()) use(stream->key(), ...);
+//   Status s = stream->status();   // OK on clean end-of-scan
+//
+// The destructor closes the server cursor if the scan was abandoned
+// mid-stream.
+class ScanStream {
+ public:
+  ~ScanStream();
+
+  ScanStream(const ScanStream&) = delete;
+  ScanStream& operator=(const ScanStream&) = delete;
+
+  bool Valid() const { return status_.ok() && pos_ < batch_.size(); }
+  const std::string& key() const { return batch_[pos_].first; }
+  const std::string& value() const { return batch_[pos_].second; }
+  void Next();
+
+  // OK while streaming and after a clean end; the first transport or
+  // server error sticks (and invalidates the stream).
+  const Status& status() const { return status_; }
+
+  // Early teardown (idempotent; the destructor calls it). Returns the
+  // SCAN_CLOSE outcome, OK if the server already released the cursor.
+  Status Close();
+
+ private:
+  friend class Client;
+  ScanStream(Client* client, const Slice& start_key, uint32_t limit);
+
+  // Issues the next SCAN_NEXT if the server still holds the cursor and
+  // nothing is in flight.
+  void MaybePrefetch();
+
+  Client* const client_;
+  Client::Connection* conn_ = nullptr;
+  uint64_t cursor_id_ = 0;
+  Status status_;
+  bool done_ = false;    // server released the cursor
+  bool closed_ = false;  // Close() ran
+  std::vector<std::pair<std::string, std::string>> batch_;
+  size_t pos_ = 0;
+  std::future<Result> prefetch_;
+  bool prefetch_active_ = false;
 };
 
 }  // namespace pipelsm::client

@@ -1,5 +1,6 @@
 #include "src/compaction/raw_table_writer.h"
 
+#include "src/table/filter_block.h"
 #include "src/table/filter_policy.h"
 #include "src/table/format.h"
 #include "src/util/coding.h"
@@ -55,16 +56,17 @@ Status RawTableWriter::WriteOwnBlock(const Slice& raw, BlockHandle* handle) {
 }
 
 std::string RawTableWriter::BuildFilterBlock() const {
-  // FilterBlockBuilder wire format: [filter data][offset array (fixed32
-  // per 2 KiB window)][array offset (fixed32)][base_lg (1 byte)].
-  // Each data block starts in exactly one window (blocks are >= 2 KiB in
-  // practice, and the reader only probes windows at real block offsets),
-  // so window w carries the filter of the block starting inside it.
-  static constexpr uint32_t kFilterBaseLg = 11;
-  std::string result;
-  std::vector<uint32_t> window_offsets;
+  // Partitioned filter block, the same wire format FilterBlockBuilder
+  // emits (src/table/filter_block.h). Each data block starts in exactly
+  // one 2 KiB window, so window w carries the filter of the block
+  // starting inside it; windows are grouped into partitions of roughly
+  // filter_partition_bytes payload, each with its own offset array and
+  // CRC, followed by the top index and tail.
   const uint64_t last_block_offset = filters_.back().first;
   const uint64_t windows = (last_block_offset >> kFilterBaseLg) + 1;
+  const size_t partition_bytes = options_.filter_partition_bytes == 0
+                                     ? kDefaultFilterPartitionBytes
+                                     : options_.filter_partition_bytes;
 
   // A compressed block can be smaller than a window, so two blocks may
   // start in the same window. Their per-block filters cannot be merged
@@ -74,27 +76,63 @@ std::string RawTableWriter::BuildFilterBlock() const {
   // shared window just loses its I/O-skipping benefit.
   static const char kMatchAll[] = {'\xff', '\xff', '\xff', '\xff', 1};
 
+  std::string result;
+  std::vector<FilterPartitionInfo> partitions;
+  std::string partition_data;
+  std::vector<uint32_t> window_offsets;  // within the open partition
+  uint32_t partition_first_window = 0;
+
+  const auto seal_partition = [&](uint64_t next_window) {
+    if (window_offsets.empty()) return;
+    FilterPartitionInfo info;
+    info.first_window = partition_first_window;
+    info.num_windows = static_cast<uint32_t>(window_offsets.size());
+    info.offset = static_cast<uint32_t>(result.size());
+    const uint32_t array_start = static_cast<uint32_t>(partition_data.size());
+    for (uint32_t off : window_offsets) {
+      PutFixed32(&partition_data, off);
+    }
+    PutFixed32(&partition_data, array_start);
+    const uint32_t crc =
+        crc32c::Value(partition_data.data(), partition_data.size());
+    PutFixed32(&partition_data, crc32c::Mask(crc));
+    info.size = static_cast<uint32_t>(partition_data.size());
+    partitions.push_back(info);
+    result.append(partition_data);
+    partition_data.clear();
+    window_offsets.clear();
+    partition_first_window = static_cast<uint32_t>(next_window);
+  };
+
   size_t next = 0;
   for (uint64_t w = 0; w < windows; w++) {
-    window_offsets.push_back(static_cast<uint32_t>(result.size()));
+    window_offsets.push_back(static_cast<uint32_t>(partition_data.size()));
     size_t in_window = 0;
     while (next + in_window < filters_.size() &&
            (filters_[next + in_window].first >> kFilterBaseLg) == w) {
       in_window++;
     }
     if (in_window == 1) {
-      result.append(filters_[next].second);
+      partition_data.append(filters_[next].second);
     } else if (in_window > 1) {
-      result.append(kMatchAll, sizeof(kMatchAll));
+      partition_data.append(kMatchAll, sizeof(kMatchAll));
     }
     next += in_window;
+    if (partition_data.size() >= partition_bytes) {
+      seal_partition(w + 1);
+    }
   }
+  seal_partition(windows);
 
-  const uint32_t array_offset = static_cast<uint32_t>(result.size());
-  for (uint32_t off : window_offsets) {
-    PutFixed32(&result, off);
+  const uint32_t index_offset = static_cast<uint32_t>(result.size());
+  for (const FilterPartitionInfo& p : partitions) {
+    PutFixed32(&result, p.first_window);
+    PutFixed32(&result, p.num_windows);
+    PutFixed32(&result, p.offset);
+    PutFixed32(&result, p.size);
   }
-  PutFixed32(&result, array_offset);
+  PutFixed32(&result, index_offset);
+  PutFixed32(&result, static_cast<uint32_t>(partitions.size()));
   result.push_back(static_cast<char>(kFilterBaseLg));
   return result;
 }

@@ -140,6 +140,10 @@ struct CompactionJobOptions {
   // policy the table readers use. nullptr = no filter blocks.
   const class FilterPolicy* filter_policy = nullptr;
 
+  // Target payload size of one bloom-filter partition in the output
+  // tables (docs/READ_PATH.md); mirror TableOptions::filter_partition_bytes.
+  size_t filter_partition_bytes = 4096;
+
   // Optional: invoked for every in-range entry the merge drops (hidden
   // by a newer entry or a droppable tombstone) with the entry's type and
   // raw value bytes. Out-of-range entries are excluded — they are merely

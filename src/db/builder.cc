@@ -87,13 +87,12 @@ Status BuildTable(const std::string& dbname, Env* env,
       meta->largest.DecodeFrom(key);
     }
 
-    // Finish and check for builder errors.
+    // Finish and check for builder errors. A failed Finish() has already
+    // closed the builder, so Abandon() must not be called on top of it.
     s = builder.Finish();
     if (s.ok()) {
       meta->file_size = builder.FileSize();
       assert(meta->file_size > 0);
-    } else {
-      builder.Abandon();
     }
 
     // Finish and check for file errors.
@@ -152,6 +151,7 @@ Status BuildTablePipelined(const std::string& dbname, Env* env,
   job.block_restart_interval = table_options.block_restart_interval;
   job.compression = table_options.compression;
   job.filter_policy = table_options.filter_policy;
+  job.filter_partition_bytes = table_options.filter_partition_bytes;
 
   // Blocks travel in batches: a flush block is a single ~4 KB data block,
   // so per-item queue handoffs would cost more than they overlap.

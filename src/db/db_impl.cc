@@ -10,6 +10,7 @@
 #include "src/db/builder.h"
 #include "src/db/db_iter.h"
 #include "src/db/filename.h"
+#include "src/table/filter_policy.h"
 #include "src/table/merger.h"
 #include "src/util/logging.h"
 #include "src/wal/log_reader.h"
@@ -209,27 +210,67 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       internal_comparator_(raw_options.comparator != nullptr
                                ? raw_options.comparator
                                : BytewiseComparator()),
-      internal_filter_policy_(raw_options.filter_policy),
+      owned_filter_policy_(raw_options.filter_policy == nullptr &&
+                                   raw_options.bloom_bits_per_key > 0
+                               ? NewBloomFilterPolicy(
+                                     raw_options.bloom_bits_per_key)
+                               : nullptr),
+      internal_filter_policy_(owned_filter_policy_ != nullptr
+                                  ? owned_filter_policy_.get()
+                                  : raw_options.filter_policy),
       options_(SanitizeOptions(raw_options)),
       dbname_(dbname),
       timeseries_(SanitizeOptions(raw_options).timeseries_window) {
   if (options_.block_cache == nullptr) {
-    owned_block_cache_.reset(new BlockCache(8 << 20));
+    owned_block_cache_ = read::NewShardedLRUCache(
+        options_.block_cache_size, options_.block_cache_shards);
   }
 
+  const FilterPolicy* user_filter_policy = owned_filter_policy_ != nullptr
+                                               ? owned_filter_policy_.get()
+                                               : options_.filter_policy;
   table_options_.comparator = &internal_comparator_;
   table_options_.filter_policy =
-      options_.filter_policy != nullptr ? &internal_filter_policy_ : nullptr;
+      user_filter_policy != nullptr ? &internal_filter_policy_ : nullptr;
   table_options_.block_cache = options_.block_cache != nullptr
                                    ? options_.block_cache
                                    : owned_block_cache_.get();
+  table_options_.filter_partition_bytes = options_.filter_partition_bytes;
   table_options_.block_size = options_.block_size;
   table_options_.block_restart_interval = options_.block_restart_interval;
   table_options_.compression = options_.compression;
   table_options_.verify_checksums = options_.verify_checksums;
 
   table_cache_.reset(new TableCache(dbname_, table_options_, env_,
-                                    options_.max_open_files));
+                                    options_.max_open_files,
+                                    options_.table_cache_shards));
+
+  // Export read-path cache stats (docs/READ_PATH.md). The block-cache
+  // instruments are only bound when this DB owns the cache — a shared
+  // fleet cache is bound once by its owner (ShardedDB) instead.
+  if (owned_block_cache_ != nullptr) {
+    owned_block_cache_->BindStats(
+        metrics_registry_.RegisterCounter("cache.block.hits",
+                                          "block cache hits"),
+        metrics_registry_.RegisterCounter("cache.block.misses",
+                                          "block cache misses"),
+        metrics_registry_.RegisterCounter("cache.block.evictions",
+                                          "block cache evictions"),
+        metrics_registry_.RegisterGauge("cache.block.usage_bytes",
+                                        "block cache bytes in use"));
+    metrics_registry_
+        .RegisterGauge("cache.block.capacity_bytes", "block cache capacity")
+        ->Set(static_cast<int64_t>(owned_block_cache_->capacity()));
+  }
+  table_cache_->store()->BindStats(
+      metrics_registry_.RegisterCounter("cache.table.hits",
+                                        "table cache hits"),
+      metrics_registry_.RegisterCounter("cache.table.misses",
+                                        "table cache misses"),
+      metrics_registry_.RegisterCounter("cache.table.evictions",
+                                        "table cache evictions"),
+      metrics_registry_.RegisterGauge("cache.table.usage",
+                                      "open tables cached"));
   versions_.reset(new VersionSet(dbname_, &options_, table_cache_.get(),
                                  &internal_comparator_));
   for (int m = 0; m < 4; m++) {
@@ -1056,6 +1097,7 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
   job.queue_depth = options_.pipeline_queue_depth;
   job.time_dilation = options_.compaction_time_dilation;
   job.filter_policy = table_options_.filter_policy;
+  job.filter_partition_bytes = table_options_.filter_partition_bytes;
   job.metrics = &metrics_registry_;
   job.trace = trace_.get();
   if (vlog_ != nullptr) {
@@ -1983,6 +2025,33 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
   if (property == Slice("pipelsm.vlog")) {
     if (vlog_ == nullptr) return false;
     *value = vlog_->ToJson();
+    return true;
+  }
+  // "pipelsm.cache" is also answered before taking mutex_: the caches
+  // have their own (sharded) locks.
+  if (property == Slice("pipelsm.cache")) {
+    read::Cache* block = table_options_.block_cache;
+    read::Cache* table = table_cache_->store();
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"block\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
+        "\"usage\":%llu,\"capacity\":%llu,\"shards\":%llu},"
+        "\"table\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
+        "\"usage\":%llu,\"capacity\":%llu,\"shards\":%llu}}",
+        (unsigned long long)block->hits(),
+        (unsigned long long)block->misses(),
+        (unsigned long long)block->evictions(),
+        (unsigned long long)block->usage(),
+        (unsigned long long)block->capacity(),
+        (unsigned long long)block->num_shards(),
+        (unsigned long long)table->hits(),
+        (unsigned long long)table->misses(),
+        (unsigned long long)table->evictions(),
+        (unsigned long long)table->usage(),
+        (unsigned long long)table->capacity(),
+        (unsigned long long)table->num_shards());
+    *value = buf;
     return true;
   }
   std::lock_guard<std::mutex> lock(mutex_);

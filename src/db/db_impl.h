@@ -27,7 +27,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/timeseries.h"
 #include "src/obs/trace.h"
-#include "src/table/block_cache.h"
+#include "src/read/cache.h"
 #include "src/version/version_set.h"
 #include "src/vlog/vlog.h"
 #include "src/wal/log_writer.h"
@@ -215,11 +215,15 @@ class DBImpl final : public DB {
   // Constant after construction.
   Env* const env_;
   const InternalKeyComparator internal_comparator_;
+  // Bloom policy owned by the DB when Options::bloom_bits_per_key > 0
+  // and no filter_policy was supplied. Declared before
+  // internal_filter_policy_, which wraps it.
+  std::unique_ptr<const FilterPolicy> owned_filter_policy_;
   const InternalFilterPolicy internal_filter_policy_;
   const Options options_;
   const std::string dbname_;
 
-  std::unique_ptr<BlockCache> owned_block_cache_;
+  std::unique_ptr<read::Cache> owned_block_cache_;
   TableOptions table_options_;        // derived, for readers/flushes
   std::unique_ptr<TableCache> table_cache_;
 

@@ -10,7 +10,6 @@
 
 namespace pipelsm {
 
-class BlockCache;
 class CompactionGovernor;
 class Comparator;
 class Env;
@@ -21,6 +20,10 @@ namespace obs {
 class EventListener;
 class Logger;
 }  // namespace obs
+
+namespace read {
+class Cache;
+}  // namespace read
 
 // Which compaction executor drives major compactions (paper §III):
 //   kSCP   — Sequential Compaction Procedure (the LevelDB baseline),
@@ -65,8 +68,30 @@ struct Options {
   // Number of open tables kept in the table cache.
   int max_open_files = 500;
 
-  // Shared cache of decompressed blocks (nullptr = per-DB 8 MB cache).
-  BlockCache* block_cache = nullptr;
+  // -------- read path (docs/READ_PATH.md) --------
+  // Shared cache of decompressed blocks + filter partitions. nullptr =
+  // the DB owns a lock-sharded LRU cache of block_cache_size bytes;
+  // ShardedDB injects one fleet-wide cache here for all member shards.
+  read::Cache* block_cache = nullptr;
+
+  // Capacity of the DB-owned block cache when block_cache is nullptr.
+  size_t block_cache_size = 8 * 1024 * 1024;
+
+  // Lock shards of the DB-owned block cache (rounded up to a power of
+  // two; 0 = pick from hardware concurrency; 1 = single-mutex baseline).
+  size_t block_cache_shards = 0;
+
+  // Lock shards of the table cache's LRU of open Table readers.
+  size_t table_cache_shards = 0;
+
+  // When > 0 and filter_policy is null, the DB owns a bloom filter
+  // policy with this many bits per key — the usual way to turn filters
+  // on without managing a FilterPolicy's lifetime.
+  int bloom_bits_per_key = 0;
+
+  // Target payload bytes of one bloom-filter partition; point reads load
+  // only the partition covering the probed block offset.
+  size_t filter_partition_bytes = 4096;
 
   // S5 codec. Paper default: snappy; here the built-in LZ codec.
   CompressionType compression = CompressionType::kLzCompression;

@@ -2,29 +2,39 @@
 
 #include "src/db/filename.h"
 #include "src/env/env.h"
+#include "src/util/coding.h"
 
 namespace pipelsm {
 
+namespace {
+Slice FileKey(uint64_t file_number, char* buf) {
+  EncodeFixed64(buf, file_number);
+  return Slice(buf, 8);
+}
+}  // namespace
+
 TableCache::TableCache(std::string dbname, const TableOptions& table_options,
-                       Env* env, int max_open_tables)
+                       Env* env, int max_open_tables, size_t shards)
     : dbname_(std::move(dbname)),
       table_options_(table_options),
       env_(env),
-      capacity_(max_open_tables > 0 ? max_open_tables : 1) {}
+      store_(read::NewShardedLRUCache(
+          max_open_tables > 0 ? static_cast<size_t>(max_open_tables) : 1,
+          shards)) {}
 
 Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
                              std::shared_ptr<Table>* table) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(file_number);
-    if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      *table = it->second->table;
-      return Status::OK();
-    }
+  char key_buf[8];
+  Slice key = FileKey(file_number, key_buf);
+  std::shared_ptr<Table> cached = store_->LookupAs<Table>(key);
+  if (cached != nullptr) {
+    *table = std::move(cached);
+    return Status::OK();
   }
 
-  // Open outside the lock (it performs I/O).
+  // Open outside any cache lock (it performs I/O). Racing openers may
+  // both insert; the loser's reader stays valid through its shared_ptr
+  // and simply ages out.
   std::string fname = TableFileName(dbname_, file_number);
   std::unique_ptr<RandomAccessFile> file;
   Status s = env_->NewRandomAccessFile(fname, &file);
@@ -35,22 +45,7 @@ Status TableCache::FindTable(uint64_t file_number, uint64_t file_size,
   if (!s.ok()) return s;
 
   std::shared_ptr<Table> shared(std::move(t));
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(file_number);
-    if (it != index_.end()) {
-      // Raced with another opener; use theirs.
-      *table = it->second->table;
-      return Status::OK();
-    }
-    lru_.push_front(Entry{file_number, shared});
-    index_[file_number] = lru_.begin();
-    while (lru_.size() > capacity_) {
-      auto victim = std::prev(lru_.end());
-      index_.erase(victim->number);
-      lru_.erase(victim);
-    }
-  }
+  store_->Insert(key, shared, 1);
   *table = std::move(shared);
   return Status::OK();
 }
@@ -93,11 +88,19 @@ Status TableCache::Get(
 }
 
 void TableCache::Evict(uint64_t file_number) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(file_number);
-  if (it == index_.end()) return;
-  lru_.erase(it->second);
-  index_.erase(it);
+  char key_buf[8];
+  Slice key = FileKey(file_number, key_buf);
+  std::shared_ptr<Table> table = store_->LookupAs<Table>(key);
+  if (table != nullptr && table->cache_id() != 0 &&
+      table_options_.block_cache != nullptr) {
+    // The file is gone: its blocks and filter partitions can never be
+    // read again, so purge them instead of letting them squat on cache
+    // capacity until natural eviction.
+    char prefix_buf[8];
+    EncodeFixed64(prefix_buf, table->cache_id());
+    table_options_.block_cache->ErasePrefix(Slice(prefix_buf, 8));
+  }
+  store_->Erase(key);
 }
 
 }  // namespace pipelsm

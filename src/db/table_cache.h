@@ -1,14 +1,17 @@
-// TableCache: LRU cache of open SSTable readers, keyed by file number.
+// TableCache: cache of open SSTable readers, keyed by file number.
+//
+// Backed by the same lock-sharded LRU store as the block cache
+// (src/read/cache.h), charged one unit per open table so capacity =
+// max_open_files. Lookups on different files take different shard
+// mutexes; a returned shared_ptr pins the reader across eviction.
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 
 #include "src/db/options.h"
+#include "src/read/cache.h"
 #include "src/table/iterator.h"
 #include "src/table/table.h"
 #include "src/table/table_options.h"
@@ -21,7 +24,7 @@ class Env;
 class TableCache {
  public:
   TableCache(std::string dbname, const TableOptions& table_options, Env* env,
-             int max_open_tables);
+             int max_open_tables, size_t shards = 0);
 
   TableCache(const TableCache&) = delete;
   TableCache& operator=(const TableCache&) = delete;
@@ -42,8 +45,13 @@ class TableCache {
   Status GetTable(uint64_t file_number, uint64_t file_size,
                   std::shared_ptr<Table>* table);
 
-  // Drop any cached reader for the (deleted) file.
+  // Drop any cached reader for the (deleted) file, and purge the file's
+  // blocks + filter partitions from the shared block cache so dead
+  // entries stop occupying capacity.
   void Evict(uint64_t file_number);
+
+  // The backing store (for stats export).
+  read::Cache* store() { return store_.get(); }
 
  private:
   Status FindTable(uint64_t file_number, uint64_t file_size,
@@ -52,16 +60,7 @@ class TableCache {
   const std::string dbname_;
   const TableOptions table_options_;
   Env* const env_;
-  const size_t capacity_;
-
-  std::mutex mu_;
-  // LRU of open tables; front = MRU.
-  struct Entry {
-    uint64_t number;
-    std::shared_ptr<Table> table;
-  };
-  std::list<Entry> lru_;
-  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_;
+  std::unique_ptr<read::Cache> store_;
 };
 
 }  // namespace pipelsm

@@ -21,6 +21,12 @@ const char* MessageTypeName(MessageType type) {
       return "SCAN";
     case MessageType::kStats:
       return "STATS";
+    case MessageType::kScanOpen:
+      return "SCAN_OPEN";
+    case MessageType::kScanNext:
+      return "SCAN_NEXT";
+    case MessageType::kScanClose:
+      return "SCAN_CLOSE";
   }
   return "UNKNOWN";
 }
@@ -94,6 +100,28 @@ void EncodeStatsRequest(uint64_t seq, const Slice& property,
   EncodeFrame(MessageType::kStats, false, seq, body, out);
 }
 
+void EncodeScanOpenRequest(uint64_t seq, const Slice& start_key,
+                           uint32_t limit, std::string* out) {
+  std::string body;
+  PutLengthPrefixedSlice(&body, start_key);
+  PutVarint32(&body, limit);
+  EncodeFrame(MessageType::kScanOpen, false, seq, body, out);
+}
+
+void EncodeScanNextRequest(uint64_t seq, uint64_t cursor_id,
+                           std::string* out) {
+  std::string body;
+  PutFixed64(&body, cursor_id);
+  EncodeFrame(MessageType::kScanNext, false, seq, body, out);
+}
+
+void EncodeScanCloseRequest(uint64_t seq, uint64_t cursor_id,
+                            std::string* out) {
+  std::string body;
+  PutFixed64(&body, cursor_id);
+  EncodeFrame(MessageType::kScanClose, false, seq, body, out);
+}
+
 void EncodeReply(MessageType type, uint64_t seq, const Status& status,
                  const Slice& payload, std::string* out) {
   std::string body;
@@ -155,6 +183,17 @@ bool ParseStatsRequest(Slice body, Slice* property) {
   return GetLengthPrefixedSlice(&body, property) && body.empty();
 }
 
+bool ParseScanOpenRequest(Slice body, Slice* start_key, uint32_t* limit) {
+  return GetLengthPrefixedSlice(&body, start_key) &&
+         GetVarint32(&body, limit) && body.empty();
+}
+
+bool ParseCursorRequest(Slice body, uint64_t* cursor_id) {
+  if (body.size() != 8) return false;
+  *cursor_id = DecodeFixed64(body.data());
+  return true;
+}
+
 bool ParseReply(Slice body, Status* status, Slice* payload) {
   if (body.empty()) return false;
   const uint8_t code = static_cast<uint8_t>(body[0]);
@@ -188,6 +227,46 @@ bool ParseScanPayload(Slice payload,
                       std::string(value.data(), value.size()));
   }
   return payload.empty();
+}
+
+void EncodeScanBatchPayload(
+    uint64_t cursor_id,
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    bool done, std::string* out) {
+  PutFixed64(out, cursor_id);
+  PutVarint32(out, static_cast<uint32_t>(entries.size()));
+  for (const auto& [key, value] : entries) {
+    PutLengthPrefixedSlice(out, key);
+    PutLengthPrefixedSlice(out, value);
+  }
+  out->push_back(done ? '\1' : '\0');
+}
+
+bool ParseScanBatchPayload(
+    Slice payload, uint64_t* cursor_id,
+    std::vector<std::pair<std::string, std::string>>* out, bool* done) {
+  out->clear();
+  if (payload.size() < 8) return false;
+  *cursor_id = DecodeFixed64(payload.data());
+  payload.remove_prefix(8);
+  uint32_t count = 0;
+  if (!GetVarint32(&payload, &count)) return false;
+  if (count > payload.size()) return false;
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; i++) {
+    Slice key, value;
+    if (!GetLengthPrefixedSlice(&payload, &key) ||
+        !GetLengthPrefixedSlice(&payload, &value)) {
+      return false;
+    }
+    out->emplace_back(std::string(key.data(), key.size()),
+                      std::string(value.data(), value.size()));
+  }
+  if (payload.size() != 1) return false;
+  const char flag = payload[0];
+  if (flag != '\0' && flag != '\1') return false;
+  *done = (flag == '\1');
+  return true;
 }
 
 FrameDecoder::Result FrameDecoder::Next(DecodedFrame* out) {

@@ -23,6 +23,10 @@
 //                key [, value when op=put] }
 //   SCAN         start_key, varint32 limit (0 = server default)
 //   STATS        property name (empty = "pipelsm.stats")
+//   SCAN_OPEN    start_key, varint32 limit (0 = unbounded): opens a
+//                server-side streaming cursor over a pinned snapshot
+//   SCAN_NEXT    fixed64 cursor id: next bounded batch
+//   SCAN_CLOSE   fixed64 cursor id: release the cursor (idempotent)
 //
 // Response bodies start with a 1-byte status code (the Status code
 // numbering) followed by the error message (status != 0) or the per-type
@@ -31,6 +35,10 @@
 //   SCAN         varint32 count, then count × { key, value }
 //   STATS        property value
 //   PING/PUT/DELETE/WRITE_BATCH   (empty)
+//   SCAN_OPEN /  fixed64 cursor id, varint32 count, count × { key,
+//   SCAN_NEXT    value }, 1-byte done flag (1 = exhausted; the server
+//                already released the cursor)
+//   SCAN_CLOSE   (empty)
 //
 // The decoder is incremental: feed it whatever the socket produced and it
 // emits complete frames. Any malformed input — bad magic, unknown
@@ -69,13 +77,21 @@ enum class MessageType : uint8_t {
   kWriteBatch = 5,
   kScan = 6,
   kStats = 7,
+  kScanOpen = 8,
+  kScanNext = 9,
+  kScanClose = 10,
 };
+
+// Number of message-type slots (index 0 unused) — sizes the server's
+// per-type instrument arrays.
+inline constexpr size_t kNumMessageTypes =
+    static_cast<size_t>(MessageType::kScanClose) + 1;
 
 const char* MessageTypeName(MessageType type);
 
 inline bool IsValidRequestType(uint8_t raw) {
   return raw >= static_cast<uint8_t>(MessageType::kPing) &&
-         raw <= static_cast<uint8_t>(MessageType::kStats);
+         raw <= static_cast<uint8_t>(MessageType::kScanClose);
 }
 
 // One decoded update of a WRITE_BATCH request.
@@ -103,6 +119,12 @@ void EncodeWriteBatchRequest(uint64_t seq, const std::vector<BatchOp>& ops,
 void EncodeScanRequest(uint64_t seq, const Slice& start_key, uint32_t limit,
                        std::string* out);
 void EncodeStatsRequest(uint64_t seq, const Slice& property, std::string* out);
+void EncodeScanOpenRequest(uint64_t seq, const Slice& start_key,
+                           uint32_t limit, std::string* out);
+void EncodeScanNextRequest(uint64_t seq, uint64_t cursor_id,
+                           std::string* out);
+void EncodeScanCloseRequest(uint64_t seq, uint64_t cursor_id,
+                            std::string* out);
 
 // Response: status byte + message-or-payload. `payload` is the per-type
 // success payload, already encoded by the caller (empty for acks).
@@ -117,6 +139,9 @@ bool ParseDeleteRequest(Slice body, Slice* key);
 bool ParseWriteBatchRequest(Slice body, std::vector<BatchOp>* ops);
 bool ParseScanRequest(Slice body, Slice* start_key, uint32_t* limit);
 bool ParseStatsRequest(Slice body, Slice* property);
+bool ParseScanOpenRequest(Slice body, Slice* start_key, uint32_t* limit);
+// SCAN_NEXT and SCAN_CLOSE bodies are both a bare fixed64 cursor id.
+bool ParseCursorRequest(Slice body, uint64_t* cursor_id);
 
 // ---- body parsing (client side) ----
 
@@ -127,6 +152,16 @@ bool ParseReply(Slice body, Status* status, Slice* payload);
 // Decodes a SCAN success payload.
 bool ParseScanPayload(Slice payload,
                       std::vector<std::pair<std::string, std::string>>* out);
+
+// Encodes/decodes a SCAN_OPEN / SCAN_NEXT success payload (cursor id +
+// one bounded batch + done flag).
+void EncodeScanBatchPayload(
+    uint64_t cursor_id,
+    const std::vector<std::pair<std::string, std::string>>& entries,
+    bool done, std::string* out);
+bool ParseScanBatchPayload(
+    Slice payload, uint64_t* cursor_id,
+    std::vector<std::pair<std::string, std::string>>* out, bool* done);
 
 // ---- incremental frame decoder ----
 

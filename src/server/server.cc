@@ -117,6 +117,24 @@ struct Server::WriteTask {
   ReqTiming timing;
 };
 
+// One open streaming cursor: a DB iterator over a pinned snapshot,
+// advanced one bounded batch per SCAN_NEXT (docs/READ_PATH.md). `mu`
+// serializes batch pulls against expiry/close/conn-teardown, so the
+// iterator is never advanced and destroyed concurrently; `released`
+// makes the snapshot hand-back exactly-once no matter which of those
+// paths wins.
+struct Server::Cursor {
+  uint64_t id = 0;
+  uint64_t conn_id = 0;
+  std::atomic<uint64_t> last_used_ns{0};  // TTL clock, NowNs domain
+
+  std::mutex mu;  // guards everything below
+  const Snapshot* snapshot = nullptr;
+  std::unique_ptr<Iterator> iter;
+  uint64_t remaining = 0;  // entries the client may still receive
+  bool released = false;
+};
+
 Server::Server(DB* db, const ServerOptions& options)
     : db_(db), options_(options) {
   gate_ = options_.stall_gate ? options_.stall_gate : &own_gate_;
@@ -166,15 +184,27 @@ Status Server::Start() {
   requests_inflight_ = metrics_->RegisterGauge(
       "server.requests_inflight",
       "dispatched client requests not yet answered");
-  static const char* kNames[8] = {"",     "ping", "get",  "put",
-                                  "del",  "batch", "scan", "stats"};
-  for (uint8_t t = 1; t <= 7; t++) {
+  static const char* kNames[kNumMessageTypes] = {
+      "",     "ping",  "get",  "put",       "del",       "batch",
+      "scan", "stats", "scan_open", "scan_next", "scan_close"};
+  for (size_t t = 1; t < kNumMessageTypes; t++) {
     req_counters_[t] = metrics_->RegisterCounter(
         std::string("server.req.") + kNames[t], "requests served");
     req_micros_[t] = metrics_->RegisterHistogram(
         std::string("server.req_micros.") + kNames[t],
         "request latency (dispatch to reply), micros");
   }
+  cursors_opened_ = metrics_->RegisterCounter(
+      "cursor.opened", "streaming scan cursors opened");
+  cursors_closed_ = metrics_->RegisterCounter(
+      "cursor.closed",
+      "cursors closed (exhaustion, SCAN_CLOSE, conn close, drain)");
+  cursors_expired_ = metrics_->RegisterCounter(
+      "cursor.expired", "cursors reclaimed by the TTL sweeper");
+  cursor_batches_ = metrics_->RegisterCounter(
+      "cursor.batches", "cursor batches served (SCAN_OPEN + SCAN_NEXT)");
+  cursors_active_ =
+      metrics_->RegisterGauge("cursor.active", "open streaming cursors");
   const size_t num_write_queues =
       sharded_ != nullptr ? sharded_->num_shards() : 1;
   if (sharded_ != nullptr) {
@@ -193,7 +223,7 @@ Status Server::Start() {
   }
   if (options_.trace != nullptr) {
     trace_pid_ = options_.trace->BeginJob("server requests");
-    for (uint32_t t = 1; t <= 7; t++) {
+    for (uint32_t t = 1; t < kNumMessageTypes; t++) {
       options_.trace->SetLaneName(trace_pid_, t, kNames[t]);
     }
   }
@@ -258,6 +288,7 @@ Status Server::Start() {
   for (size_t i = 0; i < write_queues_.size(); i++) {
     commit_threads_.emplace_back([this, i] { GroupCommitLoop(i); });
   }
+  cursor_sweeper_ = std::thread([this] { CursorSweeperMain(); });
 
   obs::Log(info_log_,
            "EVENT server_start host=%s port=%d admin_port=%d io_threads=%zu "
@@ -937,7 +968,10 @@ void Server::DispatchFrame(const std::shared_ptr<Conn>& conn,
     }
     case MessageType::kGet:
     case MessageType::kScan:
-    case MessageType::kStats: {
+    case MessageType::kStats:
+    case MessageType::kScanOpen:
+    case MessageType::kScanNext:
+    case MessageType::kScanClose: {
       ReadTask task;
       task.conn = conn;
       task.type = frame.type;
@@ -1048,6 +1082,82 @@ void Server::HandleReadTask(ReadTask& task) {
       }
       break;
     }
+    case MessageType::kScanOpen: {
+      Slice start;
+      uint32_t limit = 0;
+      if (!ParseScanOpenRequest(body, &start, &limit)) {
+        s = Status::InvalidArgument("malformed request body");
+        break;
+      }
+      auto cursor = std::make_shared<Cursor>();
+      cursor->id = next_cursor_id_.fetch_add(1, std::memory_order_relaxed);
+      cursor->conn_id = task.conn->id;
+      // Unlike one-shot SCAN, limit here is NOT clamped to
+      // max_scan_entries: the caps bound each BATCH, the limit bounds the
+      // whole stream (0 = run to the end of the keyspace). No allocation
+      // is sized from it, so a hostile value costs nothing.
+      cursor->remaining = limit == 0 ? UINT64_MAX : limit;
+      cursor->snapshot = db_->GetSnapshot();
+      ReadOptions ro;
+      ro.snapshot = cursor->snapshot;
+      cursor->iter.reset(db_->NewIterator(ro));
+      if (start.empty()) {
+        cursor->iter->SeekToFirst();
+      } else {
+        cursor->iter->Seek(start);
+      }
+      cursor->last_used_ns.store(NowNs(), std::memory_order_relaxed);
+      bool admitted = false;
+      size_t open_count = 0;
+      {
+        std::lock_guard<std::mutex> l(cursors_mu_);
+        if (cursors_.size() < options_.max_cursors) {
+          cursors_.emplace(cursor->id, cursor);
+          admitted = true;
+          open_count = cursors_.size();
+        }
+      }
+      if (!admitted) {
+        // Roll the pinned snapshot back before refusing, or a SCAN_OPEN
+        // storm against a full registry would leak snapshot pins.
+        CloseCursor(cursor, nullptr);
+        s = Status::Busy("cursor limit reached");
+        break;
+      }
+      cursors_opened_->Add();
+      cursors_active_->Set(static_cast<int64_t>(open_count));
+      bool done = false;
+      s = PullCursorBatch(cursor, &payload, &done);
+      if (!s.ok() || done) CloseCursor(cursor, cursors_closed_);
+      break;
+    }
+    case MessageType::kScanNext: {
+      uint64_t id = 0;
+      if (!ParseCursorRequest(body, &id)) {
+        s = Status::InvalidArgument("malformed request body");
+        break;
+      }
+      std::shared_ptr<Cursor> cursor = FindCursor(id);
+      if (cursor == nullptr) {
+        s = Status::NotFound("unknown cursor (closed or expired)");
+        break;
+      }
+      bool done = false;
+      s = PullCursorBatch(cursor, &payload, &done);
+      if (!s.ok() || done) CloseCursor(cursor, cursors_closed_);
+      break;
+    }
+    case MessageType::kScanClose: {
+      uint64_t id = 0;
+      if (!ParseCursorRequest(body, &id)) {
+        s = Status::InvalidArgument("malformed request body");
+        break;
+      }
+      // Idempotent: closing an unknown (already retired) cursor is OK.
+      std::shared_ptr<Cursor> cursor = FindCursor(id);
+      if (cursor != nullptr) CloseCursor(cursor, cursors_closed_);
+      break;
+    }
     default:
       s = Status::NotSupported("unexpected read task");
       break;
@@ -1056,6 +1166,126 @@ void Server::HandleReadTask(ReadTask& task) {
   ObserveLatency(task.type, task.queued.ElapsedNanos() / 1000);
   SendReply(task.conn, task.type, task.seq, s, payload);
   FinishRequest(task.type, task.conn->id, -1, task.timing, NowNs());
+}
+
+std::shared_ptr<Server::Cursor> Server::FindCursor(uint64_t id) {
+  std::lock_guard<std::mutex> l(cursors_mu_);
+  auto it = cursors_.find(id);
+  return it != cursors_.end() ? it->second : nullptr;
+}
+
+Status Server::PullCursorBatch(const std::shared_ptr<Cursor>& cursor,
+                               std::string* payload, bool* done) {
+  std::vector<std::pair<std::string, std::string>> entries;
+  Status s;
+  {
+    std::lock_guard<std::mutex> l(cursor->mu);
+    if (cursor->released) {
+      // Lost the race with the sweeper / conn teardown between lookup
+      // and lock: same answer as an expired id.
+      return Status::NotFound("unknown cursor (closed or expired)");
+    }
+    Iterator* it = cursor->iter.get();
+    size_t batch_bytes = 0;
+    while (it->Valid() && cursor->remaining > 0 &&
+           entries.size() < options_.max_scan_entries &&
+           batch_bytes < options_.max_scan_bytes) {
+      batch_bytes += it->key().size() + it->value().size();
+      entries.emplace_back(it->key().ToString(), it->value().ToString());
+      if (cursor->remaining != UINT64_MAX) cursor->remaining--;
+      it->Next();
+    }
+    s = it->status();
+    *done = s.ok() && (!it->Valid() || cursor->remaining == 0);
+  }
+  cursor->last_used_ns.store(NowNs(), std::memory_order_relaxed);
+  if (!s.ok()) return s;
+  EncodeScanBatchPayload(cursor->id, entries, *done, payload);
+  cursor_batches_->Add();
+  return s;
+}
+
+void Server::CloseCursor(const std::shared_ptr<Cursor>& cursor,
+                         obs::Counter* counter) {
+  bool erased;
+  size_t remaining_cursors;
+  {
+    std::lock_guard<std::mutex> l(cursors_mu_);
+    erased = cursors_.erase(cursor->id) > 0;
+    remaining_cursors = cursors_.size();
+  }
+  // Destroy outside cursors_mu_ (an in-flight batch pull holds
+  // Cursor::mu and may take a while) but unconditionally: the refused-
+  // admission path closes a cursor that was never registered.
+  std::unique_ptr<Iterator> iter;
+  const Snapshot* snapshot = nullptr;
+  {
+    std::lock_guard<std::mutex> l(cursor->mu);
+    if (!cursor->released) {
+      cursor->released = true;
+      iter = std::move(cursor->iter);
+      snapshot = cursor->snapshot;
+      cursor->snapshot = nullptr;
+    }
+  }
+  iter.reset();  // iterator may reference the snapshot; drop it first
+  if (snapshot != nullptr) db_->ReleaseSnapshot(snapshot);
+  if (erased) {
+    if (counter != nullptr) counter->Add();
+    cursors_active_->Set(static_cast<int64_t>(remaining_cursors));
+  }
+}
+
+void Server::CloseCursorsForConn(uint64_t conn_id) {
+  std::vector<std::shared_ptr<Cursor>> mine;
+  {
+    std::lock_guard<std::mutex> l(cursors_mu_);
+    for (auto& [id, c] : cursors_) {
+      if (c->conn_id == conn_id) mine.push_back(c);
+    }
+  }
+  for (auto& c : mine) CloseCursor(c, cursors_closed_);
+}
+
+void Server::CloseAllCursors() {
+  std::vector<std::shared_ptr<Cursor>> all;
+  {
+    std::lock_guard<std::mutex> l(cursors_mu_);
+    for (auto& [id, c] : cursors_) all.push_back(c);
+  }
+  for (auto& c : all) CloseCursor(c, cursors_closed_);
+}
+
+void Server::SweepExpiredCursors() {
+  if (options_.cursor_ttl_micros == 0) return;
+  const uint64_t ttl_ns = options_.cursor_ttl_micros * 1000;
+  const uint64_t now = NowNs();
+  std::vector<std::shared_ptr<Cursor>> expired;
+  {
+    std::lock_guard<std::mutex> l(cursors_mu_);
+    for (auto& [id, c] : cursors_) {
+      const uint64_t last = c->last_used_ns.load(std::memory_order_relaxed);
+      if (now >= last && now - last >= ttl_ns) expired.push_back(c);
+    }
+  }
+  for (auto& c : expired) {
+    obs::Log(info_log_, "EVENT cursor_expired id=%llu conn=%llu",
+             static_cast<unsigned long long>(c->id),
+             static_cast<unsigned long long>(c->conn_id));
+    CloseCursor(c, cursors_expired_);
+  }
+}
+
+void Server::CursorSweeperMain() {
+  std::unique_lock<std::mutex> l(sweeper_mu_);
+  while (!sweeper_stop_) {
+    sweeper_cv_.wait_for(
+        l, std::chrono::microseconds(options_.cursor_sweep_period_micros));
+    if (sweeper_stop_) break;
+    l.unlock();
+    SweepExpiredCursors();
+    l.lock();
+  }
 }
 
 void Server::GroupCommitLoop(size_t index) {
@@ -1262,6 +1492,9 @@ void Server::CloseConn(IoLoop& loop, const std::shared_ptr<Conn>& conn,
   } else {
     conns_active_->Set(
         active_conns_.fetch_sub(1, std::memory_order_relaxed) - 1);
+    // A dead client can never SCAN_NEXT again; release its pinned
+    // snapshots now instead of waiting out the TTL.
+    CloseCursorsForConn(conn->id);
   }
   obs::Log(info_log_, "EVENT conn_close id=%llu reason=%s",
            static_cast<unsigned long long>(conn->id), reason);
@@ -1294,6 +1527,18 @@ void Server::Drain() {
     if (t.joinable()) t.join();
   }
   if (workers_) workers_->Shutdown();
+
+  // Cursors: every queued SCAN_NEXT was answered above (the read queue
+  // drained before the workers exited — mid-stream clients get their
+  // in-flight batch). Now no thread can touch a cursor, so hand every
+  // pinned snapshot back to the DB, which must outlive the server.
+  {
+    std::lock_guard<std::mutex> l(sweeper_mu_);
+    sweeper_stop_ = true;
+  }
+  sweeper_cv_.notify_all();
+  if (cursor_sweeper_.joinable()) cursor_sweeper_.join();
+  CloseAllCursors();
 
   // Give the loops a bounded window to push remaining outboxes onto the
   // wire (they are still running and servicing EPOLLOUT).

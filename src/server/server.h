@@ -11,7 +11,8 @@
 //     connections round-robin to the loops; each loop reads its sockets,
 //     feeds a FrameDecoder, and dispatches complete requests:
 //       PING                      answered inline,
-//       GET / SCAN / STATS        -> read queue   (BoundedQueue)
+//       GET / SCAN / STATS /
+//       SCAN_OPEN|NEXT|CLOSE      -> read queue   (BoundedQueue)
 //       PUT / DELETE / WRITE_BATCH-> write queue  (BoundedQueue)
 //   Worker pool (util/thread_pool) drains the read queue and executes
 //     against the DB.
@@ -41,12 +42,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "src/db/db.h"
@@ -156,6 +159,20 @@ struct ServerOptions {
   // cap hits first; the reply is still well-formed.
   size_t max_scan_bytes = 4 * 1024 * 1024;
 
+  // -------- streaming SCAN cursors (SCAN_OPEN / SCAN_NEXT / SCAN_CLOSE)
+  // Every open cursor pins a DB snapshot, so an abandoned one holds
+  // memtables and table files alive forever; the sweeper expires any
+  // cursor idle longer than this (its next SCAN_NEXT gets NotFound).
+  // 0 = never expire (tests only).
+  uint64_t cursor_ttl_micros = 60 * 1000 * 1000;
+
+  // Server-wide cap on simultaneously open cursors; SCAN_OPEN beyond it
+  // is refused with Busy.
+  size_t max_cursors = 1024;
+
+  // Sweeper wake period. Expiry precision is ttl + one period.
+  uint64_t cursor_sweep_period_micros = 1000 * 1000;
+
   // How long Drain() waits for outboxes to reach the wire.
   uint64_t drain_flush_timeout_micros = 5 * 1000 * 1000;
 
@@ -242,6 +259,7 @@ class Server {
   struct ReadTask;
   struct WriteTask;
   struct MultiReply;
+  struct Cursor;
 
   // End-to-end request timestamps (NowNs clock): decode at dispatch,
   // DB-op start/end at execution; the reply-flush stamp is taken at the
@@ -297,6 +315,25 @@ class Server {
   void WakeAllLoops();
   void ObserveLatency(MessageType type, uint64_t micros);
 
+  // Streaming cursor plumbing (SCAN_OPEN / SCAN_NEXT / SCAN_CLOSE; see
+  // docs/READ_PATH.md). Handlers run on worker threads via
+  // HandleReadTask.
+  std::shared_ptr<Cursor> FindCursor(uint64_t id);
+  // Pulls one bounded batch (max_scan_entries / max_scan_bytes) and
+  // encodes the reply payload; sets *done when the iterator is exhausted
+  // or the client's limit is reached.
+  Status PullCursorBatch(const std::shared_ptr<Cursor>& cursor,
+                         std::string* payload, bool* done);
+  // Removes the cursor from the registry and releases its iterator and
+  // snapshot exactly once; `counter` (closed/expired) bumps only if this
+  // call actually retired it. Safe to race with a concurrent batch pull.
+  void CloseCursor(const std::shared_ptr<Cursor>& cursor,
+                   obs::Counter* counter);
+  void CloseCursorsForConn(uint64_t conn_id);
+  void CloseAllCursors();
+  void SweepExpiredCursors();
+  void CursorSweeperMain();
+
   DB* const db_;
   // Non-null when db_ is a ShardedDB: writes are routed per shard onto
   // per-shard group-commit threads, so N shards sync N WALs in parallel
@@ -343,8 +380,8 @@ class Server {
   obs::Counter* read_pauses_ = nullptr;
   obs::Counter* gc_commits_ = nullptr;
   obs::HistogramMetric* gc_batch_size_ = nullptr;
-  obs::Counter* req_counters_[8] = {};
-  obs::HistogramMetric* req_micros_[8] = {};
+  obs::Counter* req_counters_[kNumMessageTypes] = {};
+  obs::HistogramMetric* req_micros_[kNumMessageTypes] = {};
   // Sharded only: write requests routed to each shard's queue.
   std::vector<obs::Counter*> shard_write_ops_;
   // Admin endpoint + request tracing instruments.
@@ -353,6 +390,22 @@ class Server {
   obs::Counter* admin_http_errors_ = nullptr;
   obs::Counter* slow_requests_ = nullptr;
   obs::Gauge* requests_inflight_ = nullptr;
+
+  // Streaming cursor registry: id -> open cursor. Lock order is
+  // cursors_mu_ THEN Cursor::mu (lookups drop cursors_mu_ before
+  // touching the cursor; closers erase first, destroy after).
+  std::mutex cursors_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Cursor>> cursors_;
+  std::atomic<uint64_t> next_cursor_id_{1};
+  std::thread cursor_sweeper_;
+  std::mutex sweeper_mu_;
+  std::condition_variable sweeper_cv_;
+  bool sweeper_stop_ = false;
+  obs::Counter* cursors_opened_ = nullptr;
+  obs::Counter* cursors_closed_ = nullptr;
+  obs::Counter* cursors_expired_ = nullptr;
+  obs::Counter* cursor_batches_ = nullptr;
+  obs::Gauge* cursors_active_ = nullptr;
 };
 
 }  // namespace pipelsm::server

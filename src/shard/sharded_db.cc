@@ -241,9 +241,32 @@ Status ShardedDB::Open(const Options& options, const ShardedOptions& sharded,
     db->arbiter_ = std::make_unique<CompactionArbiter>(aopts);
   }
 
+  // One fleet-wide block cache shared by every member shard (unless the
+  // caller supplied their own), so hot blocks are cached once regardless
+  // of which shard owns them. Stats bind into the fleet registry.
+  if (options.block_cache == nullptr) {
+    db->block_cache_ = read::NewShardedLRUCache(options.block_cache_size,
+                                                options.block_cache_shards);
+    db->block_cache_->BindStats(
+        db->metrics_->RegisterCounter("cache.block.hits",
+                                      "fleet block cache hits"),
+        db->metrics_->RegisterCounter("cache.block.misses",
+                                      "fleet block cache misses"),
+        db->metrics_->RegisterCounter("cache.block.evictions",
+                                      "fleet block cache evictions"),
+        db->metrics_->RegisterGauge("cache.block.usage_bytes",
+                                    "fleet block cache bytes in use"));
+    db->metrics_
+        ->RegisterGauge("cache.block.capacity_bytes", "block cache capacity")
+        ->Set(static_cast<int64_t>(db->block_cache_->capacity()));
+  }
+
   for (size_t i = 0; i < num_shards; i++) {
     Options shard_options = options;
     shard_options.env = env;
+    if (db->block_cache_ != nullptr) {
+      shard_options.block_cache = db->block_cache_.get();
+    }
     shard_options.shard_id = static_cast<int>(i);
     shard_options.info_log = nullptr;  // each shard keeps its own LOG
     if (db->arbiter_ != nullptr) {
@@ -404,6 +427,23 @@ bool ShardedDB::GetProperty(const Slice& property, std::string* value) {
 
   if (prop == "pipelsm.arbiter") {
     *value = arbiter_ != nullptr ? arbiter_->ToJson() : "{}";
+    return true;
+  }
+  if (prop == "pipelsm.cache" && block_cache_ != nullptr) {
+    // Fleet-wide block cache (shard 0's per-shard answer would miss the
+    // shared view; table caches stay per shard).
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"block\":{\"hits\":%llu,\"misses\":%llu,\"evictions\":%llu,"
+        "\"usage\":%llu,\"capacity\":%llu,\"shards\":%llu}}",
+        (unsigned long long)block_cache_->hits(),
+        (unsigned long long)block_cache_->misses(),
+        (unsigned long long)block_cache_->evictions(),
+        (unsigned long long)block_cache_->usage(),
+        (unsigned long long)block_cache_->capacity(),
+        (unsigned long long)block_cache_->num_shards());
+    *value = buf;
     return true;
   }
   if (prop == "pipelsm.shards") {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "src/db/db.h"
+#include "src/read/cache.h"
 #include "src/shard/arbiter.h"
 #include "src/shard/router.h"
 #include "src/util/thread_pool.h"
@@ -132,6 +133,9 @@ class ShardedDB final : public DB {
   std::unique_ptr<obs::Logger> info_log_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<ShardRouter> router_;
+  // Fleet-wide block cache injected into every member shard's Options;
+  // declared before shards_ so it outlives them.
+  std::unique_ptr<read::Cache> block_cache_;
   // Order matters: shards_ holds grants into arbiter_ until their last
   // compaction drains, so the arbiter must be destroyed AFTER the shards
   // (members are destroyed in reverse declaration order).

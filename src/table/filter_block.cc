@@ -4,20 +4,26 @@
 
 #include "src/table/filter_policy.h"
 #include "src/util/coding.h"
+#include "src/util/crc32c.h"
 
 namespace pipelsm {
 
-// Generate new filter every 2KB of data.
-static const size_t kFilterBaseLg = 11;
 static const size_t kFilterBase = 1 << kFilterBaseLg;
 
-FilterBlockBuilder::FilterBlockBuilder(const FilterPolicy* policy)
-    : policy_(policy) {}
+// Tail = index offset (4) + partition count (4) + base_lg (1).
+static const size_t kFilterTailBytes = 9;
+static const size_t kFilterIndexEntryBytes = 16;
+
+FilterBlockBuilder::FilterBlockBuilder(const FilterPolicy* policy,
+                                       size_t partition_bytes)
+    : policy_(policy),
+      partition_bytes_(partition_bytes == 0 ? kDefaultFilterPartitionBytes
+                                            : partition_bytes) {}
 
 void FilterBlockBuilder::StartBlock(uint64_t block_offset) {
   uint64_t filter_index = (block_offset / kFilterBase);
-  assert(filter_index >= filter_offsets_.size());
-  while (filter_index > filter_offsets_.size()) {
+  assert(filter_index >= next_window_);
+  while (filter_index > next_window_) {
     GenerateFilter();
   }
 }
@@ -32,71 +38,193 @@ Slice FilterBlockBuilder::Finish() {
   if (!start_.empty()) {
     GenerateFilter();
   }
+  SealPartition();
 
-  // Append array of per-filter offsets.
-  const uint32_t array_offset = static_cast<uint32_t>(result_.size());
-  for (uint32_t offset : filter_offsets_) {
-    PutFixed32(&result_, offset);
+  const uint32_t index_offset = static_cast<uint32_t>(result_.size());
+  for (const FilterPartitionInfo& p : partitions_) {
+    PutFixed32(&result_, p.first_window);
+    PutFixed32(&result_, p.num_windows);
+    PutFixed32(&result_, p.offset);
+    PutFixed32(&result_, p.size);
   }
-
-  PutFixed32(&result_, array_offset);
-  result_.push_back(kFilterBaseLg);  // Save encoding parameter in result
+  PutFixed32(&result_, index_offset);
+  PutFixed32(&result_, static_cast<uint32_t>(partitions_.size()));
+  result_.push_back(static_cast<char>(kFilterBaseLg));
   return Slice(result_);
 }
 
 void FilterBlockBuilder::GenerateFilter() {
+  partition_offsets_.push_back(static_cast<uint32_t>(partition_data_.size()));
+  next_window_++;
+
   const size_t num_keys = start_.size();
-  if (num_keys == 0) {
-    // Fast path if there are no keys for this filter.
-    filter_offsets_.push_back(static_cast<uint32_t>(result_.size()));
-    return;
+  if (num_keys != 0) {
+    // Make list of keys from flattened key structure.
+    start_.push_back(keys_.size());  // Simplify length computation
+    tmp_keys_.resize(num_keys);
+    for (size_t i = 0; i < num_keys; i++) {
+      const char* base = keys_.data() + start_[i];
+      size_t length = start_[i + 1] - start_[i];
+      tmp_keys_[i] = Slice(base, length);
+    }
+    policy_->CreateFilter(tmp_keys_.data(), num_keys, &partition_data_);
+    tmp_keys_.clear();
+    keys_.clear();
+    start_.clear();
   }
 
-  // Make list of keys from flattened key structure.
-  start_.push_back(keys_.size());  // Simplify length computation
-  tmp_keys_.resize(num_keys);
-  for (size_t i = 0; i < num_keys; i++) {
-    const char* base = keys_.data() + start_[i];
-    size_t length = start_[i + 1] - start_[i];
-    tmp_keys_[i] = Slice(base, length);
+  if (partition_data_.size() >= partition_bytes_) {
+    SealPartition();
   }
+}
 
-  // Generate filter for current set of keys and append to result_.
-  filter_offsets_.push_back(static_cast<uint32_t>(result_.size()));
-  policy_->CreateFilter(tmp_keys_.data(), num_keys, &result_);
+void FilterBlockBuilder::SealPartition() {
+  if (partition_offsets_.empty()) return;
 
-  tmp_keys_.clear();
-  keys_.clear();
-  start_.clear();
+  FilterPartitionInfo info;
+  info.first_window = partition_first_window_;
+  info.num_windows = static_cast<uint32_t>(partition_offsets_.size());
+  info.offset = static_cast<uint32_t>(result_.size());
+
+  const uint32_t array_start = static_cast<uint32_t>(partition_data_.size());
+  for (uint32_t offset : partition_offsets_) {
+    PutFixed32(&partition_data_, offset);
+  }
+  PutFixed32(&partition_data_, array_start);
+  const uint32_t crc =
+      crc32c::Value(partition_data_.data(), partition_data_.size());
+  PutFixed32(&partition_data_, crc32c::Mask(crc));
+
+  info.size = static_cast<uint32_t>(partition_data_.size());
+  partitions_.push_back(info);
+  result_.append(partition_data_);
+
+  partition_data_.clear();
+  partition_offsets_.clear();
+  partition_first_window_ = static_cast<uint32_t>(next_window_);
+}
+
+bool FilterIndex::Parse(const Slice& contents) {
+  return ParseTail(contents, contents.size());
+}
+
+bool FilterIndex::ParseTail(const Slice& tail, uint64_t block_size) {
+  valid_ = false;
+  partitions_.clear();
+  const size_t n = tail.size();
+  if (n < kFilterTailBytes || n > block_size) return false;
+  base_lg_ = static_cast<unsigned char>(tail[n - 1]);
+  if (base_lg_ > 30) return false;
+  const uint32_t num_partitions = DecodeFixed32(tail.data() + n - 5);
+  const uint32_t index_offset = DecodeFixed32(tail.data() + n - 9);
+  const uint64_t index_bytes =
+      static_cast<uint64_t>(num_partitions) * kFilterIndexEntryBytes;
+  // The index must sit immediately before the tail words, inside the
+  // region this slice covers.
+  if (index_offset + index_bytes + kFilterTailBytes != block_size)
+    return false;
+  const uint64_t tail_start = block_size - n;
+  if (index_offset < tail_start) return false;
+
+  const char* p = tail.data() + (index_offset - tail_start);
+  partitions_.reserve(num_partitions);
+  uint64_t next_window = 0;
+  for (uint32_t i = 0; i < num_partitions; i++) {
+    FilterPartitionInfo info;
+    info.first_window = DecodeFixed32(p);
+    info.num_windows = DecodeFixed32(p + 4);
+    info.offset = DecodeFixed32(p + 8);
+    info.size = DecodeFixed32(p + 12);
+    p += kFilterIndexEntryBytes;
+    // Partitions must cover contiguous, ascending window ranges and lie
+    // before the index.
+    if (info.first_window != next_window || info.num_windows == 0) {
+      partitions_.clear();
+      return false;
+    }
+    if (static_cast<uint64_t>(info.offset) + info.size > index_offset) {
+      partitions_.clear();
+      return false;
+    }
+    next_window = static_cast<uint64_t>(info.first_window) + info.num_windows;
+    partitions_.push_back(info);
+  }
+  valid_ = true;
+  return true;
+}
+
+bool FilterIndex::Lookup(uint64_t window, FilterPartitionInfo* out) const {
+  if (!valid_ || partitions_.empty()) return false;
+  // Binary search: last partition with first_window <= window.
+  size_t lo = 0, hi = partitions_.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (partitions_[mid].first_window <= window) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return false;
+  const FilterPartitionInfo& p = partitions_[lo - 1];
+  if (window >= static_cast<uint64_t>(p.first_window) + p.num_windows) {
+    return false;
+  }
+  *out = p;
+  return true;
+}
+
+bool FilterPartitionKeyMayMatch(const FilterPolicy* policy,
+                                const Slice& partition, uint32_t num_windows,
+                                uint32_t window_in_partition,
+                                const Slice& key) {
+  const size_t offsets_and_crc =
+      (static_cast<size_t>(num_windows) + 1) * 4 + 4;
+  if (window_in_partition >= num_windows ||
+      partition.size() < offsets_and_crc) {
+    return true;  // Errors are treated as potential matches
+  }
+  const size_t array_start = partition.size() - offsets_and_crc;
+  const char* offsets = partition.data() + array_start;
+  const uint32_t start = DecodeFixed32(offsets + window_in_partition * 4);
+  const uint32_t limit = DecodeFixed32(offsets + window_in_partition * 4 + 4);
+  if (start == limit) return false;  // Empty filters do not match any keys
+  if (start < limit && limit <= array_start) {
+    return policy->KeyMayMatch(key, Slice(partition.data() + start,
+                                          limit - start));
+  }
+  return true;
+}
+
+bool FilterPartitionCrcOk(const Slice& partition) {
+  if (partition.size() < 4) return false;
+  const uint32_t stored =
+      DecodeFixed32(partition.data() + partition.size() - 4);
+  const uint32_t actual =
+      crc32c::Value(partition.data(), partition.size() - 4);
+  return crc32c::Unmask(stored) == actual;
 }
 
 FilterBlockReader::FilterBlockReader(const FilterPolicy* policy,
                                      const Slice& contents)
-    : policy_(policy), data_(nullptr), offset_(nullptr), num_(0), base_lg_(0) {
-  size_t n = contents.size();
-  if (n < 5) return;  // 1 byte for base_lg_ and 4 for start of offset array
-  base_lg_ = contents[n - 1];
-  uint32_t last_word = DecodeFixed32(contents.data() + n - 5);
-  if (last_word > n - 5) return;
-  data_ = contents.data();
-  offset_ = data_ + last_word;
-  num_ = (n - 5 - last_word) / 4;
+    : policy_(policy), contents_(contents) {
+  index_.Parse(contents);
 }
 
 bool FilterBlockReader::KeyMayMatch(uint64_t block_offset, const Slice& key) {
-  uint64_t index = block_offset >> base_lg_;
-  if (index < num_) {
-    uint32_t start = DecodeFixed32(offset_ + index * 4);
-    uint32_t limit = DecodeFixed32(offset_ + index * 4 + 4);
-    if (start <= limit && limit <= static_cast<size_t>(offset_ - data_)) {
-      Slice filter = Slice(data_ + start, limit - start);
-      return policy_->KeyMayMatch(key, filter);
-    } else if (start == limit) {
-      // Empty filters do not match any keys.
-      return false;
-    }
+  if (!index_.valid()) return true;
+  const uint64_t window = block_offset >> index_.base_lg();
+  FilterPartitionInfo p;
+  if (!index_.Lookup(window, &p)) {
+    // Beyond the covered range: no filter was built for this offset.
+    return true;
   }
-  return true;  // Errors are treated as potential matches
+  if (static_cast<uint64_t>(p.offset) + p.size > contents_.size()) {
+    return true;
+  }
+  return FilterPartitionKeyMayMatch(
+      policy_, Slice(contents_.data() + p.offset, p.size), p.num_windows,
+      static_cast<uint32_t>(window - p.first_window), key);
 }
 
 }  // namespace pipelsm

@@ -1,9 +1,11 @@
 #include "src/table/table.h"
 
+#include <map>
+#include <mutex>
 #include <string>
 
+#include "src/read/cache.h"
 #include "src/table/block.h"
-#include "src/table/block_cache.h"
 #include "src/table/comparator.h"
 #include "src/table/filter_block.h"
 #include "src/table/filter_policy.h"
@@ -14,17 +16,24 @@
 namespace pipelsm {
 
 struct Table::Rep {
-  ~Rep() {
-    delete filter;
-    delete[] filter_data;
-  }
-
   TableOptions options;
   Status status;
   std::unique_ptr<RandomAccessFile> file;
   uint64_t cache_id = 0;
-  FilterBlockReader* filter = nullptr;
-  const char* filter_data = nullptr;
+
+  // Partitioned filter: only the top-level index lives in memory;
+  // partitions are loaded on demand (through the block cache when one
+  // is configured).
+  bool has_filter = false;
+  FilterIndex filter_index;
+  BlockHandle filter_handle;
+
+  // Cache-less fallback: with no shared block cache, loaded partitions
+  // pin here for the table's lifetime (bounded by the filter block
+  // size — the same footprint the old eager whole-block load had),
+  // instead of re-reading the device on every probe.
+  std::mutex filter_mu;
+  std::map<uint32_t, std::shared_ptr<std::string>> pinned_partitions;
 
   BlockHandle metaindex_handle;
   std::unique_ptr<Block> index_block;
@@ -35,6 +44,8 @@ Table::Table(Rep* rep) : rep_(rep) {}
 Table::~Table() = default;
 
 const TableOptions& Table::options() const { return rep_->options; }
+
+uint64_t Table::cache_id() const { return rep_->cache_id; }
 
 Status Table::Open(const TableOptions& options,
                    std::unique_ptr<RandomAccessFile> file, uint64_t size,
@@ -102,23 +113,95 @@ void Table::ReadFilter(const Slice& filter_handle_value) {
     return;
   }
 
-  BlockContents block;
-  if (!ReadBlock(rep_->file.get(), filter_handle,
-                 rep_->options.verify_checksums, &block)
+  // Read only the trailing tail + top index; partitions stay on disk
+  // until a probe needs them. The filter block is written uncompressed
+  // (see TableBuilder::Finish), so partial raw reads are valid.
+  const uint64_t block_size = filter_handle.size();
+  constexpr uint64_t kTailBytes = 9;  // index offset + count + base_lg
+  if (block_size < kTailBytes) return;
+  char tail_space[kTailBytes];
+  Slice tail;
+  if (!rep_->file
+           ->Read(filter_handle.offset() + block_size - kTailBytes,
+                  kTailBytes, &tail, tail_space)
+           .ok() ||
+      tail.size() != kTailBytes) {
+    return;
+  }
+  const uint64_t num_partitions = DecodeFixed32(tail.data() + 4);
+  const uint64_t index_bytes = num_partitions * 16;
+  if (index_bytes + kTailBytes > block_size) return;
+  std::string index_buf;
+  index_buf.resize(index_bytes + kTailBytes);
+  Slice index_region;
+  if (!rep_->file
+           ->Read(filter_handle.offset() + block_size - kTailBytes -
+                      index_bytes,
+                  index_bytes + kTailBytes, &index_region, index_buf.data())
            .ok()) {
     return;
   }
-  if (block.heap_allocated) {
-    rep_->filter_data = block.data.data();  // Will need to delete later
+  if (!rep_->filter_index.ParseTail(index_region, block_size)) return;
+  rep_->filter_handle = filter_handle;
+  rep_->has_filter = true;
+}
+
+// Consults the partitioned filter for `block_offset`, loading the
+// covering partition through the block cache (17-byte key: cache id,
+// partition file offset, 'f' tag — the tag keeps the id prefix shared
+// with data blocks so one ErasePrefix drops both). Any failure returns
+// true: the filter only ever skips reads it can prove useless.
+bool Table::FilterKeyMayMatch(const TableReadOptions& read_options,
+                              uint64_t block_offset, const Slice& key) const {
+  if (!rep_->has_filter) return true;
+  const uint64_t window = block_offset >> rep_->filter_index.base_lg();
+  FilterPartitionInfo part;
+  if (!rep_->filter_index.Lookup(window, &part)) return true;
+
+  read::Cache* cache = rep_->options.block_cache;
+  char cache_key_buffer[17];
+  Slice cache_key;
+  std::shared_ptr<std::string> partition;
+  if (cache != nullptr) {
+    EncodeFixed64(cache_key_buffer, rep_->cache_id);
+    EncodeFixed64(cache_key_buffer + 8,
+                  rep_->filter_handle.offset() + part.offset);
+    cache_key_buffer[16] = 'f';
+    cache_key = Slice(cache_key_buffer, sizeof(cache_key_buffer));
+    partition = cache->LookupAs<std::string>(cache_key);
+  } else {
+    std::lock_guard<std::mutex> lock(rep_->filter_mu);
+    auto it = rep_->pinned_partitions.find(part.offset);
+    if (it != rep_->pinned_partitions.end()) partition = it->second;
   }
-  rep_->filter = new FilterBlockReader(rep_->options.filter_policy, block.data);
+  if (partition == nullptr) {
+    auto loaded = std::make_shared<std::string>();
+    if (!ReadExtent(rep_->filter_handle.offset() + part.offset, part.size,
+                    loaded.get())
+             .ok()) {
+      return true;
+    }
+    if (!FilterPartitionCrcOk(Slice(*loaded))) return true;
+    partition = std::move(loaded);
+    if (cache != nullptr) {
+      if (read_options.fill_cache) {
+        cache->Insert(cache_key, partition, partition->size());
+      }
+    } else {
+      std::lock_guard<std::mutex> lock(rep_->filter_mu);
+      rep_->pinned_partitions.emplace(part.offset, partition);
+    }
+  }
+  return FilterPartitionKeyMayMatch(
+      rep_->options.filter_policy, Slice(*partition), part.num_windows,
+      static_cast<uint32_t>(window - part.first_window), key);
 }
 
 // Converts an index-block value (encoded BlockHandle) into an iterator over
 // the corresponding data block, consulting the shared cache first.
 Iterator* Table::ReadBlockIterator(const TableReadOptions& read_options,
                                    const Slice& index_value) const {
-  BlockCache* cache = rep_->options.block_cache;
+  read::Cache* cache = rep_->options.block_cache;
   Slice input = index_value;
   BlockHandle handle;
   Status s = handle.DecodeFrom(&input);
@@ -134,7 +217,7 @@ Iterator* Table::ReadBlockIterator(const TableReadOptions& read_options,
     EncodeFixed64(cache_key_buffer, rep_->cache_id);
     EncodeFixed64(cache_key_buffer + 8, handle.offset());
     Slice key(cache_key_buffer, sizeof(cache_key_buffer));
-    block = cache->Lookup(key);
+    block = cache->LookupAs<Block>(key);
     if (block == nullptr) {
       BlockContents contents;
       s = ReadBlock(rep_->file.get(), handle, verify, &contents);
@@ -198,11 +281,10 @@ Status Table::InternalGet(
   iiter->Seek(k);
   if (iiter->Valid()) {
     Slice handle_value = iiter->value();
-    FilterBlockReader* filter = rep_->filter;
     BlockHandle handle;
     Slice hv = handle_value;
-    if (filter != nullptr && handle.DecodeFrom(&hv).ok() &&
-        !filter->KeyMayMatch(handle.offset(), k)) {
+    if (rep_->has_filter && handle.DecodeFrom(&hv).ok() &&
+        !FilterKeyMayMatch(read_options, handle.offset(), k)) {
       // Not found: filter says the key is definitely absent.
     } else {
       std::unique_ptr<Iterator> block_iter(

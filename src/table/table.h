@@ -55,6 +55,11 @@ class Table {
   Status ReadExtent(uint64_t offset, uint64_t size, std::string* out) const;
   const TableOptions& options() const;
 
+  // Id prefixing this table's entries in the shared block cache (0 when
+  // no cache is configured). Obsolete-file GC uses it to purge the
+  // table's blocks when the file is deleted.
+  uint64_t cache_id() const;
+
  private:
   struct Rep;
   explicit Table(Rep* rep);
@@ -63,6 +68,8 @@ class Table {
                               const Slice& index_value) const;
   void ReadMeta(const Footer& footer);
   void ReadFilter(const Slice& filter_handle_value);
+  bool FilterKeyMayMatch(const TableReadOptions& read_options,
+                         uint64_t block_offset, const Slice& key) const;
 
   std::unique_ptr<Rep> rep_;
 };

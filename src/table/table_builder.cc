@@ -21,7 +21,8 @@ struct TableBuilder::Rep {
         closed(false),
         filter_block(opt.filter_policy == nullptr
                          ? nullptr
-                         : new FilterBlockBuilder(opt.filter_policy)),
+                         : new FilterBlockBuilder(opt.filter_policy,
+                                                  opt.filter_partition_bytes)),
         pending_index_entry(false) {}
 
   TableOptions options;

@@ -10,12 +10,18 @@
 namespace pipelsm {
 
 class FilterPolicy;
-class BlockCache;
+namespace read {
+class Cache;
+}  // namespace read
 
 struct TableOptions {
   const Comparator* comparator = BytewiseComparator();
   const FilterPolicy* filter_policy = nullptr;  // optional bloom filters
-  BlockCache* block_cache = nullptr;            // optional shared cache
+  read::Cache* block_cache = nullptr;           // optional shared cache
+
+  // Target payload size of one bloom-filter partition (docs/READ_PATH.md);
+  // a point read loads only the partition covering the probed offset.
+  size_t filter_partition_bytes = 4096;
 
   // Uncompressed data-block size target. The paper's default is 4 KB.
   size_t block_size = 4 * 1024;

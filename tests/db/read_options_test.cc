@@ -7,7 +7,7 @@
 #include "src/db/db.h"
 #include "src/db/filename.h"
 #include "src/env/sim_env.h"
-#include "src/table/block_cache.h"
+#include "src/read/cache.h"
 #include "src/workload/generator.h"
 
 namespace pipelsm {
@@ -15,10 +15,10 @@ namespace {
 
 class ReadOptionsTest : public ::testing::Test {
  protected:
-  ReadOptionsTest() : cache_(8 << 20) {
+  ReadOptionsTest() : cache_(read::NewShardedLRUCache(8 << 20, 4)) {
     options_.env = &env_;
     options_.create_if_missing = true;
-    options_.block_cache = &cache_;
+    options_.block_cache = cache_.get();
     options_.write_buffer_size = 64 << 10;
     options_.max_file_size = 64 << 10;
     options_.verify_checksums = false;  // let per-read options decide
@@ -36,7 +36,7 @@ class ReadOptionsTest : public ::testing::Test {
   }
 
   SimEnv env_;
-  BlockCache cache_;
+  std::unique_ptr<read::Cache> cache_;
   Options options_;
   std::unique_ptr<DB> db_;
 };
@@ -45,20 +45,20 @@ TEST_F(ReadOptionsTest, FillCacheFalseLeavesCacheCold) {
   OpenAndFill();
   WorkloadGenerator gen(2000, 16, 100, KeyOrder::kSequential);
 
-  const size_t usage_before = cache_.usage();
+  const size_t usage_before = cache_->usage();
   ReadOptions no_fill;
   no_fill.fill_cache = false;
   std::string value;
   for (uint64_t i = 0; i < 2000; i += 50) {
     ASSERT_TRUE(db_->Get(no_fill, gen.Key(i), &value).ok());
   }
-  EXPECT_EQ(usage_before, cache_.usage());
+  EXPECT_EQ(usage_before, cache_->usage());
 
   // Default (fill_cache=true) populates it.
   for (uint64_t i = 0; i < 2000; i += 50) {
     ASSERT_TRUE(db_->Get(ReadOptions(), gen.Key(i), &value).ok());
   }
-  EXPECT_GT(cache_.usage(), usage_before);
+  EXPECT_GT(cache_->usage(), usage_before);
 }
 
 TEST_F(ReadOptionsTest, CachedBlocksSkipDeviceReads) {

@@ -1,0 +1,222 @@
+// DB-level read path (docs/READ_PATH.md): the shared block cache under
+// real tables, eviction while a standing iterator still reads evicted
+// blocks, partitioned bloom filters across partition boundaries (seeks
+// in both directions), and the "pipelsm.cache" introspection property.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/db/db.h"
+#include "src/env/sim_env.h"
+#include "src/read/cache.h"
+#include "src/util/random.h"
+
+namespace pipelsm {
+namespace {
+
+class ReadPathDBTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    options_.env = &env_;
+    options_.create_if_missing = true;
+    options_.write_buffer_size = 64 << 10;
+    options_.max_file_size = 32 << 10;
+  }
+
+  void Open() {
+    DB* raw = nullptr;
+    ASSERT_TRUE(DB::Open(options_, "/rp", &raw).ok()) << "open failed";
+    db_.reset(raw);
+  }
+
+  void Reopen() {
+    db_.reset();
+    Open();
+  }
+
+  static std::string Key(int i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "key%06d", i);
+    return buf;
+  }
+
+  std::string Get(const std::string& key) {
+    std::string value;
+    Status s = db_->Get(ReadOptions(), key, &value);
+    if (s.IsNotFound()) return "<nf>";
+    if (!s.ok()) return "<err:" + s.ToString() + ">";
+    return value;
+  }
+
+  std::string CacheProperty() {
+    std::string json;
+    EXPECT_TRUE(db_->GetProperty("pipelsm.cache", &json));
+    return json;
+  }
+
+  SimEnv env_;
+  Options options_;
+  std::unique_ptr<DB> db_;
+};
+
+TEST_F(ReadPathDBTest, CachePropertyShapeAndCounters) {
+  options_.block_cache_size = 256 << 10;
+  options_.block_cache_shards = 4;
+  Open();
+  for (int i = 0; i < 500; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), std::string(100, 'v')).ok());
+  }
+  db_->CompactRange(nullptr, nullptr);
+  for (int i = 0; i < 500; i++) EXPECT_EQ(std::string(100, 'v'), Get(Key(i)));
+
+  const std::string json = CacheProperty();
+  // Block section first (parsers rely on the order), then table section.
+  const size_t block = json.find("\"block\"");
+  const size_t table = json.find("\"table\"");
+  ASSERT_NE(std::string::npos, block);
+  ASSERT_NE(std::string::npos, table);
+  EXPECT_LT(block, table);
+  EXPECT_NE(std::string::npos, json.find("\"hits\":"));
+  EXPECT_NE(std::string::npos, json.find("\"misses\":"));
+  EXPECT_NE(std::string::npos, json.find("\"shards\":4"));
+
+  // A re-read of the same keys is all cache hits: misses stay flat.
+  const std::string before = CacheProperty();
+  for (int i = 0; i < 500; i++) EXPECT_EQ(std::string(100, 'v'), Get(Key(i)));
+  const std::string after = CacheProperty();
+  const auto misses_of = [](const std::string& j) {
+    return std::strtoull(j.c_str() + j.find("\"misses\":") + 9, nullptr, 10);
+  };
+  const auto hits_of = [](const std::string& j) {
+    return std::strtoull(j.c_str() + j.find("\"hits\":") + 7, nullptr, 10);
+  };
+  EXPECT_EQ(misses_of(before), misses_of(after));
+  EXPECT_GT(hits_of(after), hits_of(before));
+}
+
+TEST_F(ReadPathDBTest, StandingIteratorSurvivesCacheEviction) {
+  // A cache far smaller than the dataset: iterating the whole keyspace
+  // forces every block through the cache, evicting earlier ones while
+  // the iterator may still hold references into them.
+  options_.block_cache_size = 8 << 10;
+  options_.block_cache_shards = 2;
+  Open();
+  const int n = 2000;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), "v" + std::to_string(i)).ok());
+  }
+  db_->CompactRange(nullptr, nullptr);
+
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  it->SeekToFirst();
+  int count = 0;
+  for (; it->Valid(); it->Next()) {
+    ASSERT_EQ(Key(count), it->key().ToString());
+    ASSERT_EQ("v" + std::to_string(count), it->value().ToString());
+    // Interleave point reads on far-away keys to churn the cache while
+    // the iterator is mid-block.
+    if (count % 97 == 0) Get(Key((count + n / 2) % n));
+    count++;
+  }
+  EXPECT_TRUE(it->status().ok()) << it->status().ToString();
+  EXPECT_EQ(n, count);
+}
+
+TEST_F(ReadPathDBTest, PartitionedFilterPointReads) {
+  options_.bloom_bits_per_key = 10;
+  options_.filter_partition_bytes = 256;  // many partitions per table
+  options_.block_cache_size = 512 << 10;
+  Open();
+  const int n = 3000;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), "pv" + std::to_string(i)).ok());
+  }
+  db_->CompactRange(nullptr, nullptr);
+
+  // Every present key answers through its covering partition; absent
+  // keys (same length, interleaved) answer NotFound without error.
+  Random rnd(301);
+  for (int probe = 0; probe < 1000; probe++) {
+    const int i = static_cast<int>(rnd.Next() % n);
+    ASSERT_EQ("pv" + std::to_string(i), Get(Key(i)));
+    ASSERT_EQ("<nf>", Get(Key(i) + "x"));
+  }
+  // Survives reopen (filters reload from disk, not the memtable path).
+  Reopen();
+  EXPECT_EQ("pv0", Get(Key(0)));
+  EXPECT_EQ("pv" + std::to_string(n - 1), Get(Key(n - 1)));
+  EXPECT_EQ("<nf>", Get("zzz-absent"));
+}
+
+TEST_F(ReadPathDBTest, PartitionedFilterBoundarySeeksBothDirections) {
+  options_.bloom_bits_per_key = 10;
+  options_.filter_partition_bytes = 256;
+  Open();
+  const int n = 3000;
+  for (int i = 0; i < n; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), std::to_string(i)).ok());
+  }
+  db_->CompactRange(nullptr, nullptr);
+
+  std::unique_ptr<Iterator> it(db_->NewIterator(ReadOptions()));
+  // Forward walk across the whole table: every partition boundary is
+  // crossed in order.
+  it->SeekToFirst();
+  for (int i = 0; i < n; i++, it->Next()) {
+    ASSERT_TRUE(it->Valid()) << "at " << i;
+    ASSERT_EQ(Key(i), it->key().ToString());
+  }
+  EXPECT_FALSE(it->Valid());
+
+  // Reverse walk.
+  it->SeekToLast();
+  for (int i = n - 1; i >= 0; i--, it->Prev()) {
+    ASSERT_TRUE(it->Valid()) << "at " << i;
+    ASSERT_EQ(Key(i), it->key().ToString());
+  }
+  EXPECT_FALSE(it->Valid());
+
+  // Targeted seeks landing just before / after keys, including between
+  // neighbors (exercises partition index lookups on both sides).
+  Random rnd(302);
+  for (int probe = 0; probe < 500; probe++) {
+    const int i = static_cast<int>(rnd.Next() % n);
+    it->Seek(Key(i));
+    ASSERT_TRUE(it->Valid());
+    EXPECT_EQ(Key(i), it->key().ToString());
+    it->Seek(Key(i) + "!");  // between Key(i) and Key(i+1)
+    if (i + 1 < n) {
+      ASSERT_TRUE(it->Valid());
+      EXPECT_EQ(Key(i + 1), it->key().ToString());
+    } else {
+      EXPECT_FALSE(it->Valid());
+    }
+  }
+  EXPECT_TRUE(it->status().ok());
+}
+
+TEST_F(ReadPathDBTest, SharedExternalCacheAcrossReopens) {
+  std::unique_ptr<read::Cache> shared = read::NewShardedLRUCache(1 << 20, 4);
+  options_.block_cache = shared.get();
+  Open();
+  for (int i = 0; i < 200; i++) {
+    ASSERT_TRUE(db_->Put(WriteOptions(), Key(i), "s").ok());
+  }
+  db_->CompactRange(nullptr, nullptr);
+  for (int i = 0; i < 200; i++) EXPECT_EQ("s", Get(Key(i)));
+  EXPECT_GT(shared->usage(), 0u);
+  const uint64_t id_misses = shared->misses();
+  db_.reset();
+  // The cache outlives the DB; a reopen gets a fresh cache id, so its
+  // reads miss rather than alias the dead instance's entries.
+  Open();
+  EXPECT_EQ("s", Get(Key(0)));
+  EXPECT_GT(shared->misses(), id_misses);
+}
+
+}  // namespace
+}  // namespace pipelsm

@@ -3,9 +3,9 @@
 #include <map>
 #include <memory>
 
+#include "src/read/cache.h"
 #include "src/table/block.h"
 #include "src/table/block_builder.h"
-#include "src/table/block_cache.h"
 #include "src/table/comparator.h"
 #include "src/table/merger.h"
 
@@ -25,39 +25,42 @@ std::shared_ptr<Block> MakeBlock(const std::map<std::string, std::string>& kv) {
   return std::make_shared<Block>(contents);
 }
 
+// Single-shard instances give deterministic global LRU order; the
+// sharded behavior is covered by tests/read/sharded_cache_test.cc.
 TEST(BlockCache, InsertLookup) {
-  BlockCache cache(1 << 20);
+  auto cache = read::NewShardedLRUCache(1 << 20, 1);
   auto block = MakeBlock({{"k", "v"}});
-  cache.Insert("key1", block, 100);
-  EXPECT_EQ(block.get(), cache.Lookup("key1").get());
-  EXPECT_EQ(nullptr, cache.Lookup("key2").get());
-  EXPECT_EQ(1u, cache.hits());
-  EXPECT_EQ(1u, cache.misses());
+  cache->Insert("key1", block, 100);
+  EXPECT_EQ(block.get(), cache->LookupAs<Block>("key1").get());
+  EXPECT_EQ(nullptr, cache->Lookup("key2").get());
+  EXPECT_EQ(1u, cache->hits());
+  EXPECT_EQ(1u, cache->misses());
 }
 
 TEST(BlockCache, EvictsLruWhenFull) {
-  BlockCache cache(300);
-  cache.Insert("a", MakeBlock({{"a", "1"}}), 100);
-  cache.Insert("b", MakeBlock({{"b", "1"}}), 100);
-  cache.Insert("c", MakeBlock({{"c", "1"}}), 100);
+  auto cache = read::NewShardedLRUCache(300, 1);
+  cache->Insert("a", MakeBlock({{"a", "1"}}), 100);
+  cache->Insert("b", MakeBlock({{"b", "1"}}), 100);
+  cache->Insert("c", MakeBlock({{"c", "1"}}), 100);
   // Touch "a" so "b" is LRU.
-  EXPECT_NE(nullptr, cache.Lookup("a").get());
-  cache.Insert("d", MakeBlock({{"d", "1"}}), 100);
-  EXPECT_EQ(nullptr, cache.Lookup("b").get());  // evicted
-  EXPECT_NE(nullptr, cache.Lookup("a").get());
-  EXPECT_NE(nullptr, cache.Lookup("d").get());
-  EXPECT_LE(cache.usage(), 300u);
+  EXPECT_NE(nullptr, cache->Lookup("a").get());
+  cache->Insert("d", MakeBlock({{"d", "1"}}), 100);
+  EXPECT_EQ(nullptr, cache->Lookup("b").get());  // evicted
+  EXPECT_NE(nullptr, cache->Lookup("a").get());
+  EXPECT_NE(nullptr, cache->Lookup("d").get());
+  EXPECT_LE(cache->usage(), 300u);
+  EXPECT_EQ(1u, cache->evictions());
 }
 
 TEST(BlockCache, PinnedEntriesSurviveEviction) {
-  BlockCache cache(100);
-  auto pinned = cache.Lookup("never");  // warm up miss path
+  auto cache = read::NewShardedLRUCache(100, 1);
+  auto pinned = cache->Lookup("never");  // warm up miss path
   auto block = MakeBlock({{"k", "v"}});
-  cache.Insert("k", block, 100);
-  std::shared_ptr<Block> alive = cache.Lookup("k");
+  cache->Insert("k", block, 100);
+  std::shared_ptr<Block> alive = cache->LookupAs<Block>("k");
   // Overflow the cache; entry is evicted but the shared_ptr keeps the
   // block alive.
-  cache.Insert("k2", MakeBlock({{"x", "y"}}), 100);
+  cache->Insert("k2", MakeBlock({{"x", "y"}}), 100);
   EXPECT_NE(nullptr, alive.get());
   std::unique_ptr<Iterator> it(alive->NewIterator(BytewiseComparator()));
   it->SeekToFirst();
@@ -66,24 +69,24 @@ TEST(BlockCache, PinnedEntriesSurviveEviction) {
 }
 
 TEST(BlockCache, EraseRemoves) {
-  BlockCache cache(1000);
-  cache.Insert("a", MakeBlock({{"a", "1"}}), 10);
-  cache.Erase("a");
-  EXPECT_EQ(nullptr, cache.Lookup("a").get());
-  cache.Erase("a");  // idempotent
+  auto cache = read::NewShardedLRUCache(1000, 1);
+  cache->Insert("a", MakeBlock({{"a", "1"}}), 10);
+  cache->Erase("a");
+  EXPECT_EQ(nullptr, cache->Lookup("a").get());
+  cache->Erase("a");  // idempotent
 }
 
 TEST(BlockCache, ReplaceUpdatesCharge) {
-  BlockCache cache(1000);
-  cache.Insert("a", MakeBlock({{"a", "1"}}), 400);
-  cache.Insert("a", MakeBlock({{"a", "2"}}), 100);
-  EXPECT_EQ(100u, cache.usage());
+  auto cache = read::NewShardedLRUCache(1000, 1);
+  cache->Insert("a", MakeBlock({{"a", "1"}}), 400);
+  cache->Insert("a", MakeBlock({{"a", "2"}}), 100);
+  EXPECT_EQ(100u, cache->usage());
 }
 
 TEST(BlockCache, DistinctIds) {
-  BlockCache cache(100);
-  uint64_t a = cache.NewId();
-  uint64_t b = cache.NewId();
+  auto cache = read::NewShardedLRUCache(100, 1);
+  uint64_t a = cache->NewId();
+  uint64_t b = cache->NewId();
   EXPECT_NE(a, b);
 }
 

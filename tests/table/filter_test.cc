@@ -76,7 +76,9 @@ class FilterBlockTest : public ::testing::Test {
 TEST_F(FilterBlockTest, EmptyBuilder) {
   FilterBlockBuilder builder(policy_.get());
   Slice block = builder.Finish();
-  ASSERT_EQ("\\x00\\x00\\x00\\x00\\x0b", EscapeString(block));
+  // Zero partitions: index offset 0, count 0, base_lg — the 9-byte tail.
+  ASSERT_EQ("\\x00\\x00\\x00\\x00\\x00\\x00\\x00\\x00\\x0b",
+            EscapeString(block));
   FilterBlockReader reader(policy_.get(), block);
   EXPECT_TRUE(reader.KeyMayMatch(0, "foo"));
   EXPECT_TRUE(reader.KeyMayMatch(100000, "foo"));
@@ -149,6 +151,79 @@ TEST_F(FilterBlockTest, MultiChunk) {
   EXPECT_TRUE(reader.KeyMayMatch(9000, "hello"));
   EXPECT_FALSE(reader.KeyMayMatch(9000, "foo"));
   EXPECT_FALSE(reader.KeyMayMatch(9000, "bar"));
+}
+
+TEST_F(FilterBlockTest, TinyPartitionsSplitAndProbeCorrectly) {
+  // partition_bytes=1: every window seals its own partition, so probes
+  // must route through the top index, not a single offset array.
+  FilterBlockBuilder builder(policy_.get(), 1);
+  const int kBlocks = 40;
+  for (int i = 0; i < kBlocks; i++) {
+    builder.StartBlock(static_cast<uint64_t>(i) * 2048);
+    builder.AddKey("key" + std::to_string(i));
+  }
+  Slice block = builder.Finish();
+
+  FilterBlockReader reader(policy_.get(), block);
+  ASSERT_TRUE(reader.index().valid());
+  EXPECT_GT(reader.index().num_partitions(), 1u);
+  for (int i = 0; i < kBlocks; i++) {
+    const uint64_t offset = static_cast<uint64_t>(i) * 2048;
+    EXPECT_TRUE(reader.KeyMayMatch(offset, "key" + std::to_string(i))) << i;
+    EXPECT_FALSE(reader.KeyMayMatch(offset, "absent" + std::to_string(i)))
+        << i;
+  }
+  // Past the covered range: no filter, must not reject.
+  EXPECT_TRUE(reader.KeyMayMatch(kBlocks * 2048 + (64 << 10), "anything"));
+}
+
+TEST_F(FilterBlockTest, ParseTailMatchesFullParse) {
+  FilterBlockBuilder builder(policy_.get(), 64);
+  for (int i = 0; i < 20; i++) {
+    builder.StartBlock(static_cast<uint64_t>(i) * 2048);
+    builder.AddKey("k" + std::to_string(i));
+  }
+  const std::string block = builder.Finish().ToString();
+
+  FilterIndex full;
+  ASSERT_TRUE(full.Parse(block));
+  ASSERT_GT(full.num_partitions(), 1u);
+
+  // A tail-only parse (index + tail words, no partition payload) sees
+  // the identical index.
+  const size_t tail_bytes = full.num_partitions() * 16 + 9;
+  FilterIndex tail;
+  ASSERT_TRUE(tail.ParseTail(
+      Slice(block.data() + block.size() - tail_bytes, tail_bytes),
+      block.size()));
+  ASSERT_EQ(full.num_partitions(), tail.num_partitions());
+  for (size_t i = 0; i < full.num_partitions(); i++) {
+    EXPECT_EQ(full.partition(i).first_window, tail.partition(i).first_window);
+    EXPECT_EQ(full.partition(i).num_windows, tail.partition(i).num_windows);
+    EXPECT_EQ(full.partition(i).offset, tail.partition(i).offset);
+    EXPECT_EQ(full.partition(i).size, tail.partition(i).size);
+  }
+}
+
+TEST_F(FilterBlockTest, CorruptPartitionFailsCrcButNeverRejects) {
+  FilterBlockBuilder builder(policy_.get(), 1);
+  for (int i = 0; i < 4; i++) {
+    builder.StartBlock(static_cast<uint64_t>(i) * 2048);
+    builder.AddKey("k" + std::to_string(i));
+  }
+  std::string block = builder.Finish().ToString();
+
+  FilterIndex index;
+  ASSERT_TRUE(index.Parse(block));
+  ASSERT_GE(index.num_partitions(), 1u);
+  const FilterPartitionInfo& p = index.partition(0);
+  ASSERT_TRUE(FilterPartitionCrcOk(Slice(block.data() + p.offset, p.size)));
+  block[p.offset] ^= 0x40;  // flip a filter bit
+  EXPECT_FALSE(FilterPartitionCrcOk(Slice(block.data() + p.offset, p.size)));
+  // Malformed probes answer "may match" — a corrupt filter can cost an
+  // extra read, never a false negative.
+  EXPECT_TRUE(FilterPartitionKeyMayMatch(policy_.get(), Slice("x", 1), 3, 1,
+                                         "whatever"));
 }
 
 }  // namespace

@@ -45,6 +45,14 @@
 //                            scheduler switches executor
 //   --warmup_jobs=N          compactions digested before adapting
 //   --bloom_bits=N           per-key bloom bits (0 = no filters)
+//   --bloom_bits_per_key=N   same, via Options::bloom_bits_per_key (the
+//                            DB owns the policy; exercises the knob the
+//                            server exposes)
+//   --filter_partition_bytes=N
+//                            partitioned-filter partition size
+//   --cache_size=N           block cache capacity, bytes (default 8MiB)
+//   --cache_shards=N         block cache lock shards (0 = auto,
+//                            1 = single-mutex baseline)
 //   --read_ratio=N           mixedwhilewriting: percent of ops that are
 //                            Gets (default 50)
 //   --dist=uniform|zipfian   mixedwhilewriting key distribution
@@ -113,6 +121,10 @@ struct Flags {
   int hysteresis = 3;
   int warmup_jobs = 2;
   int bloom_bits = 0;
+  int bloom_bits_per_key = 0;
+  size_t filter_partition_bytes = 4096;
+  size_t cache_size = 8 << 20;
+  size_t cache_shards = 0;
   int read_ratio = 50;
   std::string dist = "uniform";
   double zipf_theta = 0.99;
@@ -208,6 +220,10 @@ class Benchmark {
       filter_policy_.reset(NewBloomFilterPolicy(flags_.bloom_bits));
       options_.filter_policy = filter_policy_.get();
     }
+    options_.bloom_bits_per_key = flags_.bloom_bits_per_key;
+    options_.filter_partition_bytes = flags_.filter_partition_bytes;
+    options_.block_cache_size = flags_.cache_size;
+    options_.block_cache_shards = flags_.cache_shards;
 
     DestroyDB(flags_.db, options_);
     DB* raw = nullptr;
@@ -234,7 +250,10 @@ class Benchmark {
     std::printf(
         "  memtable=%zuKB sstable=%zuKB subtask=%zuKB bloom=%d bits\n",
         flags_.write_buffer_kb, flags_.file_kb, flags_.subtask_kb,
-        flags_.bloom_bits);
+        flags_.bloom_bits > 0 ? flags_.bloom_bits : flags_.bloom_bits_per_key);
+    std::printf("  cache=%zuKB shards=%zu filter_partition=%zuB\n",
+                flags_.cache_size >> 10, flags_.cache_shards,
+                flags_.filter_partition_bytes);
     std::printf("--------------------------------------------------\n");
   }
 
@@ -262,6 +281,36 @@ class Benchmark {
   }
 
  private:
+  // Block-cache hit/miss snapshot from the "pipelsm.cache" property (the
+  // block section is first in the JSON, so the first "hits"/"misses"
+  // occurrences are the block cache's).
+  bool CacheCounters(uint64_t* hits, uint64_t* misses) {
+    std::string json;
+    if (!db_->GetProperty("pipelsm.cache", &json)) return false;
+    const size_t h = json.find("\"hits\":");
+    const size_t m = json.find("\"misses\":");
+    if (h == std::string::npos || m == std::string::npos) return false;
+    *hits = std::strtoull(json.c_str() + h + 7, nullptr, 10);
+    *misses = std::strtoull(json.c_str() + m + 9, nullptr, 10);
+    return true;
+  }
+
+  // Prints the block-cache hit rate over one workload's window.
+  void ReportCache(uint64_t hits_before, uint64_t misses_before) {
+    uint64_t hits = 0, misses = 0;
+    if (!CacheCounters(&hits, &misses)) return;
+    hits -= hits_before;
+    misses -= misses_before;
+    const uint64_t lookups = hits + misses;
+    if (lookups == 0) return;
+    std::printf("              (block cache: %.1f%% hit rate, %llu hits, "
+                "%llu misses)\n",
+                100.0 * static_cast<double>(hits) /
+                    static_cast<double>(lookups),
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses));
+  }
+
   WorkloadGenerator Gen(KeyOrder order) const {
     return WorkloadGenerator(flags_.num, flags_.key_size, flags_.value_size,
                              order, flags_.seed,
@@ -312,6 +361,8 @@ class Benchmark {
   void ReadRandom(const std::string& name, bool missing) {
     WorkloadGenerator gen = Gen(KeyOrder::kRandom);
     Random rnd(flags_.seed + 7);
+    uint64_t cache_hits = 0, cache_misses = 0;
+    CacheCounters(&cache_hits, &cache_misses);
     Histogram latency;
     Stopwatch total;
     uint64_t found = 0;
@@ -338,6 +389,7 @@ class Benchmark {
     std::printf("              (%llu of %llu found)\n",
                 static_cast<unsigned long long>(found),
                 static_cast<unsigned long long>(flags_.reads));
+    ReportCache(cache_hits, cache_misses);
   }
 
   void Scan(const std::string& name, bool reverse) {
@@ -377,6 +429,8 @@ class Benchmark {
       std::fprintf(stderr, "unknown --dist=%s\n", flags_.dist.c_str());
       std::exit(2);
     }
+    uint64_t cache_hits = 0, cache_misses = 0;
+    CacheCounters(&cache_hits, &cache_misses);
     Histogram read_lat, write_lat;
     Stopwatch total;
     uint64_t gets = 0, puts = 0, found = 0;
@@ -415,6 +469,7 @@ class Benchmark {
                   write_lat.Percentile(99));
     }
     std::printf(")\n");
+    ReportCache(cache_hits, cache_misses);
   }
 
   void RunOne(const std::string& name) {
@@ -575,6 +630,12 @@ int main(int argc, char** argv) {
         ParseNumFlag(argv[i], "hysteresis", &flags.hysteresis) ||
         ParseNumFlag(argv[i], "warmup_jobs", &flags.warmup_jobs) ||
         ParseNumFlag(argv[i], "bloom_bits", &flags.bloom_bits) ||
+        ParseNumFlag(argv[i], "bloom_bits_per_key",
+                     &flags.bloom_bits_per_key) ||
+        ParseNumFlag(argv[i], "filter_partition_bytes",
+                     &flags.filter_partition_bytes) ||
+        ParseNumFlag(argv[i], "cache_size", &flags.cache_size) ||
+        ParseNumFlag(argv[i], "cache_shards", &flags.cache_shards) ||
         ParseNumFlag(argv[i], "read_ratio", &flags.read_ratio) ||
         ParseFlag(argv[i], "dist", &flags.dist) ||
         ParseNumFlag(argv[i], "seed", &flags.seed) ||

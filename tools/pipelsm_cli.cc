@@ -9,13 +9,22 @@
 //   del KEY
 //   batch [put KEY VALUE | del KEY]...   one atomic WRITE_BATCH
 //   scan [START_KEY [LIMIT]]
+//   stream [START_KEY [LIMIT]]           server-side cursor scan
 //   stats [PROPERTY]                     default pipelsm.stats
+//
+// `stream` iterates through a pinned-snapshot server cursor in bounded
+// batches (docs/READ_PATH.md) instead of one SCAN reply; the global
+// --pause_ms=N flag sleeps between entries, which CI uses to hold a
+// cursor open across a server drain.
 //
 // Exit status: 0 on OK, 1 on any error (NotFound included, so scripts
 // can test key presence).
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,7 +38,7 @@ namespace {
                "COMMAND [args...]\n"
                "commands: ping | put K V | get K | del K |\n"
                "          batch [put K V | del K]... | scan [START [LIMIT]] |"
-               " stats [PROP]\n");
+               " stream [START [LIMIT]] | stats [PROP]\n");
   std::exit(2);
 }
 
@@ -52,6 +61,7 @@ int Finish(const pipelsm::Status& s) {
 
 int main(int argc, char** argv) {
   pipelsm::client::ClientOptions copts;
+  int pause_ms = 0;
   int i = 1;
   for (; i < argc; i++) {
     std::string v;
@@ -63,6 +73,10 @@ int main(int argc, char** argv) {
     if (ParseFlag(argv[i], "timeout_ms", &v)) {
       copts.request_timeout_micros =
           static_cast<uint64_t>(std::strtoull(v.c_str(), nullptr, 10)) * 1000;
+      continue;
+    }
+    if (ParseFlag(argv[i], "pause_ms", &v)) {
+      pause_ms = std::atoi(v.c_str());
       continue;
     }
     break;  // first non-flag = command
@@ -129,6 +143,23 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "(%zu entries)\n", entries.size());
     }
     return Finish(s);
+  }
+  if (cmd == "stream") {
+    std::string start;
+    uint32_t limit = 0;
+    if (i < argc) start = argv[i++];
+    if (i < argc) limit = static_cast<uint32_t>(std::atoi(argv[i++]));
+    if (i != argc) Usage();
+    std::unique_ptr<pipelsm::client::ScanStream> stream =
+        client.NewScanStream(start, limit);
+    size_t count = 0;
+    for (; stream->Valid(); stream->Next()) {
+      std::printf("%s\t%s\n", stream->key().c_str(), stream->value().c_str());
+      count++;
+      if (pause_ms > 0) ::usleep(static_cast<useconds_t>(pause_ms) * 1000);
+    }
+    std::fprintf(stderr, "(%zu entries streamed)\n", count);
+    return Finish(stream->status());
   }
   if (cmd == "stats") {
     std::string property;

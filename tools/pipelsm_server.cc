@@ -17,6 +17,20 @@
 //   --create_if_missing=0|1 (default 1)
 //   --value_threshold=N     key-value separation: values >= N bytes live
 //                           in the value log (0 = off, docs/VALUE_LOG.md)
+//   --cache_size=N          block cache capacity in bytes (default 8MiB;
+//                           sharded fleets share ONE cache of this size —
+//                           docs/READ_PATH.md)
+//   --cache_shards=N        block cache lock shards (0 = auto from CPU
+//                           count, 1 = single-mutex baseline)
+//   --bloom_bits_per_key=N  bloom filter bits per key (0 = no filters)
+//   --filter_partition_bytes=N
+//                           partitioned-filter partition size (default 4096)
+//   --cursor_ttl_micros=N   idle streaming cursors expire after this
+//                           (default 60s; 0 = never)
+//   --max_cursors=N         open streaming cursor cap (default 1024)
+//   --max_scan_entries=N --max_scan_bytes=N
+//                           per-reply caps for SCAN and cursor batches
+//                           (defaults 10000 / 4MiB)
 //   --shards=N              serve a range-sharded fleet of N engines
 //                           under one root (default 1 = plain DB)
 //   --shard_boundaries=a,b  comma-separated boundary keys (N-1 of them,
@@ -94,6 +108,10 @@ int main(int argc, char** argv) {
   int io_parallelism = 1;
   size_t queue_depth = 4;
   size_t value_threshold = 0;
+  size_t cache_size = 8 << 20;
+  size_t cache_shards = 0;
+  int bloom_bits_per_key = 0;
+  size_t filter_partition_bytes = 4096;
   int create_if_missing = 1;
   size_t shards = 1;
   std::string shard_boundaries;
@@ -120,6 +138,15 @@ int main(int argc, char** argv) {
                      &sopts.group_commit_window_micros) ||
         ParseNumFlag(argv[i], "create_if_missing", &create_if_missing) ||
         ParseNumFlag(argv[i], "value_threshold", &value_threshold) ||
+        ParseNumFlag(argv[i], "cache_size", &cache_size) ||
+        ParseNumFlag(argv[i], "cache_shards", &cache_shards) ||
+        ParseNumFlag(argv[i], "bloom_bits_per_key", &bloom_bits_per_key) ||
+        ParseNumFlag(argv[i], "filter_partition_bytes",
+                     &filter_partition_bytes) ||
+        ParseNumFlag(argv[i], "cursor_ttl_micros", &sopts.cursor_ttl_micros) ||
+        ParseNumFlag(argv[i], "max_cursors", &sopts.max_cursors) ||
+        ParseNumFlag(argv[i], "max_scan_entries", &sopts.max_scan_entries) ||
+        ParseNumFlag(argv[i], "max_scan_bytes", &sopts.max_scan_bytes) ||
         ParseNumFlag(argv[i], "shards", &shards) ||
         ParseFlag(argv[i], "shard_boundaries", &shard_boundaries) ||
         ParseNumFlag(argv[i], "arbiter_io_lanes", &arbiter_io_lanes) ||
@@ -162,6 +189,10 @@ int main(int argc, char** argv) {
   options.io_parallelism = io_parallelism;
   options.pipeline_queue_depth = queue_depth;
   options.value_separation_threshold = value_threshold;
+  options.block_cache_size = cache_size;
+  options.block_cache_shards = cache_shards;
+  options.bloom_bits_per_key = bloom_bits_per_key;
+  options.filter_partition_bytes = filter_partition_bytes;
   if (compaction == "scp") {
     options.compaction_mode = pipelsm::CompactionMode::kSCP;
   } else if (compaction == "pcp") {

@@ -246,7 +246,7 @@ double Rate(const Snapshot& cur, const Snapshot& prev,
 double TotalRequests(const Snapshot& snap) {
   double total = 0;
   for (const char* op : {"ping", "get", "put", "del", "batch", "scan",
-                         "stats"}) {
+                         "stats", "scan_open", "scan_next", "scan_close"}) {
     total += snap.Value(std::string("pipelsm_server_req_") + op);
   }
   return total;
@@ -284,6 +284,28 @@ void RenderDashboard(const Snapshot& cur, const Snapshot& prev,
                 cur.Value("pipelsm_arbiter_io_lanes_in_use"),
                 cur.Value("pipelsm_arbiter_compute_workers_in_use"),
                 cur.Value("pipelsm_arbiter_waiting"));
+  }
+
+  // Block-cache + cursor line, present when the server exports the read
+  // path metrics (docs/READ_PATH.md). Sums across shards: the fleet
+  // shares one block cache, but each sample family gates on presence.
+  if (cur.Sum("pipelsm_cache_block_hits") >= 0) {
+    const double hits = Rate(cur, prev, "pipelsm_cache_block_hits");
+    const double misses = Rate(cur, prev, "pipelsm_cache_block_misses");
+    const double lookups = hits + misses;
+    std::printf("cache     %5.1f%% hit   %8.0f lookups/s   "
+                "%.1f MiB used   evict %.0f/s\n",
+                lookups > 0 ? 100.0 * hits / lookups : 0.0, lookups,
+                cur.Sum("pipelsm_cache_block_usage_bytes") / (1 << 20),
+                Rate(cur, prev, "pipelsm_cache_block_evictions"));
+  }
+  if (cur.Sum("pipelsm_cursor_opened") >= 0) {
+    std::printf("cursors   %.0f open   opened %.0f   expired %.0f   "
+                "batches %.0f/s\n",
+                cur.Sum("pipelsm_cursor_active"),
+                cur.Sum("pipelsm_cursor_opened"),
+                cur.Sum("pipelsm_cursor_expired"),
+                Rate(cur, prev, "pipelsm_cursor_batches"));
   }
 
   // Value-log line, present only when key-value separation is on
@@ -341,6 +363,27 @@ void RenderOnce(const Snapshot& snap) {
                   snap.Value("pipelsm_arbiter_io_lanes_in_use"),
                   snap.Value("pipelsm_arbiter_compute_workers_in_use"),
                   snap.Value("pipelsm_arbiter_waiting"));
+    out += buf;
+  }
+  if (snap.Sum("pipelsm_cache_block_hits") >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"cache\":{\"block_hits\":%.0f,\"block_misses\":%.0f,"
+                  "\"block_evictions\":%.0f,\"block_usage\":%.0f}",
+                  snap.Sum("pipelsm_cache_block_hits"),
+                  snap.Sum("pipelsm_cache_block_misses"),
+                  snap.Sum("pipelsm_cache_block_evictions"),
+                  snap.Sum("pipelsm_cache_block_usage_bytes"));
+    out += buf;
+  }
+  if (snap.Sum("pipelsm_cursor_opened") >= 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"cursors\":{\"active\":%.0f,\"opened\":%.0f,"
+                  "\"closed\":%.0f,\"expired\":%.0f,\"batches\":%.0f}",
+                  snap.Sum("pipelsm_cursor_active"),
+                  snap.Sum("pipelsm_cursor_opened"),
+                  snap.Sum("pipelsm_cursor_closed"),
+                  snap.Sum("pipelsm_cursor_expired"),
+                  snap.Sum("pipelsm_cursor_batches"));
     out += buf;
   }
   if (snap.Sum("pipelsm_vlog_segments") >= 0) {
