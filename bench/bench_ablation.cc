@@ -14,6 +14,13 @@
 //  A4. Pipelined memtable flush — the paper pipelines only major
 //      compactions; this measures extending the idea to the memtable
 //      dump (Options::pipelined_flush).
+//  A6. Write amplification by compaction policy — overwrite-heavy fill
+//      under each Options::compaction_style; RESULT write_amp is
+//      bytes-written amplification: compaction output bytes / user
+//      bytes (docs/COMPACTION.md). Tiered should beat leveled here.
+//  A7. Key-range sub-compactions — a manual full-range compaction with
+//      max_subcompactions 1 vs 4 on a multi-stripe device must produce
+//      byte-identical scans, with the split measurably faster.
 #include "bench_common.h"
 
 #include "src/db/builder.h"
@@ -72,6 +79,138 @@ CompactionRun RunWith(const CompactionBenchConfig& cfg, size_t queue_depth,
   run.bandwidth_mib_s =
       run.wall_seconds > 0 ? ToMiB(run.profile.input_bytes) / run.wall_seconds
                            : 0;
+  return run;
+}
+
+// ---- A6 helper: overwrite-heavy DB fill under one compaction policy ----
+
+struct StyleWaRun {
+  double user_mib = 0;
+  double compaction_mib = 0;
+  double write_amp = 0;  // compaction bytes written / user bytes
+  uint64_t compactions = 0;
+};
+
+StyleWaRun RunOverwriteFill(CompactionStyle style) {
+  SimEnv env(DeviceProfile::Ssd());
+  Options options;
+  options.env = &env;
+  options.create_if_missing = true;
+  options.compaction_mode = CompactionMode::kPCP;
+  options.write_buffer_size = 64 << 10;  // many flushes -> deep tree
+  options.max_file_size = 64 << 10;
+  options.subtask_bytes = 32 << 10;
+  options.block_size = 4 << 10;
+  options.compaction_style = style;
+  options.tiered_run_count = 4;
+
+  DB* raw = nullptr;
+  Status s = DB::Open(options, "/db", &raw);
+  if (!s.ok()) std::exit(1);
+  std::unique_ptr<DB> db(raw);
+
+  // Each distinct key is rewritten ~15x on average, so most compaction
+  // input is shadowed versions — the regime where policy choice moves
+  // write amplification the most.
+  const uint64_t writes = static_cast<uint64_t>(60000 * Scale());
+  const uint64_t distinct = static_cast<uint64_t>(4000 * Scale());
+  WorkloadGenerator gen(distinct, 16, 100, KeyOrder::kRandom);
+  uint32_t rng = 301;
+  uint64_t user_bytes = 0;
+  for (uint64_t i = 0; i < writes; i++) {
+    rng = rng * 1664525u + 1013904223u;  // Numerical Recipes LCG
+    const uint64_t k = rng % distinct;
+    const std::string key = gen.Key(k);
+    const std::string value = gen.Value(k);
+    user_bytes += key.size() + value.size();
+    s = db->Put(WriteOptions(), key, value);
+    if (!s.ok()) std::exit(1);
+  }
+  db->WaitForCompactions();
+
+  const CompactionMetrics m = db->GetCompactionMetrics();
+  StyleWaRun run;
+  run.user_mib = ToMiB(static_cast<double>(user_bytes));
+  run.compaction_mib = ToMiB(static_cast<double>(m.compaction_bytes_written));
+  run.write_amp = user_bytes > 0 ? static_cast<double>(
+                                       m.compaction_bytes_written) /
+                                       static_cast<double>(user_bytes)
+                                 : 0;
+  run.compactions = m.compactions;
+  return run;
+}
+
+// ---- A7 helpers: sub-compaction equivalence + speedup ----
+
+// FNV-1a over every (key, value) the DB serves, in scan order. Two DBs
+// with identical logical contents hash identically.
+uint64_t ScanChecksum(DB* db, uint64_t* entries) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const Slice& s) {
+    for (size_t i = 0; i < s.size(); i++) {
+      h ^= static_cast<unsigned char>(s.data()[i]);
+      h *= 1099511628211ull;
+    }
+  };
+  *entries = 0;
+  std::unique_ptr<Iterator> it(db->NewIterator(ReadOptions()));
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    mix(it->key());
+    mix(it->value());
+    (*entries)++;
+  }
+  if (!it->status().ok()) std::exit(1);
+  return h;
+}
+
+struct SubcompactionRun {
+  double compact_seconds = 0;  // wall time of the manual CompactRange
+  uint64_t checksum = 0;
+  uint64_t entries = 0;
+};
+
+SubcompactionRun RunSubcompaction(int max_subcompactions) {
+  // SCP is deliberate: one SCP job is single-threaded, so key-range
+  // fan-out is its only source of concurrency and the speedup isolates
+  // what splitting itself buys. (Under the pipelined executors a lone
+  // job already spends the granted read/compute budget internally, so
+  // splitting merely redistributes it.) Four stripes + four granted
+  // readers: max_subcompactions=4 runs 4 concurrent SCP pipelines, one
+  // per stripe. The x8 slow-motion domain lets their compute overlap
+  // genuinely on small hosts, as in A3.
+  SimEnv env(DilatedProfile(DeviceProfile::Ssd(4), 8.0));
+  Options options;
+  options.env = &env;
+  options.create_if_missing = true;
+  options.compaction_mode = CompactionMode::kSCP;
+  options.compaction_time_dilation = 8.0;
+  options.io_parallelism = 4;
+  options.compute_parallelism = 4;
+  options.write_buffer_size = 256 << 10;
+  options.max_file_size = 256 << 10;
+  options.subtask_bytes = 64 << 10;
+  options.block_size = 4 << 10;
+  options.max_subcompactions = max_subcompactions;
+
+  DB* raw = nullptr;
+  Status s = DB::Open(options, "/db", &raw);
+  if (!s.ok()) std::exit(1);
+  std::unique_ptr<DB> db(raw);
+
+  FillOptions fill;
+  fill.num_entries = static_cast<uint64_t>(30000 * Scale());
+  fill.key_size = 16;
+  fill.value_size = 100;
+  fill.order = KeyOrder::kRandom;
+  FillResult result;
+  s = RunFill(db.get(), fill, &result);
+  if (!s.ok()) std::exit(1);
+
+  SubcompactionRun run;
+  Stopwatch sw;
+  db->CompactRange(nullptr, nullptr);
+  run.compact_seconds = sw.ElapsedSeconds();
+  run.checksum = ScanChecksum(db.get(), &run.entries);
   return run;
 }
 
@@ -179,5 +318,76 @@ int main() {
     std::printf("%-22s %10.1f ms  (%.0f%% faster)\n", "pipelined",
                 seconds[1] * 1e3, 100.0 * (1 - seconds[1] / seconds[0]));
   }
+
+  // ---- A6: write amplification by compaction policy ----
+  // Overwrite-heavy fill: leveled re-merges the same shadowed versions
+  // into L1+ again and again; tiered defers merging until T runs stack
+  // up, so each byte is rewritten far fewer times (docs/COMPACTION.md).
+  std::printf("\nA6. write amplification by compaction policy "
+              "(overwrite-heavy fill, SSD)\n");
+  std::printf("%-14s %10s %16s %11s %13s\n", "style", "user MiB",
+              "compaction MiB", "write-amp", "compactions");
+  double wa_by_style[3] = {0, 0, 0};
+  for (CompactionStyle style :
+       {CompactionStyle::kLeveled, CompactionStyle::kTiered,
+        CompactionStyle::kLazyLeveling}) {
+    StyleWaRun run = RunOverwriteFill(style);
+    wa_by_style[static_cast<int>(style)] = run.write_amp;
+    std::printf("%-14s %10.1f %16.1f %11.2f %13llu\n",
+                CompactionStyleName(style), run.user_mib, run.compaction_mib,
+                run.write_amp,
+                static_cast<unsigned long long>(run.compactions));
+    std::printf("RESULT {\"ablation\":\"write_amp\",\"style\":\"%s\","
+                "\"user_mib\":%.2f,\"compaction_mib\":%.2f,"
+                "\"write_amp\":%.3f}\n",
+                CompactionStyleName(style), run.user_mib, run.compaction_mib,
+                run.write_amp);
+  }
+  {
+    const double leveled = wa_by_style[static_cast<int>(CompactionStyle::kLeveled)];
+    const double tiered = wa_by_style[static_cast<int>(CompactionStyle::kTiered)];
+    std::printf("tiered %s leveled on bytes-written write amplification "
+                "(%.2f vs %.2f)\n", tiered < leveled ? "beats" : "DOES NOT beat",
+                tiered, leveled);
+    if (tiered >= leveled) {
+      std::fprintf(stderr, "A6 FAILED: expected tiered write-amp < leveled\n");
+      return 1;
+    }
+  }
+
+  // ---- A7: key-range sub-compactions ----
+  std::printf("\nA7. sub-compaction split (manual full compaction, SCP, "
+              "SSD RAID0x4, x8 domain)\n");
+  SubcompactionRun serial = RunSubcompaction(1);
+  SubcompactionRun split = RunSubcompaction(4);
+  std::printf("%-26s %10.1f ms\n", "max_subcompactions=1",
+              serial.compact_seconds * 1e3);
+  std::printf("%-26s %10.1f ms  (%.2fx speedup)\n", "max_subcompactions=4",
+              split.compact_seconds * 1e3,
+              split.compact_seconds > 0
+                  ? serial.compact_seconds / split.compact_seconds
+                  : 0);
+  std::printf("RESULT {\"ablation\":\"subcompaction\",\"serial_ms\":%.1f,"
+              "\"split_ms\":%.1f,\"speedup\":%.3f,\"identical\":%s}\n",
+              serial.compact_seconds * 1e3, split.compact_seconds * 1e3,
+              split.compact_seconds > 0
+                  ? serial.compact_seconds / split.compact_seconds
+                  : 0,
+              serial.checksum == split.checksum &&
+                      serial.entries == split.entries
+                  ? "true"
+                  : "false");
+  if (serial.checksum != split.checksum || serial.entries != split.entries) {
+    std::fprintf(stderr,
+                 "A7 FAILED: scans differ (entries %llu vs %llu, "
+                 "checksum %016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(serial.entries),
+                 static_cast<unsigned long long>(split.entries),
+                 static_cast<unsigned long long>(serial.checksum),
+                 static_cast<unsigned long long>(split.checksum));
+    return 1;
+  }
+  std::printf("scan oracle: %llu entries, checksums identical\n",
+              static_cast<unsigned long long>(split.entries));
   return 0;
 }

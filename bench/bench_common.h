@@ -164,6 +164,11 @@ struct DbBenchConfig {
   size_t write_buffer_size = 256 << 10;
   size_t max_file_size = 256 << 10;
   size_t subtask_bytes = 64 << 10;
+
+  // Compaction policy knobs (docs/COMPACTION.md).
+  CompactionStyle style = CompactionStyle::kLeveled;
+  int tiered_run_count = 4;
+  int max_subcompactions = 1;
 };
 
 // Fills a fresh DB on a simulated device and reports system throughput +
@@ -181,6 +186,9 @@ inline DbRun RunDbFill(const DbBenchConfig& cfg) {
   options.max_file_size = cfg.max_file_size;
   options.subtask_bytes = cfg.subtask_bytes;
   options.block_size = 4 << 10;  // paper §IV-A
+  options.compaction_style = cfg.style;
+  options.tiered_run_count = cfg.tiered_run_count;
+  options.max_subcompactions = cfg.max_subcompactions;
 
   DB* raw = nullptr;
   Status s = DB::Open(options, "/db", &raw);

@@ -74,7 +74,28 @@ Status PlanSubTasks(const CompactionJobOptions& options,
     }
   }
 
-  // Build the sub-task ranges: (-inf, b0], (b0, b1], ..., (b_last, +inf].
+  // A sub-compaction restricts the whole job to (range_lo, range_hi]:
+  // keep only boundaries strictly inside the window, then pin the first
+  // plan's lo and the last plan's hi to the window edges so block
+  // assignment and the merge's range filter clamp to it automatically.
+  if (!options.range_unbounded_lo || !options.range_unbounded_hi) {
+    boundaries.erase(
+        std::remove_if(
+            boundaries.begin(), boundaries.end(),
+            [&](const std::string& b) {
+              if (!options.range_unbounded_lo &&
+                  ucmp->Compare(b, options.range_lo_user_key) <= 0)
+                return true;
+              if (!options.range_unbounded_hi &&
+                  ucmp->Compare(b, options.range_hi_user_key) >= 0)
+                return true;
+              return false;
+            }),
+        boundaries.end());
+  }
+
+  // Build the sub-task ranges: (lo, b0], (b0, b1], ..., (b_last, hi]
+  // where lo/hi are the job range edges (unbounded by default).
   const size_t num_tasks = boundaries.size() + 1;
   plans->resize(num_tasks);
   for (size_t i = 0; i < num_tasks; i++) {
@@ -83,10 +104,16 @@ Status PlanSubTasks(const CompactionJobOptions& options,
     if (i > 0) {
       p.unbounded_lo = false;
       p.lo_user_key = boundaries[i - 1];
+    } else if (!options.range_unbounded_lo) {
+      p.unbounded_lo = false;
+      p.lo_user_key = options.range_lo_user_key;
     }
     if (i < boundaries.size()) {
       p.unbounded_hi = false;
       p.hi_user_key = boundaries[i];
+    } else if (!options.range_unbounded_hi) {
+      p.unbounded_hi = false;
+      p.hi_user_key = options.range_hi_user_key;
     }
   }
 

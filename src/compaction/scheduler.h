@@ -84,6 +84,11 @@ struct CompactionAdmissionRequest {
   uint64_t advisor_jobs = 0;        // jobs the advisor has digested
   int level = 0;                    // compaction input level (-1 for GC)
   uint64_t input_bytes = 0;         // sum of input file sizes
+  // Picker-predicted bytes-written amplification of the job
+  // (docs/COMPACTION.md): ~1 for tiered pushes, (src+overlap)/src for
+  // leveled spills. Lets a fleet governor weigh cheap reclamation
+  // against expensive rewrites when ordering its queue.
+  double predicted_write_amp = 1.0;
   // Value-log garbage collection (docs/VALUE_LOG.md): competes for the
   // same lane/worker budget as compactions but ranks below every
   // non-forced compaction — reclaiming dead value bytes is maintenance,

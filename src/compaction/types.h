@@ -135,6 +135,17 @@ struct CompactionJobOptions {
   // Default: yes (standalone/bench usage where there is nothing below).
   std::function<bool(const SubTaskPlan&)> range_is_base_level;
 
+  // Key-range restriction for sub-compactions (docs/COMPACTION.md): when
+  // bounded, this job covers only user keys in (range_lo, range_hi] of
+  // its input tables. The planner clamps every sub-task plan to this
+  // window, so the merge's existing range filter drops everything
+  // outside it and neighboring sub-jobs' outputs never overlap at the
+  // seams. Unbounded on both ends by default (whole-job semantics).
+  bool range_unbounded_lo = true;
+  bool range_unbounded_hi = true;
+  std::string range_lo_user_key;
+  std::string range_hi_user_key;
+
   // Optional: per-block bloom filters for the output tables, created in
   // the compute stage (so S7 stays write-only). Pass the same (wrapped)
   // policy the table readers use. nullptr = no filter blocks.

@@ -52,7 +52,11 @@ struct CompactionMetrics {
   uint64_t compactions = 0;      // number of major compactions run
   uint64_t memtable_flushes = 0;
   uint64_t bytes_read = 0;       // compaction input bytes (compressed)
-  uint64_t bytes_written = 0;    // compaction output bytes (compressed)
+  uint64_t bytes_written = 0;    // compaction + flush output bytes
+  // Output bytes of major compactions only (no memtable flushes):
+  // divide by user bytes for the classic write-amplification figure
+  // (bench_ablation's WA column; docs/COMPACTION.md).
+  uint64_t compaction_bytes_written = 0;
   uint64_t stall_micros = 0;     // writer time lost to stalls/pauses
 };
 

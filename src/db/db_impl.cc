@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "src/compaction/executor.h"
+#include "src/compaction/picker.h"
 #include "src/compaction/scheduler.h"
 #include "src/db/builder.h"
 #include "src/db/db_iter.h"
@@ -47,6 +49,14 @@ Options SanitizeOptions(const Options& src) {
   if (result.scheduler_hysteresis_jobs < 1) {
     result.scheduler_hysteresis_jobs = 1;
   }
+  // Compaction-policy knobs (docs/COMPACTION.md): T < 2 degenerates to
+  // leveling with extra read amplification, and the sub-compaction
+  // fan-out is bounded so a misconfigured value cannot spawn an
+  // unbounded thread herd per job.
+  if (result.tiered_run_count < 2) result.tiered_run_count = 2;
+  if (result.tiered_run_count > 32) result.tiered_run_count = 32;
+  if (result.max_subcompactions < 1) result.max_subcompactions = 1;
+  if (result.max_subcompactions > 16) result.max_subcompactions = 16;
   if (result.scheduler_warmup_jobs < 0) result.scheduler_warmup_jobs = 0;
   if (result.scheduler_min_gain < 1.0) result.scheduler_min_gain = 1.0;
   if (result.pipeline_queue_depth < 1) result.pipeline_queue_depth = 1;
@@ -71,6 +81,60 @@ Options SanitizeOptions(const Options& src) {
         result.background_retry_backoff_micros;
   }
   return result;
+}
+
+// Choose up to want-1 strictly increasing user keys splitting a job's
+// inputs into byte-balanced sub-ranges. Cuts happen only at input-table
+// largest keys, so most tables fall wholly inside one sub-range and no
+// boundary splits a key's version chain (all versions of a seam key land
+// in the sub-range at or below it). May return fewer splits than asked —
+// including none — when the inputs offer too few distinct boundaries.
+std::vector<std::string> PickSubcompactionSplits(const Compaction* c,
+                                                 const Comparator* ucmp,
+                                                 int want) {
+  struct Cand {
+    std::string key;
+    uint64_t bytes;
+  };
+  std::vector<Cand> cands;
+  uint64_t total = 0;
+  for (int which = 0; which < 2; which++) {
+    for (const FileMetaData* f : c->inputs(which)) {
+      cands.push_back({f->largest.user_key().ToString(), f->file_size});
+      total += f->file_size;
+    }
+  }
+  std::sort(cands.begin(), cands.end(),
+            [&](const Cand& a, const Cand& b) {
+              return ucmp->Compare(a.key, b.key) < 0;
+            });
+  // Merge duplicate boundary keys, accumulating their bytes.
+  size_t n = 0;
+  for (size_t i = 0; i < cands.size(); i++) {
+    if (n > 0 && ucmp->Compare(cands[i].key, cands[n - 1].key) == 0) {
+      cands[n - 1].bytes += cands[i].bytes;
+    } else {
+      cands[n++] = cands[i];
+    }
+  }
+  cands.resize(n);
+  std::vector<std::string> splits;
+  if (cands.size() < 2 || total == 0 || want < 2) return splits;
+  // Walk boundaries accumulating bytes; cut whenever the running total
+  // crosses the next even share. The global max key is never a split
+  // (the trailing sub-range would be empty).
+  uint64_t cum = 0;
+  uint64_t next_share = 1;
+  for (size_t i = 0;
+       i + 1 < cands.size() && splits.size() + 1 < static_cast<size_t>(want);
+       i++) {
+    cum += cands[i].bytes;
+    if (cum >= total * next_share / static_cast<uint64_t>(want)) {
+      splits.push_back(cands[i].key);
+      next_share++;
+    }
+  }
+  return splits;
 }
 
 }  // namespace
@@ -153,24 +217,29 @@ class DBImpl::EventLogger final : public obs::EventListener {
 
   void OnCompactionBegin(const obs::CompactionJobInfo& info) override {
     obs::Log(db_->info_log_,
-             "EVENT compaction_begin job=%llu level=%d executor=%s "
-             "read_k=%d compute_k=%d adaptive=%d inputs=%d "
-             "input_bytes=%llu subtasks=%llu",
+             "EVENT compaction_begin job=%llu level=%d output_level=%d "
+             "style=%s executor=%s read_k=%d compute_k=%d adaptive=%d "
+             "inputs=%d input_bytes=%llu subtasks=%llu subcompactions=%d "
+             "predicted_write_amp=%.2f",
              static_cast<unsigned long long>(info.job_id), info.level,
-             info.executor, info.read_parallelism, info.compute_parallelism,
+             info.output_level, info.style, info.executor,
+             info.read_parallelism, info.compute_parallelism,
              info.adaptive ? 1 : 0, info.input_files,
              static_cast<unsigned long long>(info.input_bytes),
-             static_cast<unsigned long long>(info.subtasks));
+             static_cast<unsigned long long>(info.subtasks),
+             info.subcompactions, info.predicted_write_amp);
   }
 
   void OnCompactionCompleted(const obs::CompactionJobInfo& info) override {
     const StepProfile& p = info.profile;
     obs::Log(db_->info_log_,
-             "EVENT compaction_end job=%llu level=%d executor=%s "
+             "EVENT compaction_end job=%llu level=%d output_level=%d "
+             "style=%s executor=%s subcompactions=%d "
              "output_bytes=%llu read_ms=%.1f compute_ms=%.1f write_ms=%.1f "
              "wall_ms=%.1f status=%s",
              static_cast<unsigned long long>(info.job_id), info.level,
-             info.executor,
+             info.output_level, info.style, info.executor,
+             info.subcompactions,
              static_cast<unsigned long long>(info.output_bytes),
              p.nanos[kStepRead] / 1e6, p.ComputeNanos() / 1e6,
              p.nanos[kStepWrite] / 1e6, info.wall_micros / 1e3,
@@ -290,6 +359,12 @@ DBImpl::DBImpl(const Options& raw_options, const std::string& dbname)
       "writer time fully paused on memtable/L0 backpressure");
   flush_runs_counter_ =
       metrics_registry_.RegisterCounter("flush.runs", "memtable flushes");
+  subcompaction_jobs_counter_ = metrics_registry_.RegisterCounter(
+      "compaction.subcompaction.jobs",
+      "compaction jobs split into key-range sub-jobs");
+  subcompaction_runs_counter_ = metrics_registry_.RegisterCounter(
+      "compaction.subcompaction.runs",
+      "key-range sub-jobs run across split compactions");
   get_micros_hist_ = metrics_registry_.RegisterHistogram(
       "db.get_micros", "foreground Get latency");
   write_micros_hist_ = metrics_registry_.RegisterHistogram(
@@ -668,9 +743,12 @@ Status DBImpl::WriteLevel0Table(MemTable* mem, VersionEdit* edit,
     const Slice min_user_key = meta.smallest.user_key();
     const Slice max_user_key = meta.largest.user_key();
     if (base != nullptr &&
+        options_.compaction_style == CompactionStyle::kLeveled &&
         !base->OverlapInLevel(0, &min_user_key, &max_user_key)) {
       // Push the new sstable to a lower level if there is no overlap:
-      // avoids expensive L0 merges for sequential loads.
+      // avoids expensive L0 merges for sequential loads. Leveled only —
+      // tiered/lazy pickers count runs per level and expect flushes to
+      // enter at L0 so data ages strictly downward.
       while (level < config::kNumLevels - 2 &&
              !base->OverlapInLevel(level + 1, &min_user_key, &max_user_key)) {
         level++;
@@ -722,8 +800,13 @@ Status DBImpl::CompactMemTable(std::unique_lock<std::mutex>&) {
 void DBImpl::MaybeFlushImmFromSink() {
   if (!has_imm_.load(std::memory_order_acquire)) return;
   std::unique_lock<std::mutex> lock(mutex_);
-  if (imm_ != nullptr && bg_error_.ok()) {
+  // Several sub-compaction sinks can race here; only the first may flush
+  // (the imm_ check re-passes for the others while CompactMemTable is
+  // parked in LogAndApply with mutex_ released).
+  if (imm_ != nullptr && !imm_flush_in_progress_ && bg_error_.ok()) {
+    imm_flush_in_progress_ = true;
     Status s = CompactMemTable(lock);
+    imm_flush_in_progress_ = false;
     if (!s.ok()) {
       // Runs on an executor thread: classify here, and the background
       // loop (which still sees imm_ != nullptr) owns the re-attempt.
@@ -957,8 +1040,11 @@ void DBImpl::BackgroundThreadMain() {
 }
 
 Status DBImpl::BackgroundCompaction(std::unique_lock<std::mutex>& lock) {
-  if (imm_ != nullptr) {
-    return CompactMemTable(lock);
+  if (imm_ != nullptr && !imm_flush_in_progress_) {
+    imm_flush_in_progress_ = true;
+    Status s = CompactMemTable(lock);
+    imm_flush_in_progress_ = false;
+    return s;
   }
 
   Compaction* c;
@@ -980,16 +1066,16 @@ Status DBImpl::BackgroundCompaction(std::unique_lock<std::mutex>& lock) {
   if (c == nullptr) {
     // Nothing to do.
   } else if (!is_manual && c->IsTrivialMove()) {
-    // Move file to next level.
+    // Move file to the output level.
     assert(c->num_input_files(0) == 1);
     FileMetaData* f = c->input(0, 0);
     c->edit()->RemoveFile(c->level(), f->number);
-    c->edit()->AddFile(c->level() + 1, f->number, f->file_size, f->smallest,
-                       f->largest);
+    c->edit()->AddFile(c->output_level(), f->number, f->file_size,
+                       f->smallest, f->largest);
     status = versions_->LogAndApply(c->edit(), &mutex_);
     PIPELSM_LOG_DEBUG("moved #%llu to level-%d %lld bytes: %s",
                       static_cast<unsigned long long>(f->number),
-                      c->level() + 1, static_cast<long long>(f->file_size),
+                      c->output_level(), static_cast<long long>(f->file_size),
                       versions_->LevelSummary().c_str());
   } else {
     status = DoCompactionWork(lock, c);
@@ -1052,6 +1138,7 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
     request.profile = advisor_.Profile();
     request.advisor_jobs = advisor_.jobs();
     request.level = c->level();
+    request.predicted_write_amp = c->predicted_write_amp();
     for (int which = 0; which < 2; which++) {
       for (const FileMetaData* f : c->inputs(which)) {
         request.input_bytes += f->file_size;
@@ -1083,7 +1170,7 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
 
   PIPELSM_LOG_INFO("compacting %d@%d + %d@%d files [%s]",
                    c->num_input_files(0), c->level(), c->num_input_files(1),
-                   c->level() + 1, executor->name());
+                   c->output_level(), executor->name());
 
   CompactionJobOptions job;
   job.icmp = &internal_comparator_;
@@ -1112,6 +1199,9 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
   obs::CompactionJobInfo job_info;
   job_info.job_id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
   job_info.level = c->level();
+  job_info.output_level = c->output_level();
+  job_info.style = CompactionStyleName(options_.compaction_style);
+  job_info.predicted_write_amp = c->predicted_write_amp();
   job_info.input_files = c->num_input_files(0) + c->num_input_files(1);
   job_info.read_parallelism = decision.read_parallelism;
   job_info.compute_parallelism = decision.compute_parallelism;
@@ -1121,9 +1211,12 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
   job.job_info = &job_info;
 
   obs::Log(info_log_,
-           "EVENT adaptive_decision job=%llu level=%d procedure=%s "
+           "EVENT adaptive_decision job=%llu level=%d output_level=%d "
+           "style=%s predicted_write_amp=%.2f procedure=%s "
            "read_k=%d compute_k=%d adaptive=%d rationale=\"%s\"",
            static_cast<unsigned long long>(job_info.job_id), c->level(),
+           c->output_level(), CompactionStyleName(options_.compaction_style),
+           c->predicted_write_amp(),
            CompactionModeName(decision.mode), decision.read_parallelism,
            decision.compute_parallelism, decision.adaptive ? 1 : 0,
            decision.rationale.c_str());
@@ -1158,15 +1251,127 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
     }
   }
 
+  // ---- key-range sub-compaction fan-out (docs/COMPACTION.md) ----
+  // A large job may split at input-table boundary keys into disjoint
+  // (lo, hi] sub-ranges, each run by its own executor instance over the
+  // same open inputs. The fan-out is clamped by Options and by the
+  // parallelism this job was just granted, so a split never
+  // oversubscribes the scheduler/governor budget.
+  std::vector<std::string> split_keys;
+  if (status.ok() && options_.max_subcompactions > 1) {
+    uint64_t want = static_cast<uint64_t>(
+        std::min(options_.max_subcompactions,
+                 std::max(decision.read_parallelism,
+                          decision.compute_parallelism)));
+    // Size floor: a sub-range under ~2 sub-tasks of input is thread
+    // churn, not parallelism.
+    const uint64_t floor_bytes =
+        2 * static_cast<uint64_t>(options_.subtask_bytes);
+    if (floor_bytes > 0) {
+      want = std::min(want, std::max<uint64_t>(1, input_bytes / floor_bytes));
+    }
+    if (want > 1) {
+      split_keys = PickSubcompactionSplits(
+          c, internal_comparator_.user_comparator(),
+          static_cast<int>(want));
+    }
+  }
+  const int fanout = static_cast<int>(split_keys.size()) + 1;
+  job_info.subcompactions = fanout;
+
   CompactionSinkImpl sink(this);
   StepProfile profile;
-  if (status.ok()) {
+  std::vector<std::unique_ptr<CompactionSinkImpl>> sub_sinks;
+  if (status.ok() && fanout == 1) {
     job_info.input_bytes = input_bytes;
     // Release the mutex while the executor runs (the expensive part).
     // The executor fires OnCompactionBegin/Completed on listeners_ from
     // this (unlocked) thread.
     lock.unlock();
     status = executor->Run(job, inputs, &sink, &profile);
+    lock.lock();
+  } else if (status.ok()) {
+    job_info.input_bytes = input_bytes;
+    std::vector<CompactionJobOptions> sub_jobs(fanout, job);
+    std::vector<obs::CompactionJobInfo> sub_infos(fanout);
+    std::vector<std::unique_ptr<CompactionExecutor>> sub_execs;
+    std::vector<StepProfile> sub_profiles(fanout);
+    std::vector<Status> sub_status(fanout);
+    for (int i = 0; i < fanout; i++) {
+      sub_sinks.emplace_back(new CompactionSinkImpl(this));
+      CompactionJobOptions& sj = sub_jobs[i];
+      // Each sub-job runs a fresh executor instance on an equal share of
+      // the granted parallelism (floor 1). The parent fires the listener
+      // callbacks once for the whole job, so sub-jobs carry none — but
+      // they keep their own job_info so the executors still report
+      // per-sub subtask/output/profile totals to merge below.
+      sj.read_parallelism = std::max(1, decision.read_parallelism / fanout);
+      sj.compute_parallelism =
+          std::max(1, decision.compute_parallelism / fanout);
+      sj.listeners = nullptr;
+      sj.job_info = &sub_infos[i];
+      if (i > 0) {
+        sj.range_unbounded_lo = false;
+        sj.range_lo_user_key = split_keys[i - 1];
+      }
+      if (i < fanout - 1) {
+        sj.range_unbounded_hi = false;
+        sj.range_hi_user_key = split_keys[i];
+      }
+      sub_execs.push_back(NewCompactionExecutor(decision.mode));
+    }
+    subcompacted_jobs_++;
+    subcompactions_run_ += fanout;
+    if (subcompaction_jobs_counter_ != nullptr) {
+      subcompaction_jobs_counter_->Add(1);
+      subcompaction_runs_counter_->Add(fanout);
+    }
+    Stopwatch wall_sw;
+    lock.unlock();
+    // One Begin/Completed pair for the whole job: listeners (and through
+    // them the advisor) digest a single job with merged totals. Begin
+    // fires before planning, so subtasks is still 0 here.
+    for (obs::EventListener* l : listeners_) l->OnCompactionBegin(job_info);
+    std::vector<std::thread> threads;
+    threads.reserve(fanout - 1);
+    for (int i = 1; i < fanout; i++) {
+      threads.emplace_back([&, i] {
+        sub_status[i] = sub_execs[i]->Run(sub_jobs[i], inputs,
+                                          sub_sinks[i].get(),
+                                          &sub_profiles[i]);
+      });
+    }
+    sub_status[0] = sub_execs[0]->Run(sub_jobs[0], inputs, sub_sinks[0].get(),
+                                      &sub_profiles[0]);
+    for (std::thread& t : threads) t.join();
+    uint64_t sub_output_bytes = 0;
+    uint64_t sub_subtasks = 0;
+    for (int i = 0; i < fanout; i++) {
+      if (status.ok() && !sub_status[i].ok()) status = sub_status[i];
+      profile.Merge(sub_profiles[i]);
+      sub_subtasks += sub_infos[i].subtasks;
+      sub_output_bytes += sub_infos[i].output_bytes;
+      obs::Log(info_log_,
+               "EVENT subcompaction job=%llu sub=%d/%d lo=%s hi=%s "
+               "subtasks=%llu output_bytes=%llu status=%s",
+               static_cast<unsigned long long>(job_info.job_id), i + 1,
+               fanout, i > 0 ? split_keys[i - 1].c_str() : "-inf",
+               i < fanout - 1 ? split_keys[i].c_str() : "+inf",
+               static_cast<unsigned long long>(sub_infos[i].subtasks),
+               static_cast<unsigned long long>(sub_infos[i].output_bytes),
+               sub_status[i].ok() ? "ok"
+                                  : sub_status[i].ToString().c_str());
+    }
+    job_info.executor = executor->name();
+    job_info.subtasks = sub_subtasks;
+    job_info.output_bytes = sub_output_bytes;
+    job_info.profile = profile;
+    job_info.wall_micros =
+        static_cast<uint64_t>(wall_sw.ElapsedNanos() / 1000);
+    job_info.status = status;
+    for (obs::EventListener* l : listeners_) {
+      l->OnCompactionCompleted(job_info);
+    }
     lock.lock();
   }
 
@@ -1180,19 +1385,31 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
   }
 
   if (status.ok()) {
-    // Install the results.
+    // Install the results. Sub-jobs are concatenated in sub-range order,
+    // so outputs ascend in key space and the whole fan-out lands in ONE
+    // VersionEdit: readers see either the old inputs or every new output,
+    // never a half-installed split.
     c->AddInputDeletions(c->edit());
     uint64_t output_bytes = 0;
-    for (const OutputMeta& out : sink.outputs()) {
-      c->edit()->AddFile(c->level() + 1, out.file_number, out.file_size,
+    auto install = [&](const OutputMeta& out) {
+      c->edit()->AddFile(c->output_level(), out.file_number, out.file_size,
                          out.smallest, out.largest);
       output_bytes += out.file_size;
+    };
+    if (fanout == 1) {
+      for (const OutputMeta& out : sink.outputs()) install(out);
+    } else {
+      for (const auto& ss : sub_sinks) {
+        for (const OutputMeta& out : ss->outputs()) install(out);
+      }
     }
     status = versions_->LogAndApply(c->edit(), &mutex_);
     metrics_.compactions++;
     metrics_.bytes_read += input_bytes;
     metrics_.bytes_written += output_bytes;
+    metrics_.compaction_bytes_written += output_bytes;
     metrics_.profile.Merge(profile);
+    last_predicted_write_amp_ = c->predicted_write_amp();
   }
 
   // Whether or not the edit was installed, stop protecting every output
@@ -1201,6 +1418,11 @@ Status DBImpl::DoCompactionWork(std::unique_lock<std::mutex>& lock,
   // collects (on a sticky error, the next successful reopen's sweep).
   for (uint64_t number : sink.allocated()) {
     pending_outputs_.erase(number);
+  }
+  for (const auto& ss : sub_sinks) {
+    for (uint64_t number : ss->allocated()) {
+      pending_outputs_.erase(number);
+    }
   }
 
   c->ReleaseInputs();
@@ -2099,6 +2321,38 @@ bool DBImpl::GetProperty(const Slice& property, std::string* value) {
       timeseries_.Sample(metrics_registry_, env_->NowMicros());
     }
     *value = timeseries_.ToJson();
+    return true;
+  } else if (in == Slice("compaction")) {
+    // Compaction-policy snapshot (docs/COMPACTION.md): active picker,
+    // per-level file/byte/run counts, and sub-compaction totals. Runs
+    // are counted by interval-stacking depth on the current version.
+    Version* v = versions_->current();
+    std::string out = "{";
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"style\":\"%s\",\"picker\":\"%s\",\"tiered_run_count\":%d,"
+        "\"max_subcompactions\":%d,\"last_predicted_write_amp\":%.3f,"
+        "\"subcompacted_jobs\":%llu,\"subcompactions_run\":%llu,"
+        "\"levels\":[",
+        CompactionStyleName(options_.compaction_style),
+        versions_->picker()->Name(), options_.tiered_run_count,
+        options_.max_subcompactions, last_predicted_write_amp_,
+        static_cast<unsigned long long>(subcompacted_jobs_),
+        static_cast<unsigned long long>(subcompactions_run_));
+    out += buf;
+    for (int level = 0; level < config::kNumLevels; level++) {
+      const std::vector<FileMetaData*>& files = v->files(level);
+      std::snprintf(
+          buf, sizeof(buf),
+          "%s{\"level\":%d,\"files\":%d,\"bytes\":%lld,\"runs\":%d}",
+          level > 0 ? "," : "", level, static_cast<int>(files.size()),
+          static_cast<long long>(versions_->NumLevelBytes(level)),
+          CountRuns(internal_comparator_, files));
+      out += buf;
+    }
+    out += "]}";
+    *value = out;
     return true;
   } else if (in == Slice("background-error")) {
     *value = bg_error_.ToString();  // "OK" when healthy

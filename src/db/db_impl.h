@@ -242,6 +242,11 @@ class DBImpl final : public DB {
   MemTable* mem_ = nullptr;
   MemTable* imm_ = nullptr;              // Memtable being flushed
   std::atomic<bool> has_imm_{false};     // imm_ != nullptr, lock-free probe
+  // True while one thread runs CompactMemTable. Concurrent sub-compaction
+  // sink threads may all observe has_imm_; CompactMemTable drops mutex_
+  // inside LogAndApply, so the imm_ null check alone cannot arbitrate
+  // (docs/COMPACTION.md). Guarded by mutex_.
+  bool imm_flush_in_progress_ = false;
   std::unique_ptr<WritableFile> logfile_;
   uint64_t logfile_number_ = 0;
   std::unique_ptr<log::Writer> log_;
@@ -285,6 +290,12 @@ class DBImpl final : public DB {
   bool bg_retry_pending_ = false; // background loop owes a backoff+retry
   CompactionMetrics metrics_;
 
+  // Compaction-policy stats behind GetProperty("pipelsm.compaction")
+  // (docs/COMPACTION.md). All guarded by mutex_.
+  uint64_t subcompacted_jobs_ = 0;   // jobs that ran as >1 sub-job
+  uint64_t subcompactions_run_ = 0;  // total sub-jobs across them
+  double last_predicted_write_amp_ = 1.0;  // last installed job's estimate
+
   // Observability (docs/OBSERVABILITY.md): instrument registry behind
   // GetProperty("pipelsm.metrics") — has its own synchronization, and the
   // executors update it outside mutex_. trace_ exists only when
@@ -294,6 +305,8 @@ class DBImpl final : public DB {
   obs::Counter* slowdown_micros_counter_ = nullptr;
   obs::Counter* pause_micros_counter_ = nullptr;
   obs::Counter* flush_runs_counter_ = nullptr;
+  obs::Counter* subcompaction_jobs_counter_ = nullptr;  // jobs that split
+  obs::Counter* subcompaction_runs_counter_ = nullptr;  // sub-jobs run
   obs::HistogramMetric* get_micros_hist_ = nullptr;
   obs::HistogramMetric* write_micros_hist_ = nullptr;
   obs::Gauge* stall_state_gauge_ = nullptr;  // 0 normal / 1 delayed / 2 stopped

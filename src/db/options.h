@@ -34,6 +34,27 @@ enum class CompactionMode { kSCP = 0, kPCP = 1, kSPPCP = 2, kCPPCP = 3 };
 
 const char* CompactionModeName(CompactionMode mode);
 
+// Which *picker* decides what gets compacted (docs/COMPACTION.md). The
+// executor above decides HOW one job runs; the style decides WHICH files
+// form a job and where the output lands — the axis Sarkar et al. show
+// dominates write amplification:
+//   kLeveled      — LevelDB size-ratio leveling: every level is one
+//                   sorted run; level-L spills merge with the
+//                   overlapping level-(L+1) files. Lowest space/read
+//                   amplification, highest write amplification.
+//   kTiered       — each level holds up to tiered_run_count overlapping
+//                   sorted runs; a full level merges into ONE new run at
+//                   the next level without rewriting resident data.
+//                   Write amplification ~1 per level, read/space
+//                   amplification grows with the run count.
+//   kLazyLeveling — Dostoevsky's hybrid: tiered at the upper levels,
+//                   leveled (single run) at the largest occupied level,
+//                   so most merges stay cheap while scans and space
+//                   stay bounded where most data lives.
+enum class CompactionStyle { kLeveled = 0, kTiered = 1, kLazyLeveling = 2 };
+
+const char* CompactionStyleName(CompactionStyle style);
+
 struct Options {
   // -------- general --------
   // Comparator used to define the order of keys. Must be the same across
@@ -101,6 +122,29 @@ struct Options {
 
   // -------- compaction procedure (the paper's contribution) --------
   CompactionMode compaction_mode = CompactionMode::kPCP;
+
+  // -------- compaction policy (docs/COMPACTION.md) --------
+  // Which CompactionPicker decides the shape of every job (see the enum
+  // above). Must be the same across DB openings of one directory: tiered
+  // styles install overlapping runs in levels > 0 that a leveled reopen
+  // would reject.
+  CompactionStyle compaction_style = CompactionStyle::kLeveled;
+
+  // Tiered / lazy-leveling: a level is merged into the next once it
+  // accumulates this many sorted runs. Smaller = closer to leveled
+  // (fewer runs to read through), larger = cheaper writes. Sarkar et
+  // al.'s T; clamped to [2, 32].
+  int tiered_run_count = 4;
+
+  // Upper bound on key-range sub-compactions per job: a large job is
+  // split at input-table boundary keys into up to this many disjoint
+  // sub-ranges, each run by its own executor instance in parallel, and
+  // installed atomically as one version edit. The effective fan-out is
+  // additionally clamped by the admission grant's parallelism budget
+  // (max of granted read/compute k) and by the job's size (each
+  // sub-range must carry at least two sub-tasks of input). 1 (default) =
+  // off; clamped to [1, 16].
+  int max_subcompactions = 1;
 
   // Sub-task granularity in input bytes; each sub-task covers one or more
   // data blocks of the upper input. Paper sweeps 64 KB..4 MB; its best PCP

@@ -48,8 +48,17 @@ struct FlushJobInfo {
 // StepProfile (per-step S1–S7 nanos and bytes) and the final status.
 struct CompactionJobInfo {
   uint64_t job_id = 0;
-  int level = 0;             // input level (output is level + 1)
+  int level = 0;             // input level
+  int output_level = 0;      // install level (level for a self-merge)
   const char* executor = ""; // "SCP" / "PCP" / "S-PPCP" / "C-PPCP"
+  // Which CompactionPicker policy shaped this job (docs/COMPACTION.md)
+  // and its predicted bytes-written amplification at pick time.
+  const char* style = "leveled";
+  double predicted_write_amp = 1.0;
+  // Number of disjoint key-range sub-jobs the DB split this compaction
+  // into (1 = not sub-compacted). When > 1, Begin fires before planning
+  // with subtasks == 0 and Completed carries the merged totals.
+  int subcompactions = 1;
   // The CompactionScheduler's per-job verdict (src/compaction/scheduler.h),
   // filled by the DB before the executor runs, so Begin already carries
   // it: the parallelism the executor was handed, whether the choice came

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/compaction/picker.h"
 #include "src/db/filename.h"
 #include "src/env/env.h"
 #include "src/table/merger.h"
@@ -217,9 +218,17 @@ void Version::AddIterators(const TableReadOptions& read_options,
 
   // For levels > 0, we can use a concatenating iterator that sequentially
   // walks through the non-overlapping files in the level, opening them
-  // lazily.
+  // lazily. Under overlapping styles every level is run-stacked like
+  // level-0, so each file feeds the merge individually (the merging
+  // iterator resolves versions by internal key, so order is immaterial).
   for (int level = 1; level < config::kNumLevels; level++) {
-    if (!files_[level].empty()) {
+    if (files_[level].empty()) continue;
+    if (vset_->overlapping_levels_) {
+      for (FileMetaData* f : files_[level]) {
+        iters->push_back(vset_->table_cache_->NewIterator(
+            read_options, f->number, f->file_size));
+      }
+    } else {
       iters->push_back(NewConcatenatingIterator(read_options, level));
     }
   }
@@ -285,12 +294,15 @@ Status Version::Get(const TableReadOptions& read_options, const LookupKey& k,
     if (num_files == 0) continue;
 
     FileMetaData* const* files = nullptr;
-    if (level == 0) {
-      // Level-0 files may overlap each other. Find all files that overlap
-      // user_key and process them in order from newest to oldest.
+    if (level == 0 || vset_->overlapping_levels_) {
+      // Files in this level may overlap each other (level-0 always;
+      // every level under tiered/lazy styles). Find all files that
+      // overlap user_key and process them newest to oldest — valid
+      // because file numbers are monotone and whole-level merges only
+      // ever install runs strictly newer than the residents below them.
       tmp.clear();
       tmp.reserve(num_files);
-      for (FileMetaData* f : files_[0]) {
+      for (FileMetaData* f : files_[level]) {
         if (ucmp->Compare(user_key, f->smallest.user_key()) >= 0 &&
             ucmp->Compare(user_key, f->largest.user_key()) <= 0) {
           tmp.push_back(f);
@@ -353,7 +365,8 @@ void Version::Unref() {
 
 bool Version::OverlapInLevel(int level, const Slice* smallest_user_key,
                              const Slice* largest_user_key) {
-  return SomeFileOverlapsRange(vset_->icmp_, (level > 0), files_[level],
+  const bool disjoint = (level > 0) && !vset_->overlapping_levels_;
+  return SomeFileOverlapsRange(vset_->icmp_, disjoint, files_[level],
                                smallest_user_key, largest_user_key);
 }
 
@@ -382,9 +395,11 @@ void Version::GetOverlappingInputs(int level, const InternalKey* begin,
       // "f" is completely after specified range; skip it.
     } else {
       inputs->push_back(f);
-      if (level == 0) {
-        // Level-0 files may overlap each other. So check if the newly
-        // added file has expanded the range. If so, restart search.
+      if (level == 0 || vset_->overlapping_levels_) {
+        // Files in this level may overlap each other. So check if the
+        // newly added file has expanded the range. If so, restart search
+        // (transitive closure: a compaction must never split a stack of
+        // overlapping files, or older data could shadow newer data).
         if (begin != nullptr &&
             user_cmp->Compare(file_start, user_begin) < 0) {
           user_begin = file_start;
@@ -536,8 +551,9 @@ class VersionSet::Builder {
       }
 
 #ifndef NDEBUG
-      // Make sure there is no overlap in levels > 0.
-      if (level > 0) {
+      // Make sure there is no overlap in levels > 0 (leveled style only;
+      // tiered/lazy styles stack whole runs in a level by design).
+      if (level > 0 && !vset_->overlapping_levels_) {
         for (size_t i = 1; i < v->files_[level].size(); i++) {
           const InternalKey& prev_end = v->files_[level][i - 1]->largest;
           const InternalKey& this_begin = v->files_[level][i]->smallest;
@@ -558,7 +574,7 @@ class VersionSet::Builder {
       // File is deleted: do nothing.
     } else {
       std::vector<FileMetaData*>* files = &v->files_[level];
-      if (level > 0 && !files->empty()) {
+      if (level > 0 && !vset_->overlapping_levels_ && !files->empty()) {
         // Must not overlap.
         assert(vset_->icmp_.Compare((*files)[files->size() - 1]->largest,
                                     f->smallest) < 0);
@@ -576,6 +592,8 @@ VersionSet::VersionSet(std::string dbname, const Options* options,
       options_(options),
       table_cache_(table_cache),
       icmp_(*cmp),
+      picker_(NewCompactionPicker(options->compaction_style, options)),
+      overlapping_levels_(picker_->AllowsOverlappingLevels()),
       dummy_versions_(this),
       current_(nullptr) {
   AppendVersion(new Version(this));
@@ -795,33 +813,9 @@ Status VersionSet::Recover() {
 }
 
 void VersionSet::Finalize(Version* v) {
-  // Precomputed best level for next compaction.
-  int best_level = -1;
-  double best_score = -1;
-
-  for (int level = 0; level < config::kNumLevels - 1; level++) {
-    double score;
-    if (level == 0) {
-      // We treat level-0 specially by bounding the number of files instead
-      // of number of bytes: with larger write-buffer sizes it is nice not
-      // to do too many level-0 compactions, and the files are merged on
-      // every read so we wish to avoid too many of them.
-      score = v->files_[level].size() /
-              static_cast<double>(config::kL0_CompactionTrigger);
-    } else {
-      // Compute the ratio of current size to size limit.
-      const uint64_t level_bytes = TotalFileSize(v->files_[level]);
-      score = static_cast<double>(level_bytes) / MaxBytesForLevel(level);
-    }
-
-    if (score > best_score) {
-      best_level = level;
-      best_score = score;
-    }
-  }
-
-  v->compaction_level_ = best_level;
-  v->compaction_score_ = best_score;
+  // Precompute the best level for the next compaction; the policy lives
+  // in the picker selected by Options::compaction_style.
+  picker_->ComputeScore(v);
 }
 
 Status VersionSet::WriteSnapshot(log::Writer* log) {
@@ -964,47 +958,8 @@ uint64_t VersionSet::ApproximateOffsetOf(Version* v, const InternalKey& ikey) {
 }
 
 Compaction* VersionSet::PickCompaction() {
-  // Pick the level whose score is highest (size or L0 file count).
-  if (!(current_->compaction_score_ >= 1)) {
-    return nullptr;
-  }
-
-  const int level = current_->compaction_level_;
-  assert(level >= 0);
-  assert(level + 1 < config::kNumLevels);
-  Compaction* c = new Compaction(options_, level);
-
-  // Pick the first file that comes after compact_pointer_[level].
-  for (FileMetaData* f : current_->files_[level]) {
-    if (compact_pointer_[level].empty() ||
-        icmp_.Compare(f->largest.Encode(), compact_pointer_[level]) > 0) {
-      c->inputs_[0].push_back(f);
-      break;
-    }
-  }
-  if (c->inputs_[0].empty()) {
-    // Wrap-around to the beginning of the key space.
-    c->inputs_[0].push_back(current_->files_[level][0]);
-  }
-
-  c->input_version_ = current_;
-  c->input_version_->Ref();
-
-  // Files in level 0 may overlap each other, so pick up all overlapping
-  // ones.
-  if (level == 0) {
-    InternalKey smallest, largest;
-    GetRange(c->inputs_[0], &smallest, &largest);
-    // Note that the next call will discard the file we placed in c->inputs_[0]
-    // earlier and replace it with an overlapping set which will include
-    // the picked file.
-    current_->GetOverlappingInputs(0, &smallest, &largest, &c->inputs_[0]);
-    assert(!c->inputs_[0].empty());
-  }
-
-  SetupOtherInputs(c);
-
-  return c;
+  // Delegate file selection to the active policy (picker.cc).
+  return picker_->Pick(this);
 }
 
 void VersionSet::SetupOtherInputs(Compaction* c) {
@@ -1057,6 +1012,14 @@ void VersionSet::SetupOtherInputs(Compaction* c) {
   // key range next time.
   compact_pointer_[level] = largest.Encode().ToString();
   c->edit_.SetCompactPointer(level, largest);
+
+  // Rewriting the overlapping next-level residents is the leveled
+  // policy's write cost; record the prediction for admission/obs.
+  const int64_t in0 = TotalFileSize(c->inputs_[0]);
+  c->predicted_write_amp_ =
+      in0 > 0 ? static_cast<double>(c->TotalInputBytes()) /
+                    static_cast<double>(in0)
+              : 1.0;
 }
 
 Compaction* VersionSet::CompactRange(int level, const InternalKey* begin,
@@ -1068,10 +1031,11 @@ Compaction* VersionSet::CompactRange(int level, const InternalKey* begin,
   }
 
   // Avoid compacting too much in one shot in case the range is large.
-  // But we cannot do this for level-0 since level-0 files can overlap and
-  // we must not pick one file and drop another older file if the two files
-  // overlap.
-  if (level > 0) {
+  // But we cannot do this for overlapping levels (level-0, and every
+  // level under tiered/lazy styles) since we must not pick one file and
+  // drop another older file if the two files overlap —
+  // GetOverlappingInputs already took the transitive closure there.
+  if (level > 0 && !overlapping_levels_) {
     const uint64_t limit = MaxFileSizeForLevel(level);
     uint64_t total = 0;
     for (size_t i = 0; i < inputs.size(); i++) {
@@ -1084,7 +1048,7 @@ Compaction* VersionSet::CompactRange(int level, const InternalKey* begin,
     }
   }
 
-  Compaction* c = new Compaction(options_, level);
+  Compaction* c = new Compaction(options_, level, level + 1);
   c->input_version_ = current_;
   c->input_version_->Ref();
   c->inputs_[0] = inputs;
@@ -1092,8 +1056,9 @@ Compaction* VersionSet::CompactRange(int level, const InternalKey* begin,
   return c;
 }
 
-Compaction::Compaction(const Options* options, int level)
+Compaction::Compaction(const Options* options, int level, int output_level)
     : level_(level),
+      output_level_(output_level),
       max_output_file_size_(options->max_file_size),
       input_version_(nullptr) {
   for (int i = 0; i < config::kNumLevels; i++) {
@@ -1119,39 +1084,69 @@ uint64_t Compaction::TotalInputBytes() const {
 
 bool Compaction::IsTrivialMove() const {
   const VersionSet* vset = input_version_->vset_;
-  // Avoid a move if there is lots of overlapping grandparent data.
-  // Otherwise, the move could create a parent file that will require a
-  // very expensive merge later on.
   if (!(num_input_files(0) == 1 && num_input_files(1) == 0)) {
     return false;
   }
-  std::vector<FileMetaData*> grandparents;
-  input_version_->GetOverlappingInputs(level_ + 2, &inputs_[0][0]->smallest,
-                                       &inputs_[0][0]->largest, &grandparents);
-  return TotalFileSize(grandparents) <=
-         MaxGrandParentOverlapBytes(vset->options_);
+  // A self-merge (tiered last level) always rewrites; never a move.
+  if (output_level_ == level_) {
+    return false;
+  }
+  // Avoid a move if there is lots of overlapping grandparent data.
+  // Otherwise, the move could create a parent file that will require a
+  // very expensive merge later on.
+  if (output_level_ + 1 < config::kNumLevels) {
+    std::vector<FileMetaData*> grandparents;
+    input_version_->GetOverlappingInputs(output_level_ + 1,
+                                         &inputs_[0][0]->smallest,
+                                         &inputs_[0][0]->largest,
+                                         &grandparents);
+    if (TotalFileSize(grandparents) >
+        MaxGrandParentOverlapBytes(vset->options_)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void Compaction::AddInputDeletions(VersionEdit* edit) {
   for (int which = 0; which < 2; which++) {
     for (const FileMetaData* f : inputs_[which]) {
-      edit->RemoveFile(level_ + which, f->number);
+      edit->RemoveFile(which == 0 ? level_ : output_level_, f->number);
     }
   }
+}
+
+bool Compaction::IsInputFile(const FileMetaData* f) const {
+  for (int which = 0; which < 2; which++) {
+    for (const FileMetaData* in : inputs_[which]) {
+      if (in->number == f->number) return true;
+    }
+  }
+  return false;
 }
 
 bool Compaction::IsBaseLevelForKey(const Slice& user_key) {
   // Maybe use binary search to find right entry instead of linear search?
   const Comparator* user_cmp =
       input_version_->vset_->icmp_.user_comparator();
-  for (int lvl = level_ + 2; lvl < config::kNumLevels; lvl++) {
+  // Under leveled style the output level's residents are all inputs, so
+  // the scan starts below it. Overlapping styles leave non-input runs at
+  // the output level (tiered pushes merge with nothing), so the scan must
+  // include it, skipping this job's own inputs. The monotone pointer walk
+  // stays valid for overlapping files: they are sorted by smallest key,
+  // so the first file whose largest >= key is also the only candidate
+  // whose range can contain it that the walk has not already rejected.
+  const bool overlapping = input_version_->vset_->overlapping_levels_;
+  const int first = overlapping ? output_level_ : output_level_ + 1;
+  for (int lvl = first; lvl < config::kNumLevels; lvl++) {
     const std::vector<FileMetaData*>& files = input_version_->files_[lvl];
     while (level_ptrs_[lvl] < files.size()) {
       FileMetaData* f = files[level_ptrs_[lvl]];
       if (user_cmp->Compare(user_key, f->largest.user_key()) <= 0) {
         // We've advanced far enough.
-        if (user_cmp->Compare(user_key, f->smallest.user_key()) >= 0) {
-          // Key falls in this file's range, so definitely not base level.
+        if (user_cmp->Compare(user_key, f->smallest.user_key()) >= 0 &&
+            !(overlapping && IsInputFile(f))) {
+          // Key falls in a resident file's range: not base level.
           return false;
         }
         break;
@@ -1164,8 +1159,18 @@ bool Compaction::IsBaseLevelForKey(const Slice& user_key) {
 
 bool Compaction::RangeIsBaseLevel(const Slice* lo_user_key,
                                   const Slice* hi_user_key) const {
-  for (int lvl = level_ + 2; lvl < config::kNumLevels; lvl++) {
-    if (input_version_->OverlapInLevel(lvl, lo_user_key, hi_user_key)) {
+  const bool overlapping = input_version_->vset_->overlapping_levels_;
+  const int first = overlapping ? output_level_ : output_level_ + 1;
+  const Comparator* ucmp = input_version_->vset_->icmp_.user_comparator();
+  for (int lvl = first; lvl < config::kNumLevels; lvl++) {
+    for (const FileMetaData* f : input_version_->files_[lvl]) {
+      // This job's own inputs at the output level do not count as data
+      // "below" the output — they are being rewritten right now.
+      if (overlapping && IsInputFile(f)) continue;
+      if (AfterFile(ucmp, lo_user_key, f) ||
+          BeforeFile(ucmp, hi_user_key, f)) {
+        continue;  // resident file entirely outside [lo,hi]
+      }
       return false;
     }
   }

@@ -3,9 +3,13 @@
 //
 // A Version is an immutable snapshot of which SSTables form each level.
 // VersionSet chains versions; LogAndApply applies a VersionEdit, persists
-// it to the MANIFEST and installs the result as current. Compactions are
-// picked by size ratio (level L exceeding its threshold) with L0 triggered
-// by file count — the same policy as the paper's LevelDB substrate.
+// it to the MANIFEST and installs the result as current. Compaction
+// picking is delegated to the CompactionPicker selected by
+// Options::compaction_style (src/compaction/picker.h): leveled size-ratio
+// (the paper's LevelDB substrate), tiered, or lazy-leveling. Non-leveled
+// styles install overlapping sorted runs in levels > 0; the read and
+// overlap-query paths then treat every level like level-0, relying on
+// newest-first file-number order for correctness.
 #pragma once
 
 #include <map>
@@ -26,6 +30,7 @@ class Writer;
 }
 
 class Compaction;
+class CompactionPicker;
 class Iterator;
 class TableCache;
 class Version;
@@ -90,6 +95,7 @@ class Version {
 
  private:
   friend class Compaction;
+  friend class CompactionPicker;
   friend class VersionSet;
 
   class LevelFileNumIterator;
@@ -189,6 +195,13 @@ class VersionSet {
   const Options* options() const { return options_; }
   const std::string& dbname() const { return dbname_; }
 
+  // The policy object picked by Options::compaction_style.
+  CompactionPicker* picker() const { return picker_.get(); }
+
+  // True when the active picker installs overlapping runs in levels > 0;
+  // gates the L0-style read/overlap handling for all levels.
+  bool overlapping_levels() const { return overlapping_levels_; }
+
   // One-line summary of files per level, e.g. "files[ 2 4 0 0 0 0 0 ]".
   std::string LevelSummary() const;
 
@@ -201,6 +214,7 @@ class VersionSet {
   class Builder;
 
   friend class Compaction;
+  friend class CompactionPicker;
   friend class Version;
 
   void Finalize(Version* v);
@@ -226,6 +240,8 @@ class VersionSet {
   const Options* const options_;
   TableCache* const table_cache_;
   const InternalKeyComparator icmp_;
+  const std::unique_ptr<CompactionPicker> picker_;
+  const bool overlapping_levels_;
   uint64_t next_file_number_ = 2;
   uint64_t manifest_file_number_ = 0;
   uint64_t last_sequence_ = 0;
@@ -248,9 +264,19 @@ class Compaction {
  public:
   ~Compaction();
 
-  // Return the level that is being compacted. Inputs from "level" and
-  // "level+1" will be merged to produce a set of "level+1" files.
+  // Return the level that is being compacted (the source of inputs_[0]).
   int level() const { return level_; }
+
+  // Level the merged output files are installed at. level_ + 1 for
+  // leveled and tiered pushes; level_ for a tiered last-level self-merge.
+  int output_level() const { return output_level_; }
+
+  // Predicted bytes-written amplification of this job: total input bytes
+  // divided by the bytes entering from the source level (~1 for tiered
+  // pushes, (src+overlap)/src for leveled spills). Filled by the picker;
+  // reported through admission requests, CompactionJobInfo and the
+  // pipelsm.compaction property.
+  double predicted_write_amp() const { return predicted_write_amp_; }
 
   // Return the object that holds the edits to the descriptor done by this
   // compaction.
@@ -261,7 +287,8 @@ class Compaction {
     return static_cast<int>(inputs_[which].size());
   }
 
-  // Return the ith input file at "level()+which" ("which" must be 0 or 1).
+  // Return the ith input file ("which" 0 = source level, 1 = output
+  // level residents).
   FileMetaData* input(int which, int i) const { return inputs_[which][i]; }
 
   const std::vector<FileMetaData*>& inputs(int which) const {
@@ -272,15 +299,15 @@ class Compaction {
   uint64_t MaxOutputFileSize() const { return max_output_file_size_; }
 
   // Is this a trivial compaction that can be implemented by just moving a
-  // single input file to the next level (no merging or splitting)?
+  // single input file to the output level (no merging or splitting)?
   bool IsTrivialMove() const;
 
   // Add all inputs to this compaction as delete operations to *edit.
   void AddInputDeletions(VersionEdit* edit);
 
   // Returns true if the information we have available guarantees that the
-  // compaction is producing data in "level+1" for which no data exists in
-  // levels greater than "level+1" (drop-deletion eligibility).
+  // compaction is producing data at the output level for which no data
+  // exists below the output level (drop-deletion eligibility).
   bool IsBaseLevelForKey(const Slice& user_key);
 
   // Range form used by the sub-task planner: true iff no level below the
@@ -296,16 +323,23 @@ class Compaction {
   uint64_t TotalInputBytes() const;
 
  private:
+  friend class CompactionPicker;
   friend class VersionSet;
 
-  Compaction(const Options* options, int level);
+  Compaction(const Options* options, int level, int output_level);
+
+  // True iff `f` is one of this compaction's input files (by number).
+  bool IsInputFile(const FileMetaData* f) const;
 
   int level_;
+  int output_level_;
+  double predicted_write_amp_ = 1.0;
   uint64_t max_output_file_size_;
   Version* input_version_;
   VersionEdit edit_;
 
-  // Each compaction reads inputs from "level_" and "level_+1".
+  // inputs_[0] comes from level_; inputs_[1] holds the resident files of
+  // output_level_ merged in (empty for tiered pushes and self-merges).
   std::vector<FileMetaData*> inputs_[2];
 
   // State for implementing IsBaseLevelForKey:

@@ -1,0 +1,340 @@
+// Unit tests for the compaction-policy pickers (docs/COMPACTION.md):
+// CountRuns, and per-style selection + golden predicted-write-amp values
+// on synthetic version states built through VersionEdit/LogAndApply.
+#include "src/compaction/picker.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+
+#include "src/db/filename.h"
+#include "src/db/table_cache.h"
+#include "src/env/sim_env.h"
+#include "src/version/version_edit.h"
+#include "src/version/version_set.h"
+#include "src/wal/log_writer.h"
+
+namespace pipelsm {
+namespace {
+
+// ---------------------------------------------------------------------
+// CountRuns: interval-stacking depth of a file set.
+// ---------------------------------------------------------------------
+
+class CountRunsTest : public ::testing::Test {
+ protected:
+  CountRunsTest() : icmp_(BytewiseComparator()) {}
+  ~CountRunsTest() override {
+    for (FileMetaData* f : files_) delete f;
+  }
+
+  void Add(const char* smallest, const char* largest) {
+    FileMetaData* f = new FileMetaData;
+    f->number = files_.size() + 1;
+    f->smallest = InternalKey(smallest, 100, kTypeValue);
+    f->largest = InternalKey(largest, 100, kTypeValue);
+    files_.push_back(f);
+  }
+
+  int Runs() {
+    // Version order: sorted by smallest key, as pickers see the list.
+    std::sort(files_.begin(), files_.end(),
+              [this](FileMetaData* a, FileMetaData* b) {
+                return icmp_.Compare(a->smallest, b->smallest) < 0;
+              });
+    return CountRuns(icmp_, files_);
+  }
+
+  InternalKeyComparator icmp_;
+  std::vector<FileMetaData*> files_;
+};
+
+TEST_F(CountRunsTest, Empty) { EXPECT_EQ(0, Runs()); }
+
+TEST_F(CountRunsTest, DisjointFilesAreOneRun) {
+  Add("a", "b");
+  Add("c", "d");
+  Add("e", "f");
+  EXPECT_EQ(1, Runs());
+}
+
+TEST_F(CountRunsTest, IdenticalRangesStack) {
+  Add("a", "z");
+  Add("a", "z");
+  Add("a", "z");
+  EXPECT_EQ(3, Runs());
+}
+
+TEST_F(CountRunsTest, StaircaseOverlap) {
+  // Each file overlaps only its neighbor: depth 2, not 4.
+  Add("a", "c");
+  Add("b", "e");
+  Add("d", "g");
+  Add("f", "i");
+  EXPECT_EQ(2, Runs());
+}
+
+TEST_F(CountRunsTest, MixedDepth) {
+  Add("a", "m");  // wide file under two disjoint small ones + one overlap
+  Add("b", "c");
+  Add("d", "e");
+  Add("b", "f");
+  EXPECT_EQ(3, Runs());  // at "b": {a-m, b-c, b-f}
+}
+
+TEST_F(CountRunsTest, TouchingEndpointsOverlap) {
+  // largest == next smallest (same user key) counts as overlap: both
+  // files can hold versions of that key.
+  Add("a", "c");
+  Add("c", "e");
+  EXPECT_EQ(2, Runs());
+}
+
+// ---------------------------------------------------------------------
+// Picker selection on synthetic version states. The harness stands up a
+// real VersionSet (null-cost device) and feeds it VersionEdits, so
+// scores and picks flow through exactly the code the DB runs.
+// ---------------------------------------------------------------------
+
+class PickerTest : public ::testing::Test {
+ protected:
+  PickerTest() : env_(DeviceProfile::Null()), icmp_(BytewiseComparator()) {}
+
+  void Open(CompactionStyle style, int tiered_run_count = 4) {
+    options_.env = &env_;
+    options_.compaction_style = style;
+    options_.tiered_run_count = tiered_run_count;
+    env_.CreateDir(dbname_);
+
+    // Minimal NewDB: one manifest record + CURRENT.
+    VersionEdit new_db;
+    new_db.SetComparatorName(icmp_.user_comparator()->Name());
+    new_db.SetLogNumber(0);
+    new_db.SetNextFile(2);
+    new_db.SetLastSequence(0);
+    const std::string manifest = DescriptorFileName(dbname_, 1);
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_.NewWritableFile(manifest, &file).ok());
+    {
+      log::Writer log(file.get());
+      std::string record;
+      new_db.EncodeTo(&record);
+      ASSERT_TRUE(log.AddRecord(record).ok());
+      ASSERT_TRUE(file->Close().ok());
+    }
+    ASSERT_TRUE(SetCurrentFile(&env_, dbname_, 1).ok());
+
+    TableOptions topt;
+    topt.comparator = &icmp_;
+    cache_ = std::make_unique<TableCache>(dbname_, topt, &env_, 10);
+    vset_ = std::make_unique<VersionSet>(dbname_, &options_, cache_.get(),
+                                         &icmp_);
+    Status s = vset_->Recover();
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  // Installs one file; numbers ascend with insertion order, so later
+  // files are "newer" in the overlapping-level sense.
+  void AddFile(int level, const char* smallest, const char* largest,
+               uint64_t size) {
+    VersionEdit edit;
+    edit.AddFile(level, next_file_number_++, size,
+                 InternalKey(smallest, 100, kTypeValue),
+                 InternalKey(largest, 100, kTypeValue));
+    std::unique_lock<std::mutex> lock(mu_);
+    Status s = vset_->LogAndApply(&edit, &mu_);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+
+  SimEnv env_;
+  InternalKeyComparator icmp_;
+  Options options_;
+  std::string dbname_ = "/picker_db";
+  std::unique_ptr<TableCache> cache_;
+  std::unique_ptr<VersionSet> vset_;
+  uint64_t next_file_number_ = 10;
+  std::mutex mu_;
+};
+
+constexpr uint64_t kMiB = 1 << 20;
+
+TEST_F(PickerTest, FactoryMatchesStyle) {
+  Open(CompactionStyle::kTiered);
+  EXPECT_STREQ("TieredCompactionPicker", vset_->picker()->Name());
+  EXPECT_TRUE(vset_->overlapping_levels());
+}
+
+TEST_F(PickerTest, LeveledPickerIsDefaultAndDisjoint) {
+  Open(CompactionStyle::kLeveled);
+  EXPECT_STREQ("LeveledCompactionPicker", vset_->picker()->Name());
+  EXPECT_FALSE(vset_->overlapping_levels());
+}
+
+TEST_F(PickerTest, LeveledL0TriggerByFileCount) {
+  Open(CompactionStyle::kLeveled);
+  AddFile(0, "a", "c", 8 << 10);
+  AddFile(0, "b", "d", 8 << 10);
+  AddFile(0, "c", "e", 8 << 10);
+  EXPECT_FALSE(vset_->NeedsCompaction());  // 3 < kL0_CompactionTrigger
+  AddFile(0, "d", "f", 8 << 10);
+  EXPECT_TRUE(vset_->NeedsCompaction());
+
+  std::unique_ptr<Compaction> c(vset_->PickCompaction());
+  ASSERT_NE(nullptr, c);
+  EXPECT_EQ(0, c->level());
+  EXPECT_EQ(1, c->output_level());
+  EXPECT_EQ(4, c->num_input_files(0));  // all four overlap transitively
+}
+
+TEST_F(PickerTest, LeveledSizeTriggerAndGoldenWriteAmp) {
+  Open(CompactionStyle::kLeveled);
+  // 12 MiB at L1 (> 10 MiB budget) in three disjoint files; L2 holds
+  // 3 MiB overlapping the first L1 file.
+  AddFile(1, "a", "c", 4 * kMiB);
+  AddFile(1, "d", "f", 4 * kMiB);
+  AddFile(1, "g", "i", 4 * kMiB);
+  AddFile(2, "a", "b", 2 * kMiB);
+  AddFile(2, "b1", "c1", 1 * kMiB);
+  ASSERT_TRUE(vset_->NeedsCompaction());
+
+  std::unique_ptr<Compaction> c(vset_->PickCompaction());
+  ASSERT_NE(nullptr, c);
+  EXPECT_EQ(1, c->level());
+  EXPECT_EQ(2, c->output_level());
+  EXPECT_EQ(1, c->num_input_files(0));   // "a".."c"
+  EXPECT_EQ(2, c->num_input_files(1));   // both L2 files overlap it
+  // Golden: (4 + 2 + 1) / 4 MiB of inputs over the picked file.
+  EXPECT_DOUBLE_EQ(7.0 / 4.0, c->predicted_write_amp());
+}
+
+TEST_F(PickerTest, TieredTriggersOnRunCountNotBytes) {
+  Open(CompactionStyle::kTiered, /*tiered_run_count=*/4);
+  // Huge but single-run level: never triggers on size.
+  AddFile(1, "a", "c", 40 * kMiB);
+  AddFile(1, "d", "f", 40 * kMiB);
+  EXPECT_FALSE(vset_->NeedsCompaction());
+
+  // Stack three more overlapping runs: 4 runs >= T.
+  AddFile(1, "a", "f", kMiB);
+  AddFile(1, "a", "f", kMiB);
+  EXPECT_FALSE(vset_->NeedsCompaction());  // 3 runs
+  AddFile(1, "a", "f", kMiB);
+  EXPECT_TRUE(vset_->NeedsCompaction());
+
+  std::unique_ptr<Compaction> c(vset_->PickCompaction());
+  ASSERT_NE(nullptr, c);
+  EXPECT_EQ(1, c->level());
+  EXPECT_EQ(2, c->output_level());
+  EXPECT_EQ(5, c->num_input_files(0));  // the WHOLE level moves
+  EXPECT_EQ(0, c->num_input_files(1));  // resident L2 data untouched
+  EXPECT_DOUBLE_EQ(1.0, c->predicted_write_amp());
+  EXPECT_FALSE(c->IsTrivialMove());     // multi-file merge
+}
+
+TEST_F(PickerTest, TieredL0FileCountFloor) {
+  Open(CompactionStyle::kTiered, /*tiered_run_count=*/8);
+  // Disjoint L0 flushes (sequential load): 1 run, but the file-count
+  // floor must still drain L0 before the write-stall thresholds.
+  AddFile(0, "a", "b", 8 << 10);
+  AddFile(0, "c", "d", 8 << 10);
+  AddFile(0, "e", "f", 8 << 10);
+  AddFile(0, "g", "h", 8 << 10);
+  EXPECT_TRUE(vset_->NeedsCompaction());
+  std::unique_ptr<Compaction> c(vset_->PickCompaction());
+  ASSERT_NE(nullptr, c);
+  EXPECT_EQ(0, c->level());
+  EXPECT_EQ(4, c->num_input_files(0));
+}
+
+TEST_F(PickerTest, TieredLastLevelSelfMerges) {
+  Open(CompactionStyle::kTiered, /*tiered_run_count=*/2);
+  const int last = config::kNumLevels - 1;
+  AddFile(last, "a", "m", 4 * kMiB);
+  AddFile(last, "b", "z", 4 * kMiB);
+  ASSERT_TRUE(vset_->NeedsCompaction());
+
+  std::unique_ptr<Compaction> c(vset_->PickCompaction());
+  ASSERT_NE(nullptr, c);
+  EXPECT_EQ(last, c->level());
+  EXPECT_EQ(last, c->output_level());  // nowhere to push: collapse in place
+  EXPECT_EQ(2, c->num_input_files(0));
+  EXPECT_FALSE(c->IsTrivialMove());    // self-merge must rewrite
+}
+
+TEST_F(PickerTest, LazyLevelingUpperLevelsAreTiered) {
+  Open(CompactionStyle::kLazyLeveling, /*tiered_run_count=*/3);
+  // L1 stacks 3 runs; L3 is the (single-run) largest level.
+  AddFile(3, "a", "z", 5 * kMiB);
+  AddFile(1, "a", "f", kMiB);
+  AddFile(1, "a", "f", kMiB);
+  EXPECT_FALSE(vset_->NeedsCompaction());
+  AddFile(1, "a", "f", kMiB);
+  ASSERT_TRUE(vset_->NeedsCompaction());
+
+  std::unique_ptr<Compaction> c(vset_->PickCompaction());
+  ASSERT_NE(nullptr, c);
+  EXPECT_EQ(1, c->level());
+  EXPECT_EQ(2, c->output_level());
+  EXPECT_EQ(3, c->num_input_files(0));
+  // Push lands on L2, above the largest level: no resident merge.
+  EXPECT_EQ(0, c->num_input_files(1));
+  EXPECT_DOUBLE_EQ(1.0, c->predicted_write_amp());
+}
+
+TEST_F(PickerTest, LazyLevelingMergesIntoLargestLevel) {
+  Open(CompactionStyle::kLazyLeveling, /*tiered_run_count=*/2);
+  // L2 is the largest occupied level; pushing L1 lands ON it and must
+  // merge with the overlapping resident run.
+  AddFile(2, "a", "m", 2 * kMiB);
+  AddFile(2, "n", "z", 4 * kMiB);  // disjoint resident, not overlapping
+  AddFile(1, "a", "j", kMiB);
+  AddFile(1, "b", "k", kMiB);
+  ASSERT_TRUE(vset_->NeedsCompaction());
+
+  std::unique_ptr<Compaction> c(vset_->PickCompaction());
+  ASSERT_NE(nullptr, c);
+  EXPECT_EQ(1, c->level());
+  EXPECT_EQ(2, c->output_level());
+  EXPECT_EQ(2, c->num_input_files(0));
+  EXPECT_EQ(1, c->num_input_files(1));  // only "a".."m" overlaps
+  // Golden: (1 + 1 + 2) / (1 + 1) MiB.
+  EXPECT_DOUBLE_EQ(2.0, c->predicted_write_amp());
+}
+
+TEST_F(PickerTest, LazyLevelingLargestLevelSpillsOnSize) {
+  Open(CompactionStyle::kLazyLeveling, /*tiered_run_count=*/8);
+  // Single-run largest level over its 10 MiB (L1-equivalent) budget at
+  // L1: spills into a new largest level, leveled-style.
+  AddFile(1, "a", "m", 6 * kMiB);
+  AddFile(1, "n", "z", 6 * kMiB);
+  ASSERT_TRUE(vset_->NeedsCompaction());
+
+  std::unique_ptr<Compaction> c(vset_->PickCompaction());
+  ASSERT_NE(nullptr, c);
+  EXPECT_EQ(1, c->level());
+  EXPECT_EQ(2, c->output_level());
+  EXPECT_EQ(2, c->num_input_files(0));
+  EXPECT_EQ(0, c->num_input_files(1));  // nothing resident below
+  EXPECT_DOUBLE_EQ(1.0, c->predicted_write_amp());
+}
+
+TEST_F(PickerTest, QuiescentTreesPickNothing) {
+  for (CompactionStyle style :
+       {CompactionStyle::kLeveled, CompactionStyle::kTiered,
+        CompactionStyle::kLazyLeveling}) {
+    SCOPED_TRACE(CompactionStyleName(style));
+    vset_.reset();
+    cache_.reset();
+    dbname_ = std::string("/picker_db_") + CompactionStyleName(style);
+    Open(style);
+    AddFile(1, "a", "c", kMiB);
+    AddFile(2, "a", "z", 2 * kMiB);
+    EXPECT_FALSE(vset_->NeedsCompaction());
+    std::unique_ptr<Compaction> c(vset_->PickCompaction());
+    EXPECT_EQ(nullptr, c);
+  }
+}
+
+}  // namespace
+}  // namespace pipelsm

@@ -32,6 +32,10 @@
 //   --device=posix|ssd|hdd|hddx<k>|null
 //                            storage: the real FS or a simulated device
 //   --compaction=scp|pcp|sppcp|cppcp
+//   --compaction_style=leveled|tiered|lazy
+//                            which-to-compact policy (docs/COMPACTION.md)
+//   --tiered_run_count=N     runs per level before tiered/lazy compacts
+//   --max_subcompactions=N   key-range fan-out ceiling for one job
 //   --num=N --reads=N --key_size=N --value_size=N --batch=N
 //   --value_threshold=N      key-value separation: values >= N bytes go
 //                            to the value log (0 = off)
@@ -102,6 +106,9 @@ struct Flags {
   std::string db = "/tmp/pipelsm_bench";
   std::string device = "posix";
   std::string compaction = "pcp";
+  std::string compaction_style = "leveled";
+  int tiered_run_count = 4;
+  int max_subcompactions = 1;
   uint64_t num = 100000;
   uint64_t reads = 10000;
   size_t key_size = 16;
@@ -199,6 +206,19 @@ class Benchmark {
                    flags_.compaction.c_str());
       std::exit(2);
     }
+    if (flags_.compaction_style == "leveled") {
+      options_.compaction_style = CompactionStyle::kLeveled;
+    } else if (flags_.compaction_style == "tiered") {
+      options_.compaction_style = CompactionStyle::kTiered;
+    } else if (flags_.compaction_style == "lazy") {
+      options_.compaction_style = CompactionStyle::kLazyLeveling;
+    } else {
+      std::fprintf(stderr, "unknown --compaction_style=%s\n",
+                   flags_.compaction_style.c_str());
+      std::exit(2);
+    }
+    options_.tiered_run_count = flags_.tiered_run_count;
+    options_.max_subcompactions = flags_.max_subcompactions;
     options_.write_buffer_size = flags_.write_buffer_kb << 10;
     options_.max_file_size = flags_.file_kb << 10;
     options_.subtask_bytes = flags_.subtask_kb << 10;
@@ -240,9 +260,12 @@ class Benchmark {
     }
 
     std::printf("pipelsm db_bench\n");
-    std::printf("  db=%s device=%s compaction=%s%s\n", flags_.db.c_str(),
-                flags_.device.c_str(), flags_.compaction.c_str(),
-                flags_.adaptive ? " (adaptive)" : "");
+    std::printf("  db=%s device=%s compaction=%s%s style=%s"
+                " max_subcompactions=%d\n",
+                flags_.db.c_str(), flags_.device.c_str(),
+                flags_.compaction.c_str(), flags_.adaptive ? " (adaptive)" : "",
+                CompactionStyleName(options_.compaction_style),
+                flags_.max_subcompactions);
     std::printf("  entries=%llu (%zuB key + %zuB value), reads=%llu\n",
                 static_cast<unsigned long long>(flags_.num), flags_.key_size,
                 flags_.value_size,
@@ -610,6 +633,10 @@ int main(int argc, char** argv) {
         ParseFlag(argv[i], "db", &flags.db) ||
         ParseFlag(argv[i], "device", &flags.device) ||
         ParseFlag(argv[i], "compaction", &flags.compaction) ||
+        ParseFlag(argv[i], "compaction_style", &flags.compaction_style) ||
+        ParseNumFlag(argv[i], "tiered_run_count", &flags.tiered_run_count) ||
+        ParseNumFlag(argv[i], "max_subcompactions",
+                     &flags.max_subcompactions) ||
         ParseNumFlag(argv[i], "num", &flags.num) ||
         ParseNumFlag(argv[i], "reads", &flags.reads) ||
         ParseNumFlag(argv[i], "key_size", &flags.key_size) ||

@@ -10,6 +10,13 @@
 //   --io_threads=N          epoll I/O loops (default 2)
 //   --workers=N             read-path worker threads (default 4)
 //   --compaction=scp|pcp|sppcp|cppcp
+//   --compaction_style=leveled|tiered|lazy
+//                           which CompactionPicker shapes jobs (must not
+//                           change across reopens of one directory)
+//   --tiered_run_count=N    sorted runs a tiered/lazy level accumulates
+//                           before merging (default 4)
+//   --max_subcompactions=N  key-range fan-out per compaction job
+//                           (default 1 = off)
 //   --write_buffer_kb=N --file_kb=N --subtask_kb=N
 //   --compute_parallelism=N --io_parallelism=N --queue_depth=N
 //   --group_window_micros=N group-commit gather window (default 100)
@@ -101,6 +108,9 @@ bool ParseNumFlag(const char* arg, const char* name, T* out) {
 int main(int argc, char** argv) {
   std::string db_path = "/tmp/pipelsm_server";
   std::string compaction = "pcp";
+  std::string compaction_style = "leveled";
+  int tiered_run_count = 4;
+  int max_subcompactions = 1;
   size_t write_buffer_kb = 4096;
   size_t file_kb = 2048;
   size_t subtask_kb = 512;
@@ -128,6 +138,9 @@ int main(int argc, char** argv) {
         ParseNumFlag(argv[i], "io_threads", &sopts.num_io_threads) ||
         ParseNumFlag(argv[i], "workers", &sopts.num_workers) ||
         ParseFlag(argv[i], "compaction", &compaction) ||
+        ParseFlag(argv[i], "compaction_style", &compaction_style) ||
+        ParseNumFlag(argv[i], "tiered_run_count", &tiered_run_count) ||
+        ParseNumFlag(argv[i], "max_subcompactions", &max_subcompactions) ||
         ParseNumFlag(argv[i], "write_buffer_kb", &write_buffer_kb) ||
         ParseNumFlag(argv[i], "file_kb", &file_kb) ||
         ParseNumFlag(argv[i], "subtask_kb", &subtask_kb) ||
@@ -193,6 +206,19 @@ int main(int argc, char** argv) {
   options.block_cache_shards = cache_shards;
   options.bloom_bits_per_key = bloom_bits_per_key;
   options.filter_partition_bytes = filter_partition_bytes;
+  options.tiered_run_count = tiered_run_count;
+  options.max_subcompactions = max_subcompactions;
+  if (compaction_style == "leveled") {
+    options.compaction_style = pipelsm::CompactionStyle::kLeveled;
+  } else if (compaction_style == "tiered") {
+    options.compaction_style = pipelsm::CompactionStyle::kTiered;
+  } else if (compaction_style == "lazy") {
+    options.compaction_style = pipelsm::CompactionStyle::kLazyLeveling;
+  } else {
+    std::fprintf(stderr, "unknown --compaction_style=%s\n",
+                 compaction_style.c_str());
+    return 2;
+  }
   if (compaction == "scp") {
     options.compaction_mode = pipelsm::CompactionMode::kSCP;
   } else if (compaction == "pcp") {
